@@ -1,0 +1,63 @@
+//! Criterion bench: cache simulator throughput per policy (simulation-rate
+//! evidence that the harness can replay paper-scale traces in seconds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use icgmm_cache::{
+    simulate, AlwaysAdmit, CacheConfig, EvictionPolicy, FifoPolicy, GmmScorePolicy, LatencyModel,
+    LfuPolicy, LruPolicy, SetAssocCache,
+};
+use icgmm_trace::synth::{Workload, WorkloadKind};
+use std::hint::black_box;
+
+fn bench_policy(
+    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    label: &str,
+    records: &[icgmm_trace::TraceRecord],
+    cfg: CacheConfig,
+    mk: impl Fn() -> Box<dyn EvictionPolicy>,
+) {
+    let lat = LatencyModel::paper_tlc();
+    group.bench_function(BenchmarkId::new("simulate_100k", label), |b| {
+        b.iter(|| {
+            let mut cache = SetAssocCache::new(cfg).expect("geometry");
+            let mut ev = mk();
+            black_box(simulate(
+                black_box(records),
+                &mut cache,
+                &mut AlwaysAdmit,
+                ev.as_mut(),
+                None,
+                &lat,
+                None,
+            ))
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let trace = WorkloadKind::Memtier.default_workload().generate(100_000, 7);
+    let records = trace.records();
+    let cfg = CacheConfig::paper_default();
+
+    let mut group = c.benchmark_group("cache_ops");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(records.len() as u64));
+    let sets = cfg.num_sets();
+    let ways = cfg.ways;
+    bench_policy(&mut group, "lru", records, cfg, || {
+        Box::new(LruPolicy::new(sets, ways))
+    });
+    bench_policy(&mut group, "fifo", records, cfg, || {
+        Box::new(FifoPolicy::new(sets, ways))
+    });
+    bench_policy(&mut group, "lfu", records, cfg, || {
+        Box::new(LfuPolicy::new(sets, ways))
+    });
+    bench_policy(&mut group, "gmm-score-evict", records, cfg, || {
+        Box::new(GmmScorePolicy::new(sets, ways))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: end-to-end fit+run pipeline on a reduced workload
+//! (regression guard for total harness cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icgmm::{Icgmm, IcgmmConfig, PolicyMode};
+use icgmm_gmm::EmConfig;
+use icgmm_trace::synth::{Workload, WorkloadKind};
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let trace = WorkloadKind::Memtier.default_workload().generate(100_000, 11);
+    let cfg = IcgmmConfig {
+        em: EmConfig {
+            k: 32,
+            max_iters: 15,
+            ..Default::default()
+        },
+        max_train_cells: 30_000,
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("fit_memtier_100k_k32", |b| {
+        b.iter(|| {
+            let mut sys = Icgmm::new(cfg).expect("valid config");
+            black_box(sys.fit(black_box(&trace)).expect("fit"));
+        })
+    });
+
+    let mut sys = Icgmm::new(cfg).expect("valid config");
+    sys.fit(&trace).expect("fit");
+    group.bench_function("run_gmm_both_memtier_100k", |b| {
+        b.iter(|| black_box(sys.run(black_box(&trace), PolicyMode::GmmCachingEviction)))
+    });
+    group.bench_function("run_lru_memtier_100k", |b| {
+        b.iter(|| black_box(sys.run(black_box(&trace), PolicyMode::Lru)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

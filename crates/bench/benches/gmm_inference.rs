@@ -1,0 +1,43 @@
+//! Criterion bench: GMM score latency (f64 and fixed-point datapaths) at
+//! several K — the software side of Table 2's latency column.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icgmm_gmm::fixed::FixedGmm;
+use icgmm_gmm::{Gaussian2, Gmm, Mat2};
+use std::hint::black_box;
+
+fn build_gmm(k: usize) -> Gmm {
+    let comps: Vec<Gaussian2> = (0..k)
+        .map(|i| {
+            let t = i as f64 / k as f64;
+            Gaussian2::new(
+                [t * 10.0 - 5.0, (t * 6.28).sin()],
+                Mat2::new(0.05 + t * 0.1, 0.01, 0.08),
+            )
+            .expect("valid component")
+        })
+        .collect();
+    Gmm::new(vec![1.0 / k as f64; k], comps).expect("valid mixture")
+}
+
+fn bench_gmm_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gmm_inference");
+    for k in [64usize, 256, 1024] {
+        let gmm = build_gmm(k);
+        let fx = FixedGmm::from_gmm(&gmm).expect("quantizable");
+        group.bench_with_input(BenchmarkId::new("f64", k), &k, |b, _| {
+            b.iter(|| black_box(gmm.score(black_box([0.3, -0.2]))))
+        });
+        group.bench_with_input(BenchmarkId::new("fixed", k), &k, |b, _| {
+            b.iter(|| black_box(fx.score(black_box([0.3, -0.2]))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_gmm_inference
+}
+criterion_main!(benches);

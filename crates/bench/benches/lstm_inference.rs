@@ -1,0 +1,38 @@
+//! Criterion bench: LSTM forward-pass latency (the software counterpart of
+//! Table 2's 46.3 ms row; compare with `gmm_inference`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icgmm_lstm::{LstmArch, LstmNetwork};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_lstm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut group = c.benchmark_group("lstm_inference");
+    group.sample_size(10);
+    for (label, arch) in [
+        ("paper_3x128_seq32", LstmArch::paper_baseline()),
+        (
+            "small_1x32_seq8",
+            LstmArch {
+                layers: 1,
+                hidden: 32,
+                input: 2,
+                seq_len: 8,
+            },
+        ),
+    ] {
+        let net = LstmNetwork::new(arch, &mut rng);
+        let seq: Vec<Vec<f32>> = (0..arch.seq_len)
+            .map(|t| vec![t as f32 * 0.03, 0.5])
+            .collect();
+        group.bench_with_input(BenchmarkId::new("forward", label), &label, |b, _| {
+            b.iter(|| black_box(net.forward(black_box(&seq))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lstm);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Evidence for the **Fig. 5 / §4.3 dataflow architecture claims**: GMM
+//! inference fully overlaps SSD accesses, trace prefetch hides HBM loads,
+//! and the free-running policy engine never blocks the cache engine.
+//!
+//! Runs the cycle-approximate dataflow model on one miss-heavy benchmark
+//! with overlap on and off, and reports per-module busy time, FIFO stalls
+//! and the latency the overlap buys back.
+//!
+//! Usage: `cargo run -p icgmm-bench --release --bin fig5_dataflow [--quick]`
+
+use icgmm::report::{f, format_table};
+use icgmm::{Icgmm, PolicyMode};
+use icgmm_bench::{banner, Scale};
+use icgmm_hw::DataflowConfig;
+use icgmm_trace::synth::WorkloadKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Fig. 5 — dataflow architecture: overlap & utilization");
+
+    let spec = scale
+        .suite()
+        .into_iter()
+        .find(|s| s.kind == WorkloadKind::Stream)
+        .expect("stream in suite");
+    let trace = spec.workload().generate(spec.requests, spec.seed);
+    let mut sys = Icgmm::new(scale.config(&spec)).expect("valid config");
+    sys.fit(&trace).expect("training succeeds");
+    eprintln!("[fig5] trained");
+
+    let run = |overlap: bool| {
+        sys.run_dataflow(
+            &trace,
+            PolicyMode::GmmCachingEviction,
+            &DataflowConfig {
+                overlap_policy_with_ssd: overlap,
+                ..Default::default()
+            },
+        )
+        .expect("dataflow run succeeds")
+    };
+    let with = run(true);
+    eprintln!("[fig5] overlapped run done");
+    let without = run(false);
+    eprintln!("[fig5] sequential run done");
+
+    let rows = vec![
+        vec![
+            "avg request latency (µs)".into(),
+            f(with.avg_request_us, 3),
+            f(without.avg_request_us, 3),
+        ],
+        vec![
+            "makespan (s)".into(),
+            f(with.makespan_us / 1e6, 3),
+            f(without.makespan_us / 1e6, 3),
+        ],
+        vec![
+            "GMM busy (s)".into(),
+            f(with.gmm_busy_us / 1e6, 3),
+            f(without.gmm_busy_us / 1e6, 3),
+        ],
+        vec![
+            "SSD busy (s)".into(),
+            f(with.ssd.busy_us / 1e6, 3),
+            f(without.ssd.busy_us / 1e6, 3),
+        ],
+        vec![
+            "SSD utilization".into(),
+            f(with.ssd_utilization(), 3),
+            f(without.ssd_utilization(), 3),
+        ],
+        vec![
+            "overlap saved (s)".into(),
+            f(with.overlap_saved_us / 1e6, 3),
+            f(without.overlap_saved_us / 1e6, 3),
+        ],
+        vec![
+            "loader stalls".into(),
+            with.loader_stalls.to_string(),
+            without.loader_stalls.to_string(),
+        ],
+    ];
+    println!(
+        "{}",
+        format_table(&["metric", "dataflow (overlap)", "sequential"], &rows)
+    );
+    let gain = (without.avg_request_us - with.avg_request_us) / without.avg_request_us * 100.0;
+    println!("overlap removes {gain:.2}% of average latency on this miss-heavy trace;");
+    println!("per miss it hides the full 3 µs GMM inference behind the >=75 µs SSD access,");
+    println!("which is the paper's justification for the free-running-kernel design.");
+}

@@ -1,0 +1,54 @@
+//! Regenerates **Table 1**: average SSD access time (µs) under LRU vs the
+//! best GMM strategy, on the paper's TLC latency constants (hit 1 µs, read
+//! 75 µs, program 900 µs, GMM overlapped).
+//!
+//! Usage: `cargo run -p icgmm-bench --release --bin table1 [--quick]`
+
+use icgmm::benchmarks::paper_numbers;
+use icgmm::experiment::{best_gmm, find, run_benchmark_with};
+use icgmm::report::{f, format_table};
+use icgmm::PolicyMode;
+use icgmm_bench::{banner, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Table 1 — average SSD access time (µs), LRU vs GMM");
+    println!("scale: {scale:?} (pass --quick for a fast run)");
+
+    let modes = PolicyMode::fig6_modes();
+    let mut rows = Vec::new();
+    for spec in scale.suite() {
+        let results = run_benchmark_with(&spec, scale.config(&spec), &modes)
+            .expect("benchmark run failed");
+        let name = spec.kind.to_string();
+        let lru = find(&results, &name, PolicyMode::Lru).expect("lru present");
+        // Paper presentation: pick the best GMM strategy per benchmark
+        // (by miss rate, as in Fig. 6), report its latency.
+        let best = best_gmm(&results, &name).expect("gmm modes present");
+        let reduction = (1.0 - best.avg_us / lru.avg_us) * 100.0;
+        let paper = paper_numbers(spec.kind);
+        rows.push(vec![
+            name.clone(),
+            f(lru.avg_us, 2),
+            f(best.avg_us, 2),
+            f(reduction, 2),
+            format!(
+                "{} -> {} ({}%)",
+                f(paper.lru_avg_us, 2),
+                f(paper.gmm_avg_us, 2),
+                f(paper.reduction_pct, 2)
+            ),
+        ]);
+        eprintln!("[table1] {name} done");
+    }
+    println!(
+        "{}",
+        format_table(
+            &["benchmark", "lru (µs)", "gmm (µs)", "reduction (%)", "paper"],
+            &rows,
+        )
+    );
+    println!("Expected shape: double-digit percentage reductions on every row");
+    println!("(paper: 16.23%-39.14%); hashmap/heap large via fewer dirty write-backs,");
+    println!("stream/dlrm large in absolute µs via miss-rate cuts.");
+}

@@ -1,0 +1,177 @@
+//! Cache geometry (the paper's case study: 64 MiB, 4 KiB blocks, 8-way).
+
+use icgmm_trace::PageIndex;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned for inconsistent cache geometry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheConfigError {
+    what: String,
+}
+
+impl fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid cache configuration: {}", self.what)
+    }
+}
+
+impl Error for CacheConfigError {}
+
+/// Set-associative DRAM-cache geometry.
+///
+/// The block size must equal the SSD access granularity (4 KiB) — the
+/// paper's granularity-mismatch argument (§2.1) — though the simulator
+/// accepts any power-of-two block for sensitivity studies.
+///
+/// ```
+/// use icgmm_cache::CacheConfig;
+/// let c = CacheConfig::paper_default();
+/// assert_eq!(c.num_blocks(), 16_384);
+/// assert_eq!(c.num_sets(), 2_048);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total cache capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Block (cache-line) size in bytes — one SSD page.
+    pub block_bytes: u64,
+    /// Associativity (blocks per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// The paper's hardware deployment: 64 MiB, 4 KiB blocks, 8 ways.
+    pub fn paper_default() -> Self {
+        CacheConfig {
+            capacity_bytes: 64 * 1024 * 1024,
+            block_bytes: icgmm_trace::PAGE_SIZE,
+            ways: 8,
+        }
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless capacity, block size and ways are non-zero
+    /// powers-of-two-compatible values that divide evenly into at least one
+    /// set.
+    pub fn validate(&self) -> Result<(), CacheConfigError> {
+        let err = |m: &str| {
+            Err(CacheConfigError {
+                what: m.to_string(),
+            })
+        };
+        if self.block_bytes == 0 || !self.block_bytes.is_power_of_two() {
+            return err("block_bytes must be a non-zero power of two");
+        }
+        if self.ways == 0 {
+            return err("ways must be >= 1");
+        }
+        if self.capacity_bytes == 0 || self.capacity_bytes % self.block_bytes != 0 {
+            return err("capacity must be a non-zero multiple of block_bytes");
+        }
+        let blocks = self.capacity_bytes / self.block_bytes;
+        if blocks % self.ways as u64 != 0 {
+            return err("block count must be divisible by ways");
+        }
+        if blocks / self.ways as u64 == 0 {
+            return err("geometry yields zero sets");
+        }
+        Ok(())
+    }
+
+    /// Total number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        (self.capacity_bytes / self.block_bytes) as usize
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_blocks() / self.ways
+    }
+
+    /// Set index of a page (modulo mapping, as in the hardware's
+    /// set-index decode).
+    pub fn set_of(&self, page: PageIndex) -> usize {
+        (page.raw() % self.num_sets() as u64) as usize
+    }
+
+    /// Tag of a page (the bits above the set index).
+    pub fn tag_of(&self, page: PageIndex) -> u64 {
+        page.raw() / self.num_sets() as u64
+    }
+
+    /// Reconstructs a page from `(set, tag)` — inverse of
+    /// [`CacheConfig::set_of`]/[`CacheConfig::tag_of`].
+    pub fn page_of(&self, set: usize, tag: u64) -> PageIndex {
+        PageIndex::new(tag * self.num_sets() as u64 + set as u64)
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry() {
+        let c = CacheConfig::paper_default();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.num_blocks(), 16_384);
+        assert_eq!(c.num_sets(), 2_048);
+        assert_eq!(c.ways, 8);
+    }
+
+    #[test]
+    fn invalid_geometries_are_rejected() {
+        let mut c = CacheConfig::paper_default();
+        c.block_bytes = 0;
+        assert!(c.validate().is_err());
+        c = CacheConfig {
+            block_bytes: 3000,
+            ..CacheConfig::paper_default()
+        };
+        assert!(c.validate().is_err());
+        c = CacheConfig {
+            ways: 0,
+            ..CacheConfig::paper_default()
+        };
+        assert!(c.validate().is_err());
+        c = CacheConfig {
+            capacity_bytes: 4096 * 7,
+            block_bytes: 4096,
+            ways: 8,
+        };
+        assert!(c.validate().is_err());
+        let msg = c.validate().unwrap_err().to_string();
+        assert!(msg.contains("invalid cache configuration"));
+    }
+
+    #[test]
+    fn page_mapping_round_trips() {
+        let c = CacheConfig::paper_default();
+        for raw in [0u64, 1, 2047, 2048, 123_456_789] {
+            let p = PageIndex::new(raw);
+            let set = c.set_of(p);
+            let tag = c.tag_of(p);
+            assert!(set < c.num_sets());
+            assert_eq!(c.page_of(set, tag), p);
+        }
+    }
+
+    #[test]
+    fn consecutive_pages_hit_different_sets() {
+        let c = CacheConfig::paper_default();
+        let s0 = c.set_of(PageIndex::new(100));
+        let s1 = c.set_of(PageIndex::new(101));
+        assert_ne!(s0, s1);
+    }
+}

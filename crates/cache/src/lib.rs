@@ -1,0 +1,61 @@
+//! # icgmm-cache
+//!
+//! Set-associative DRAM-cache simulator for the ICGMM reproduction
+//! (DAC 2024). Models the device-side DRAM cache fronting a CXL-attached
+//! SSD: 4 KiB blocks (the SSD access granularity), write-allocate with
+//! write-back dirty tracking, pluggable admission and eviction policies,
+//! and the paper's latency constants (1 µs hit, 75 µs SSD read, 900 µs SSD
+//! program, 3 µs overlapped GMM inference).
+//!
+//! The crate is model-agnostic: GMM scores arrive through the
+//! [`ScoreSource`] trait, so LRU/FIFO/LFU/Random/Belady baselines and the
+//! GMM (or an LSTM) policy engine all drive the *same* simulator — that is
+//! what makes the paper's Fig. 6 and Table 1 comparisons apples-to-apples.
+//!
+//! ## Example
+//!
+//! ```
+//! use icgmm_cache::{
+//!     simulate, AlwaysAdmit, CacheConfig, LatencyModel, LruPolicy, SetAssocCache,
+//! };
+//! use icgmm_trace::TraceRecord;
+//!
+//! let cfg = CacheConfig::paper_default();
+//! let mut cache = SetAssocCache::new(cfg)?;
+//! let mut lru = LruPolicy::new(cfg.num_sets(), cfg.ways);
+//! let trace: Vec<TraceRecord> = (0..100u64).map(|i| TraceRecord::read((i % 10) << 12)).collect();
+//! let report = simulate(
+//!     &trace,
+//!     &mut cache,
+//!     &mut AlwaysAdmit,
+//!     &mut lru,
+//!     None,
+//!     &LatencyModel::paper_tlc(),
+//!     None,
+//! );
+//! assert_eq!(report.stats.misses(), 10); // ten cold misses, then hits
+//! # Ok::<(), icgmm_cache::CacheConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod config;
+mod latency;
+mod score;
+mod sim;
+mod stats;
+
+pub mod policy;
+
+pub use cache::{AccessOutcome, BlockState, Eviction, SetAssocCache};
+pub use config::{CacheConfig, CacheConfigError};
+pub use latency::LatencyModel;
+pub use policy::{
+    AccessCtx, AdmissionPolicy, AlwaysAdmit, BeladyPolicy, EvictionPolicy, FifoPolicy,
+    GmmScorePolicy, LfuPolicy, LruPolicy, RandomPolicy, ThresholdAdmit,
+};
+pub use score::{ConstantScore, FnScore, ScoreSource};
+pub use sim::{simulate, simulate_with_warmup, SimReport};
+pub use stats::{CacheStats, MissSeries};

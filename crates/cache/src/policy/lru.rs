@@ -1,0 +1,92 @@
+//! Least-Recently-Used eviction — the paper's baseline policy.
+
+use super::{AccessCtx, EvictionPolicy};
+
+/// Classic LRU: each block remembers the sequence number of its last touch;
+/// the victim is the block with the smallest one.
+#[derive(Clone, Debug)]
+pub struct LruPolicy {
+    last_used: Vec<u64>,
+    ways: usize,
+}
+
+impl LruPolicy {
+    /// Creates an LRU policy for `sets × ways` blocks.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        LruPolicy {
+            last_used: vec![0; sets * ways],
+            ways,
+        }
+    }
+
+    fn slot(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+}
+
+impl EvictionPolicy for LruPolicy {
+    fn name(&self) -> &str {
+        "lru"
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, ctx: &AccessCtx) {
+        let s = self.slot(set, way);
+        self.last_used[s] = ctx.seq + 1; // +1 so seq 0 differs from "never"
+    }
+
+    fn on_insert(&mut self, set: usize, way: usize, ctx: &AccessCtx) {
+        let s = self.slot(set, way);
+        self.last_used[s] = ctx.seq + 1;
+    }
+
+    fn choose_victim(&mut self, set: usize, ways: usize, _ctx: &AccessCtx) -> usize {
+        (0..ways)
+            .min_by_key(|&w| self.last_used[self.slot(set, w)])
+            .expect("set has at least one way")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icgmm_trace::{Op, PageIndex};
+
+    fn ctx(seq: u64) -> AccessCtx {
+        AccessCtx {
+            page: PageIndex::new(0),
+            op: Op::Read,
+            seq,
+            score: None,
+        }
+    }
+
+    #[test]
+    fn victim_is_least_recent() {
+        let mut p = LruPolicy::new(1, 4);
+        for (way, seq) in [(0, 10), (1, 5), (2, 20), (3, 7)] {
+            p.on_insert(0, way, &ctx(seq));
+        }
+        assert_eq!(p.choose_victim(0, 4, &ctx(30)), 1);
+        // Touching way 1 moves the victim to way 3.
+        p.on_hit(0, 1, &ctx(31));
+        assert_eq!(p.choose_victim(0, 4, &ctx(32)), 3);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut p = LruPolicy::new(2, 2);
+        p.on_insert(0, 0, &ctx(100));
+        p.on_insert(0, 1, &ctx(200));
+        p.on_insert(1, 0, &ctx(1));
+        p.on_insert(1, 1, &ctx(2));
+        assert_eq!(p.choose_victim(0, 2, &ctx(300)), 0);
+        assert_eq!(p.choose_victim(1, 2, &ctx(300)), 0);
+        p.on_hit(1, 0, &ctx(301));
+        assert_eq!(p.choose_victim(1, 2, &ctx(302)), 1);
+    }
+
+    #[test]
+    fn name_is_lru() {
+        assert_eq!(LruPolicy::new(1, 1).name(), "lru");
+    }
+}

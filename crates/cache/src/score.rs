@@ -1,0 +1,82 @@
+//! The [`ScoreSource`] abstraction: how policy-engine scores reach the
+//! cache simulator without the cache crate depending on any particular
+//! model (GMM, LSTM, oracle, …).
+
+use icgmm_trace::TraceRecord;
+
+/// A streaming score provider.
+///
+/// The simulator calls [`ScoreSource::observe`] for **every** request in
+/// trace order — implementations advance internal clocks there (the
+/// paper's Algorithm 1 timestamp counts all requests, hits included) — and
+/// calls [`ScoreSource::score_current`] only on misses, mirroring the
+/// hardware, where hits bypass the policy engine.
+pub trait ScoreSource {
+    /// Observes the next request in trace order.
+    fn observe(&mut self, record: &TraceRecord);
+
+    /// Score of the most recently observed request's page.
+    fn score_current(&mut self) -> f64;
+}
+
+/// A constant score for every page (testing, and the degenerate baseline).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ConstantScore(pub f64);
+
+impl ScoreSource for ConstantScore {
+    fn observe(&mut self, _record: &TraceRecord) {}
+
+    fn score_current(&mut self) -> f64 {
+        self.0
+    }
+}
+
+/// A score source backed by a closure over `(page, seq)` — handy in tests
+/// and ablations.
+#[derive(Debug)]
+pub struct FnScore<F> {
+    f: F,
+    seq: u64,
+    page: u64,
+}
+
+impl<F: FnMut(u64, u64) -> f64> FnScore<F> {
+    /// Wraps a `(page_raw, seq) -> score` closure.
+    pub fn new(f: F) -> Self {
+        FnScore { f, seq: 0, page: 0 }
+    }
+}
+
+impl<F: FnMut(u64, u64) -> f64> ScoreSource for FnScore<F> {
+    fn observe(&mut self, record: &TraceRecord) {
+        self.page = record.page().raw();
+        self.seq += 1;
+    }
+
+    fn score_current(&mut self) -> f64 {
+        (self.f)(self.page, self.seq.saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_score_is_constant() {
+        let mut s = ConstantScore(0.7);
+        s.observe(&TraceRecord::read(0x1000));
+        assert_eq!(s.score_current(), 0.7);
+        s.observe(&TraceRecord::write(0x9000));
+        assert_eq!(s.score_current(), 0.7);
+    }
+
+    #[test]
+    fn fn_score_sees_page_and_seq() {
+        let mut s = FnScore::new(|page, seq| page as f64 + seq as f64 / 10.0);
+        s.observe(&TraceRecord::read(2 << 12));
+        assert_eq!(s.score_current(), 2.0);
+        s.observe(&TraceRecord::read(5 << 12));
+        assert!((s.score_current() - 5.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,257 @@
+//! Access statistics and windowed miss-rate series.
+
+use crate::cache::AccessOutcome;
+use icgmm_trace::Op;
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated over a simulation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Read requests observed.
+    pub reads: u64,
+    /// Write requests observed.
+    pub writes: u64,
+    /// Read hits.
+    pub read_hits: u64,
+    /// Write hits.
+    pub write_hits: u64,
+    /// Read misses that were inserted.
+    pub read_insertions: u64,
+    /// Write misses that were inserted.
+    pub write_insertions: u64,
+    /// Read misses bypassed by the admission policy.
+    pub read_bypasses: u64,
+    /// Write misses bypassed by the admission policy.
+    pub write_bypasses: u64,
+    /// Evictions of clean blocks.
+    pub clean_evictions: u64,
+    /// Evictions of dirty blocks (each costs an SSD write-back).
+    pub dirty_evictions: u64,
+}
+
+impl CacheStats {
+    /// Records one outcome.
+    pub fn record(&mut self, op: Op, outcome: &AccessOutcome) {
+        match op {
+            Op::Read => self.reads += 1,
+            Op::Write => self.writes += 1,
+        }
+        match outcome {
+            AccessOutcome::Hit { .. } => match op {
+                Op::Read => self.read_hits += 1,
+                Op::Write => self.write_hits += 1,
+            },
+            AccessOutcome::MissInserted { evicted, .. } => {
+                match op {
+                    Op::Read => self.read_insertions += 1,
+                    Op::Write => self.write_insertions += 1,
+                }
+                if let Some(e) = evicted {
+                    if e.dirty {
+                        self.dirty_evictions += 1;
+                    } else {
+                        self.clean_evictions += 1;
+                    }
+                }
+            }
+            AccessOutcome::MissBypassed => match op {
+                Op::Read => self.read_bypasses += 1,
+                Op::Write => self.write_bypasses += 1,
+            },
+        }
+    }
+
+    /// Total requests.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Total hits.
+    pub fn hits(&self) -> u64 {
+        self.read_hits + self.write_hits
+    }
+
+    /// Total misses (inserted + bypassed).
+    pub fn misses(&self) -> u64 {
+        self.accesses() - self.hits()
+    }
+
+    /// Bypassed misses.
+    pub fn bypasses(&self) -> u64 {
+        self.read_bypasses + self.write_bypasses
+    }
+
+    /// Miss rate in `[0, 1]` (0 for an empty run).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            1.0 - self.miss_rate()
+        }
+    }
+
+    /// Miss rate of reads only.
+    pub fn read_miss_rate(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            (self.reads - self.read_hits) as f64 / self.reads as f64
+        }
+    }
+
+    /// Miss rate of writes only.
+    pub fn write_miss_rate(&self) -> f64 {
+        if self.writes == 0 {
+            0.0
+        } else {
+            (self.writes - self.write_hits) as f64 / self.writes as f64
+        }
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.read_hits += other.read_hits;
+        self.write_hits += other.write_hits;
+        self.read_insertions += other.read_insertions;
+        self.write_insertions += other.write_insertions;
+        self.read_bypasses += other.read_bypasses;
+        self.write_bypasses += other.write_bypasses;
+        self.clean_evictions += other.clean_evictions;
+        self.dirty_evictions += other.dirty_evictions;
+    }
+}
+
+/// Per-window miss-rate time series (for drift/phase diagnostics).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MissSeries {
+    window: u64,
+    in_window: u64,
+    misses_in_window: u64,
+    /// Miss rate of each completed window.
+    pub rates: Vec<f64>,
+}
+
+impl MissSeries {
+    /// Creates a series with `window` requests per point.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window == 0`.
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "window must be >= 1");
+        MissSeries {
+            window,
+            ..Default::default()
+        }
+    }
+
+    /// Records one access (`miss = true` for any kind of miss).
+    pub fn record(&mut self, miss: bool) {
+        self.in_window += 1;
+        if miss {
+            self.misses_in_window += 1;
+        }
+        if self.in_window == self.window {
+            self.rates
+                .push(self.misses_in_window as f64 / self.window as f64);
+            self.in_window = 0;
+            self.misses_in_window = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{AccessOutcome, Eviction};
+    use icgmm_trace::PageIndex;
+
+    fn hit() -> AccessOutcome {
+        AccessOutcome::Hit { way: 0 }
+    }
+
+    fn miss(dirty: Option<bool>) -> AccessOutcome {
+        AccessOutcome::MissInserted {
+            way: 0,
+            evicted: dirty.map(|d| Eviction {
+                page: PageIndex::new(9),
+                dirty: d,
+            }),
+        }
+    }
+
+    #[test]
+    fn rates_are_consistent() {
+        let mut s = CacheStats::default();
+        s.record(Op::Read, &hit());
+        s.record(Op::Read, &miss(None));
+        s.record(Op::Write, &miss(Some(true)));
+        s.record(Op::Write, &hit());
+        assert_eq!(s.accesses(), 4);
+        assert_eq!(s.hits(), 2);
+        assert_eq!(s.misses(), 2);
+        assert_eq!(s.miss_rate(), 0.5);
+        assert_eq!(s.hit_rate(), 0.5);
+        assert_eq!(s.read_miss_rate(), 0.5);
+        assert_eq!(s.write_miss_rate(), 0.5);
+        assert_eq!(s.dirty_evictions, 1);
+        assert_eq!(s.clean_evictions, 0);
+    }
+
+    #[test]
+    fn bypasses_count_as_misses() {
+        let mut s = CacheStats::default();
+        s.record(Op::Read, &AccessOutcome::MissBypassed);
+        assert_eq!(s.misses(), 1);
+        assert_eq!(s.bypasses(), 1);
+        assert_eq!(s.read_bypasses, 1);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_rates() {
+        let s = CacheStats::default();
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.read_miss_rate(), 0.0);
+        assert_eq!(s.write_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = CacheStats::default();
+        a.record(Op::Read, &hit());
+        let mut b = CacheStats::default();
+        b.record(Op::Write, &miss(Some(false)));
+        a.merge(&b);
+        assert_eq!(a.accesses(), 2);
+        assert_eq!(a.clean_evictions, 1);
+    }
+
+    #[test]
+    fn miss_series_windows() {
+        let mut m = MissSeries::new(4);
+        for i in 0..8 {
+            m.record(i % 2 == 0); // 50% misses
+        }
+        assert_eq!(m.rates, vec![0.5, 0.5]);
+        m.record(true); // partial window not yet emitted
+        assert_eq!(m.rates.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        let _ = MissSeries::new(0);
+    }
+}

@@ -1,0 +1,387 @@
+//! Online adaptive retraining — an extension beyond the paper.
+//!
+//! The paper trains the GMM **offline** on a long trace and deploys the
+//! frozen model ("parameters will be saved for inference", §3.3). That
+//! leaves a deployment question open: what happens when the workload
+//! drifts away from the training distribution? This module answers it by
+//! periodically refitting the mixture on a sliding window of recent
+//! requests *during* the simulated run — the software analogue of
+//! re-loading the FPGA weight buffer between kernel activations (the
+//! hardware explicitly supports one-time weight loading, so periodic
+//! reloads are architecturally plausible).
+//!
+//! The run is chunked: each chunk is simulated with the current engine,
+//! then the engine is refit on the last `window` requests. Statistics are
+//! accumulated across chunks; cache and policy state persist (no flushes).
+
+use crate::config::{IcgmmConfig, PolicyMode};
+use crate::engine::{GmmPolicyEngine, TrainedModel};
+use crate::error::IcgmmError;
+use crate::system::Icgmm;
+use icgmm_cache::{
+    AlwaysAdmit, CacheStats, GmmScorePolicy, ScoreSource, SetAssocCache, ThresholdAdmit,
+};
+use icgmm_gmm::{calibrate_threshold, EmTrainer, StandardScaler};
+use icgmm_trace::{Trace, TraceRecord};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the adaptive loop.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Requests between refits.
+    pub refit_every: usize,
+    /// Training window: the refit uses the most recent `window` requests.
+    pub window: usize,
+    /// EM iteration budget per refit (smaller than offline training —
+    /// refits start from scratch but see far less data).
+    pub refit_max_iters: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            refit_every: 100_000,
+            window: 150_000,
+            refit_max_iters: 25,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// Validates the loop parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IcgmmError::Config`] when any field is zero.
+    pub fn validate(&self) -> Result<(), IcgmmError> {
+        if self.refit_every == 0 || self.window == 0 || self.refit_max_iters == 0 {
+            return Err(IcgmmError::Config(
+                "adaptive refit_every/window/refit_max_iters must be >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of an adaptive run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveReport {
+    /// Accumulated counters over the measured portion.
+    pub stats: CacheStats,
+    /// Average access latency, µs.
+    pub avg_us: f64,
+    /// Number of refits performed.
+    pub refits: usize,
+    /// Miss rate of each chunk (drift visibility).
+    pub chunk_miss_rates: Vec<f64>,
+}
+
+impl AdaptiveReport {
+    /// Miss rate in percent over the whole run.
+    pub fn miss_rate_pct(&self) -> f64 {
+        self.stats.miss_rate() * 100.0
+    }
+}
+
+/// A rank-normalizing wrapper: maps raw mixture densities through the
+/// training-score CDF, producing scores in `[0, 1]` that mean "fraction of
+/// training request mass scoring at or below this page".
+///
+/// Rank normalization is a *monotone* transform, so for a single frozen
+/// model it changes no eviction order and no threshold decision. Its value
+/// is cross-model comparability: after a refit, the mixture's density
+/// scale changes (different normalizers), and raw scores stored in the
+/// cache by the old model would be compared against raw scores from the
+/// new one — apples to oranges. Ranks stay commensurable across refits.
+#[derive(Clone, Debug)]
+struct ScoreCdf {
+    /// Training scores, ascending.
+    scores: Vec<f64>,
+    /// Cumulative weight up to and including each score.
+    cum: Vec<f64>,
+}
+
+impl ScoreCdf {
+    fn fit(gmm: &icgmm_gmm::Gmm, xs: &[[f64; 2]], ws: &[f64]) -> ScoreCdf {
+        let mut pairs: Vec<(f64, f64)> = xs
+            .iter()
+            .zip(ws)
+            .map(|(x, &w)| (gmm.score(*x), w))
+            .collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+        let mut scores = Vec::with_capacity(pairs.len());
+        let mut cum = Vec::with_capacity(pairs.len());
+        let mut acc = 0.0;
+        for (s, w) in pairs {
+            acc += w;
+            scores.push(s);
+            cum.push(acc);
+        }
+        ScoreCdf { scores, cum }
+    }
+
+    /// Fraction of training mass with score ≤ `s`, in `[0, 1]`.
+    fn rank(&self, s: f64) -> f64 {
+        let total = *self.cum.last().expect("non-empty CDF");
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let idx = self.scores.partition_point(|&v| v <= s);
+        if idx == 0 {
+            0.0
+        } else {
+            self.cum[idx - 1] / total
+        }
+    }
+}
+
+/// Rank-normalized policy engine (the adaptive loop's [`ScoreSource`]).
+struct RankedEngine {
+    engine: GmmPolicyEngine,
+    cdf: ScoreCdf,
+}
+
+impl ScoreSource for RankedEngine {
+    fn observe(&mut self, record: &TraceRecord) {
+        self.engine.observe(record);
+    }
+
+    fn score_current(&mut self) -> f64 {
+        self.cdf.rank(self.engine.score_current())
+    }
+}
+
+/// Fits a model on the most recent `window` of `history` (used for both
+/// the initial fit and every refit). Returns the model plus its
+/// training-score CDF for rank normalization.
+fn fit_window(
+    cfg: &IcgmmConfig,
+    history: &[TraceRecord],
+    window: usize,
+    max_iters: usize,
+) -> Result<(TrainedModel, ScoreCdf), IcgmmError> {
+    let start = history.len().saturating_sub(window);
+    let cells =
+        icgmm_trace::extract_weighted_cells_range(history, &cfg.preprocess, start, history.len());
+    if cells.is_empty() {
+        return Err(IcgmmError::EmptyTrace);
+    }
+    let take = cells.len().min(cfg.max_train_cells);
+    // Deterministic stride-subsample (refits must be cheap and stable).
+    let stride = (cells.len() / take).max(1);
+    let mut xs: Vec<[f64; 2]> = Vec::with_capacity(take);
+    let mut ws: Vec<f64> = Vec::with_capacity(take);
+    for c in cells.iter().step_by(stride).take(take) {
+        xs.push([c.page, c.time]);
+        ws.push(c.weight);
+    }
+    let scaler = StandardScaler::fit(&xs, &ws);
+    scaler.transform_all(&mut xs);
+    let trainer = EmTrainer::new(icgmm_gmm::EmConfig {
+        max_iters,
+        ..cfg.em
+    })?;
+    let (gmm, _) = trainer.fit(&xs, &ws)?;
+    let threshold = calibrate_threshold(&gmm, &xs, &ws, &cfg.threshold);
+    let cdf = ScoreCdf::fit(&gmm, &xs, &ws);
+    Ok((
+        TrainedModel {
+            scaler,
+            gmm,
+            threshold,
+        },
+        cdf,
+    ))
+}
+
+/// Runs a GMM mode with periodic refits on a sliding window.
+///
+/// Only the GMM modes make sense here; score-free baselines are
+/// unaffected by retraining.
+///
+/// # Errors
+///
+/// [`IcgmmError::Config`] for invalid loop parameters, and training/cache
+/// errors from the underlying machinery.
+pub fn run_adaptive(
+    system: &Icgmm,
+    trace: &Trace,
+    mode: PolicyMode,
+    adaptive: &AdaptiveConfig,
+) -> Result<AdaptiveReport, IcgmmError> {
+    adaptive.validate()?;
+    if !mode.uses_gmm() {
+        return Err(IcgmmError::Config(format!(
+            "adaptive retraining needs a GMM mode, got {mode}"
+        )));
+    }
+    let cfg = *system.config();
+    let records = trace.records();
+    let (start, end) = cfg.preprocess.kept_range(records.len());
+
+    // Initial model from the warm-up prefix (or the first chunk when the
+    // prefix is empty).
+    let boot = if start > 0 {
+        &records[..start]
+    } else {
+        &records[..end.min(adaptive.refit_every)]
+    };
+    let (model, cdf) = fit_window(&cfg, boot, adaptive.window, cfg.em.max_iters)?;
+    let mut ranked = RankedEngine {
+        engine: GmmPolicyEngine::new(&model, &cfg.preprocess, cfg.fixed_point_inference)?,
+        cdf,
+    };
+
+    let mut cache = SetAssocCache::new(cfg.cache)?;
+    let sets = cfg.cache.num_sets();
+    let ways = cfg.cache.ways;
+    let mut evict = GmmScorePolicy::new(sets, ways);
+    let mut lru_evict = icgmm_cache::LruPolicy::new(sets, ways);
+    let mut admit_always = AlwaysAdmit;
+    // Scores are ranks in [0, 1], so the admission threshold is the
+    // configured quantile itself.
+    let mut admit_thr = ThresholdAdmit {
+        threshold: cfg.threshold.quantile,
+        admit_writes_always: cfg.admit_writes_always,
+    };
+    let mut stats = CacheStats::default();
+    let mut total_us = 0.0f64;
+    let mut refits = 0usize;
+    let mut chunk_miss_rates = Vec::new();
+    let mut chunk_stats = CacheStats::default();
+
+    for (i, r) in records[..end].iter().enumerate() {
+        ranked.observe(r);
+        let measured = i >= start;
+        let score_val = if cache.lookup(r.page()).is_none() {
+            Some(ranked.score_current())
+        } else {
+            None
+        };
+        let outcome = match mode {
+            PolicyMode::GmmCachingOnly => {
+                cache.access(r, i as u64, score_val, &mut admit_thr, &mut lru_evict)
+            }
+            PolicyMode::GmmEvictionOnly => {
+                cache.access(r, i as u64, score_val, &mut admit_always, &mut evict)
+            }
+            _ => cache.access(r, i as u64, score_val, &mut admit_thr, &mut evict),
+        };
+        if measured {
+            stats.record(r.op, &outcome);
+            chunk_stats.record(r.op, &outcome);
+            total_us += cfg.latency.request_us(r.op, &outcome);
+        }
+
+        // Refit at chunk boundaries (within the measured region).
+        if measured && (i - start + 1) % adaptive.refit_every == 0 && i + 1 < end {
+            chunk_miss_rates.push(chunk_stats.miss_rate());
+            chunk_stats = CacheStats::default();
+            let (model, cdf) =
+                fit_window(&cfg, &records[..=i], adaptive.window, adaptive.refit_max_iters)?;
+            // Swap in the refit parameters but keep the Algorithm 1 clock
+            // running (the timestamp stream must not restart mid-trace).
+            let mut fresh =
+                GmmPolicyEngine::new(&model, &cfg.preprocess, cfg.fixed_point_inference)?;
+            fresh.sync_clock_from(&ranked.engine);
+            ranked = RankedEngine { engine: fresh, cdf };
+            refits += 1;
+        }
+    }
+    if chunk_stats.accesses() > 0 {
+        chunk_miss_rates.push(chunk_stats.miss_rate());
+    }
+    let measured_n = (end - start) as f64;
+    Ok(AdaptiveReport {
+        stats,
+        avg_us: if measured_n > 0.0 {
+            total_us / measured_n
+        } else {
+            0.0
+        },
+        refits,
+        chunk_miss_rates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icgmm_gmm::EmConfig;
+    use icgmm_trace::synth::WorkloadKind;
+
+    fn cfg() -> IcgmmConfig {
+        IcgmmConfig {
+            em: EmConfig {
+                k: 8,
+                max_iters: 10,
+                ..Default::default()
+            },
+            max_train_cells: 4_000,
+            ..IcgmmConfig::default()
+        }
+    }
+
+    #[test]
+    fn validates_parameters() {
+        assert!(AdaptiveConfig::default().validate().is_ok());
+        assert!(AdaptiveConfig {
+            refit_every: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_score_free_modes() {
+        let sys = Icgmm::new(cfg()).unwrap();
+        let trace = WorkloadKind::Memtier.default_workload().generate(5_000, 1);
+        let err = run_adaptive(&sys, &trace, PolicyMode::Lru, &AdaptiveConfig::default());
+        assert!(matches!(err, Err(IcgmmError::Config(_))));
+    }
+
+    #[test]
+    fn adaptive_run_refits_and_accumulates() {
+        let sys = Icgmm::new(cfg()).unwrap();
+        let trace = WorkloadKind::Memtier.default_workload().generate(40_000, 2);
+        let adaptive = AdaptiveConfig {
+            refit_every: 8_000,
+            window: 12_000,
+            refit_max_iters: 5,
+        };
+        let report =
+            run_adaptive(&sys, &trace, PolicyMode::GmmCachingEviction, &adaptive).unwrap();
+        assert_eq!(report.stats.accesses(), 28_000); // 70% measured
+        assert!(report.refits >= 2, "refits {}", report.refits);
+        assert_eq!(report.chunk_miss_rates.len(), report.refits + 1);
+        assert!(report.avg_us >= 1.0);
+    }
+
+    #[test]
+    fn adaptive_tracks_offline_on_stationary_traces() {
+        // On a stationary workload, adapting should be no worse than the
+        // frozen offline model (same family, fresher data).
+        let mut sys = Icgmm::new(cfg()).unwrap();
+        let trace = WorkloadKind::Memtier.default_workload().generate(60_000, 3);
+        sys.fit(&trace).unwrap();
+        let offline = sys.run(&trace, PolicyMode::GmmEvictionOnly).unwrap();
+        let adaptive = run_adaptive(
+            &sys,
+            &trace,
+            PolicyMode::GmmEvictionOnly,
+            &AdaptiveConfig {
+                refit_every: 15_000,
+                window: 20_000,
+                refit_max_iters: 8,
+            },
+        )
+        .unwrap();
+        assert!(
+            adaptive.miss_rate_pct() <= offline.miss_rate_pct() + 1.0,
+            "adaptive {:.2}% vs offline {:.2}%",
+            adaptive.miss_rate_pct(),
+            offline.miss_rate_pct()
+        );
+    }
+}

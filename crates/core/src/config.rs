@@ -1,0 +1,190 @@
+//! End-to-end system configuration and the four policy modes of Fig. 6.
+
+use crate::error::IcgmmError;
+use icgmm_cache::{CacheConfig, LatencyModel};
+use icgmm_gmm::{EmConfig, ThresholdConfig};
+use icgmm_trace::PreprocessConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which cache policy drives the run.
+///
+/// The first five are score-free baselines; the three `Gmm*` modes are the
+/// paper's smart caching/eviction strategies (Fig. 6 compares `Lru` against
+/// all three).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyMode {
+    /// Classic LRU (the paper's baseline).
+    Lru,
+    /// FIFO eviction.
+    Fifo,
+    /// Random eviction.
+    Random,
+    /// LFU eviction.
+    Lfu,
+    /// Belady's offline-optimal eviction (upper bound, not in the paper).
+    Belady,
+    /// GMM admission filter + LRU eviction ("GMM caching-only").
+    GmmCachingOnly,
+    /// Always-admit + GMM-score eviction ("GMM eviction-only").
+    GmmEvictionOnly,
+    /// GMM admission + GMM eviction ("GMM caching-eviction").
+    GmmCachingEviction,
+}
+
+impl PolicyMode {
+    /// The four bars of the paper's Fig. 6, in order.
+    pub fn fig6_modes() -> [PolicyMode; 4] {
+        [
+            PolicyMode::Lru,
+            PolicyMode::GmmCachingOnly,
+            PolicyMode::GmmEvictionOnly,
+            PolicyMode::GmmCachingEviction,
+        ]
+    }
+
+    /// `true` when the mode needs a trained policy engine.
+    pub fn uses_gmm(self) -> bool {
+        matches!(
+            self,
+            PolicyMode::GmmCachingOnly
+                | PolicyMode::GmmEvictionOnly
+                | PolicyMode::GmmCachingEviction
+        )
+    }
+}
+
+impl fmt::Display for PolicyMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PolicyMode::Lru => "lru",
+            PolicyMode::Fifo => "fifo",
+            PolicyMode::Random => "random",
+            PolicyMode::Lfu => "lfu",
+            PolicyMode::Belady => "belady",
+            PolicyMode::GmmCachingOnly => "gmm-caching",
+            PolicyMode::GmmEvictionOnly => "gmm-eviction",
+            PolicyMode::GmmCachingEviction => "gmm-both",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Full system configuration. Defaults reproduce the paper's deployment:
+/// 64 MiB / 4 KiB / 8-way cache, K = 256, `len_window` 32,
+/// `len_access_shot` 10 000, TLC SSD latencies, threshold quantile 0.05
+/// (per-benchmark calibrated values live in [`crate::benchmarks`]).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IcgmmConfig {
+    /// DRAM-cache geometry.
+    pub cache: CacheConfig,
+    /// Trace preprocessing (trim + Algorithm 1).
+    pub preprocess: PreprocessConfig,
+    /// EM training settings.
+    pub em: EmConfig,
+    /// Admission-threshold calibration.
+    pub threshold: ThresholdConfig,
+    /// Latency constants for the analytic model.
+    pub latency: LatencyModel,
+    /// Training cells are subsampled to at most this many (keeps K = 256
+    /// EM laptop-fast; weighted subsampling preserves the distribution).
+    pub max_train_cells: usize,
+    /// Evaluate policy decisions on the fixed-point (FPGA) datapath
+    /// instead of f64 (slower but bit-faithful to the hardware).
+    pub fixed_point_inference: bool,
+    /// Writes are admitted regardless of score (see the cache crate's
+    /// `ThresholdAdmit` docs for the rationale).
+    pub admit_writes_always: bool,
+    /// Multiplicative bump applied to a block's stored score on every hit
+    /// (`score ×= 1 + bonus`). The paper stores scores once at insertion
+    /// (`0.0`, the default); positive values blend recency back in and are
+    /// swept by the ablation bench.
+    pub eviction_hit_bonus: f64,
+}
+
+impl Default for IcgmmConfig {
+    fn default() -> Self {
+        IcgmmConfig {
+            cache: CacheConfig::paper_default(),
+            preprocess: PreprocessConfig::default(),
+            em: EmConfig::default(),
+            threshold: ThresholdConfig::default(),
+            latency: LatencyModel::paper_tlc(),
+            max_train_cells: 120_000,
+            fixed_point_inference: false,
+            admit_writes_always: true,
+            eviction_hit_bonus: 0.0,
+        }
+    }
+}
+
+impl IcgmmConfig {
+    /// Validates all nested configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IcgmmError::Config`] describing the first problem found.
+    pub fn validate(&self) -> Result<(), IcgmmError> {
+        self.cache
+            .validate()
+            .map_err(|e| IcgmmError::Config(e.to_string()))?;
+        self.preprocess.validate().map_err(IcgmmError::Config)?;
+        self.em
+            .validate()
+            .map_err(|e| IcgmmError::Config(e.to_string()))?;
+        if self.max_train_cells == 0 {
+            return Err(IcgmmError::Config("max_train_cells must be >= 1".into()));
+        }
+        if !(0.0..1.0).contains(&self.threshold.quantile) {
+            return Err(IcgmmError::Config(
+                "threshold quantile must be in [0, 1)".into(),
+            ));
+        }
+        if !(self.eviction_hit_bonus.is_finite() && self.eviction_hit_bonus >= 0.0) {
+            return Err(IcgmmError::Config(
+                "eviction_hit_bonus must be finite and >= 0".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid_and_paper_shaped() {
+        let c = IcgmmConfig::default();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.cache.num_sets(), 2048);
+        assert_eq!(c.em.k, 256);
+        assert_eq!(c.preprocess.len_window, 32);
+        assert_eq!(c.latency.ssd_read_us, 75.0);
+    }
+
+    #[test]
+    fn validation_flags_each_field() {
+        let mut c = IcgmmConfig::default();
+        c.max_train_cells = 0;
+        assert!(matches!(c.validate(), Err(IcgmmError::Config(_))));
+        c = IcgmmConfig::default();
+        c.threshold.quantile = 1.5;
+        assert!(c.validate().is_err());
+        c = IcgmmConfig::default();
+        c.em.k = 0;
+        assert!(c.validate().is_err());
+        c = IcgmmConfig::default();
+        c.cache.ways = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn fig6_modes_are_the_paper_four() {
+        let m = PolicyMode::fig6_modes();
+        assert_eq!(m[0], PolicyMode::Lru);
+        assert!(!m[0].uses_gmm());
+        assert!(m[1].uses_gmm() && m[2].uses_gmm() && m[3].uses_gmm());
+        assert_eq!(m[3].to_string(), "gmm-both");
+    }
+}

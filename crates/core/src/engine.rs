@@ -1,0 +1,198 @@
+//! The trained GMM policy engine: scaler + mixture + online Algorithm-1
+//! timestamping, packaged as a [`ScoreSource`] for the cache simulator.
+
+use icgmm_cache::ScoreSource;
+use icgmm_gmm::fixed::FixedGmm;
+use icgmm_gmm::{Gmm, GmmError, StandardScaler};
+use icgmm_trace::{PreprocessConfig, TimestampTransformer, TraceRecord};
+use serde::{Deserialize, Serialize};
+
+/// Serializable bundle of everything the policy engine needs at run time.
+///
+/// This is the software analogue of the FPGA's "one-time loading from HBM
+/// before kernel starts" weight package: feature scaler, mixture
+/// parameters and the calibrated admission threshold.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrainedModel {
+    /// Affine feature map fitted on training cells.
+    pub scaler: StandardScaler,
+    /// The trained mixture.
+    pub gmm: Gmm,
+    /// Calibrated admission threshold (on the model's score scale).
+    pub threshold: f64,
+}
+
+/// Online policy engine driving the cache simulator.
+#[derive(Clone, Debug)]
+pub struct GmmPolicyEngine {
+    scaler: StandardScaler,
+    gmm: Gmm,
+    fixed: Option<FixedGmm>,
+    transformer: TimestampTransformer,
+    current: [f64; 2],
+    scores_computed: u64,
+}
+
+impl GmmPolicyEngine {
+    /// Builds the engine.
+    ///
+    /// With `fixed_point = true`, scores are produced by the FPGA-style
+    /// fixed-point datapath instead of f64.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantization failures when `fixed_point` is requested.
+    pub fn new(
+        model: &TrainedModel,
+        preprocess: &PreprocessConfig,
+        fixed_point: bool,
+    ) -> Result<Self, GmmError> {
+        let fixed = if fixed_point {
+            Some(FixedGmm::from_gmm(&model.gmm)?)
+        } else {
+            None
+        };
+        Ok(GmmPolicyEngine {
+            scaler: model.scaler,
+            gmm: model.gmm.clone(),
+            fixed,
+            transformer: TimestampTransformer::from_config(preprocess),
+            current: [0.0, 0.0],
+            scores_computed: 0,
+        })
+    }
+
+    /// Score an arbitrary `(page, timestamp)` pair (diagnostics; the
+    /// simulator path goes through [`ScoreSource`]).
+    pub fn score_at(&mut self, page: u64, timestamp: u64) -> f64 {
+        let z = self.scaler.transform([page as f64, timestamp as f64]);
+        self.scores_computed += 1;
+        match &self.fixed {
+            Some(fx) => fx.score(z),
+            None => self.gmm.score(z),
+        }
+    }
+
+    /// Number of policy-engine inferences so far (each would take ~3 µs on
+    /// the FPGA; the dataflow model uses this for busy-time accounting).
+    pub fn scores_computed(&self) -> u64 {
+        self.scores_computed
+    }
+
+    /// Resets the online timestamp clock (new trace replay).
+    pub fn reset(&mut self) {
+        self.transformer.reset();
+        self.scores_computed = 0;
+    }
+
+    /// Copies the Algorithm 1 clock state (and last observation) from
+    /// another engine — used by adaptive retraining to swap in fresh model
+    /// parameters mid-run without disturbing the timestamp stream.
+    pub fn sync_clock_from(&mut self, other: &GmmPolicyEngine) {
+        self.transformer = other.transformer.clone();
+        self.current = other.current;
+    }
+}
+
+impl ScoreSource for GmmPolicyEngine {
+    fn observe(&mut self, record: &TraceRecord) {
+        let ts = self.transformer.next();
+        self.current = [record.page().raw() as f64, ts as f64];
+    }
+
+    fn score_current(&mut self) -> f64 {
+        let z = self.scaler.transform(self.current);
+        self.scores_computed += 1;
+        match &self.fixed {
+            Some(fx) => fx.score(z),
+            None => self.gmm.score(z),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icgmm_gmm::{Gaussian2, Mat2};
+
+    fn model() -> TrainedModel {
+        // Hot pages near 1000, any time.
+        let gmm = Gmm::new(
+            vec![1.0],
+            vec![Gaussian2::new([0.0, 0.0], Mat2::scaled_identity(1.0)).unwrap()],
+        )
+        .unwrap();
+        let scaler = StandardScaler::fit(
+            &[[900.0, 0.0], [1100.0, 100.0]],
+            &[1.0, 1.0],
+        );
+        TrainedModel {
+            scaler,
+            gmm,
+            threshold: 0.05,
+        }
+    }
+
+    fn cfg() -> PreprocessConfig {
+        PreprocessConfig {
+            len_window: 2,
+            len_access_shot: 100,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn hot_pages_outscore_cold_pages() {
+        let mut e = GmmPolicyEngine::new(&model(), &cfg(), false).unwrap();
+        e.observe(&TraceRecord::read(1000 << 12));
+        let hot = e.score_current();
+        e.observe(&TraceRecord::read(500_000 << 12));
+        let cold = e.score_current();
+        assert!(hot > cold, "hot {hot} <= cold {cold}");
+        assert_eq!(e.scores_computed(), 2);
+    }
+
+    #[test]
+    fn fixed_point_engine_agrees_on_ordering() {
+        let m = model();
+        let mut f64e = GmmPolicyEngine::new(&m, &cfg(), false).unwrap();
+        let mut fxe = GmmPolicyEngine::new(&m, &cfg(), true).unwrap();
+        for page in [990u64, 1000, 1010, 2000, 100_000] {
+            let r = TraceRecord::read(page << 12);
+            f64e.observe(&r);
+            fxe.observe(&r);
+            let a = f64e.score_current();
+            let b = fxe.score_current();
+            assert!(
+                (a - b).abs() < a.max(1e-6) * 0.02 + 1e-6,
+                "page {page}: f64 {a} vs fixed {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn timestamps_advance_with_observations() {
+        let mut e = GmmPolicyEngine::new(&model(), &cfg(), false).unwrap();
+        // len_window = 2: first two observations share window 0, third is 1.
+        e.observe(&TraceRecord::read(0));
+        assert_eq!(e.current[1], 0.0);
+        e.observe(&TraceRecord::read(0));
+        assert_eq!(e.current[1], 0.0);
+        e.observe(&TraceRecord::read(0));
+        assert_eq!(e.current[1], 1.0);
+        e.reset();
+        e.observe(&TraceRecord::read(0));
+        assert_eq!(e.current[1], 0.0);
+        assert_eq!(e.scores_computed(), 0);
+    }
+
+    #[test]
+    fn score_at_matches_stream_path() {
+        let mut e = GmmPolicyEngine::new(&model(), &cfg(), false).unwrap();
+        e.observe(&TraceRecord::read(1000 << 12));
+        let streamed = e.score_current();
+        let mut e2 = GmmPolicyEngine::new(&model(), &cfg(), false).unwrap();
+        let direct = e2.score_at(1000, 0);
+        assert_eq!(streamed, direct);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type of the end-to-end system.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from configuring, training or running an ICGMM system.
+#[derive(Debug)]
+pub enum IcgmmError {
+    /// Invalid configuration.
+    Config(String),
+    /// Cache geometry problem.
+    Cache(icgmm_cache::CacheConfigError),
+    /// GMM training/inference problem.
+    Gmm(icgmm_gmm::GmmError),
+    /// A GMM-driven mode was requested before [`crate::Icgmm::fit`].
+    NotFitted,
+    /// The trace was empty after preprocessing.
+    EmptyTrace,
+}
+
+impl fmt::Display for IcgmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IcgmmError::Config(s) => write!(f, "invalid configuration: {s}"),
+            IcgmmError::Cache(e) => write!(f, "cache error: {e}"),
+            IcgmmError::Gmm(e) => write!(f, "gmm error: {e}"),
+            IcgmmError::NotFitted => {
+                f.write_str("policy engine not trained: call fit() before a GMM mode")
+            }
+            IcgmmError::EmptyTrace => f.write_str("trace is empty after preprocessing"),
+        }
+    }
+}
+
+impl Error for IcgmmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IcgmmError::Cache(e) => Some(e),
+            IcgmmError::Gmm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<icgmm_cache::CacheConfigError> for IcgmmError {
+    fn from(e: icgmm_cache::CacheConfigError) -> Self {
+        IcgmmError::Cache(e)
+    }
+}
+
+impl From<icgmm_gmm::GmmError> for IcgmmError {
+    fn from(e: icgmm_gmm::GmmError) -> Self {
+        IcgmmError::Gmm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(IcgmmError::NotFitted.to_string().contains("fit()"));
+        assert!(IcgmmError::EmptyTrace.to_string().contains("empty"));
+        assert!(IcgmmError::Config("bad".into()).to_string().contains("bad"));
+        let e: IcgmmError = icgmm_gmm::GmmError::EmptyInput.into();
+        assert!(e.to_string().contains("gmm"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,248 @@
+//! Suite runner: benchmarks × policy modes, optionally in parallel.
+
+use crate::benchmarks::BenchmarkSpec;
+use crate::config::PolicyMode;
+use crate::error::IcgmmError;
+use crate::system::{Icgmm, RunReport};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// One `(benchmark, mode)` measurement.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Policy mode.
+    pub mode: PolicyMode,
+    /// Miss rate, %.
+    pub miss_pct: f64,
+    /// Average access latency, µs.
+    pub avg_us: f64,
+    /// Bypassed misses.
+    pub bypasses: u64,
+    /// Dirty evictions (each costs a 900 µs write-back on TLC).
+    pub dirty_evictions: u64,
+    /// Total evaluated requests.
+    pub requests: u64,
+}
+
+impl ExperimentResult {
+    fn from_run(benchmark: &str, run: &RunReport) -> Self {
+        ExperimentResult {
+            benchmark: benchmark.to_string(),
+            mode: run.mode,
+            miss_pct: run.miss_rate_pct(),
+            avg_us: run.avg_us(),
+            bypasses: run.sim.stats.bypasses(),
+            dirty_evictions: run.sim.stats.dirty_evictions,
+            requests: run.sim.stats.accesses(),
+        }
+    }
+}
+
+/// Runs one benchmark through the given modes (generating and fitting
+/// once, then simulating each mode) with the spec's default configuration.
+///
+/// # Errors
+///
+/// Propagates configuration/training errors.
+pub fn run_benchmark(
+    spec: &BenchmarkSpec,
+    modes: &[PolicyMode],
+) -> Result<Vec<ExperimentResult>, IcgmmError> {
+    run_benchmark_with(spec, spec.config(), modes)
+}
+
+/// [`run_benchmark`] with an explicit configuration (cache-size sweeps,
+/// reduced-K quick runs, fixed-point ablations).
+///
+/// # Errors
+///
+/// Propagates configuration/training errors.
+pub fn run_benchmark_with(
+    spec: &BenchmarkSpec,
+    config: crate::IcgmmConfig,
+    modes: &[PolicyMode],
+) -> Result<Vec<ExperimentResult>, IcgmmError> {
+    let workload = spec.workload();
+    let trace = workload.generate(spec.requests, spec.seed);
+    let mut sys = Icgmm::new(config)?;
+    if modes.iter().any(|m| m.uses_gmm()) {
+        sys.fit(&trace)?;
+    }
+    let mut out = Vec::with_capacity(modes.len());
+    for &mode in modes {
+        let run = sys.run(&trace, mode)?;
+        out.push(ExperimentResult::from_run(workload.name(), &run));
+    }
+    Ok(out)
+}
+
+/// Runs the whole suite, one worker thread per benchmark when `parallel`.
+///
+/// Results are returned in suite order regardless of completion order.
+///
+/// # Errors
+///
+/// Returns the first benchmark error encountered.
+pub fn run_suite(
+    specs: &[BenchmarkSpec],
+    modes: &[PolicyMode],
+    parallel: bool,
+) -> Result<Vec<ExperimentResult>, IcgmmError> {
+    if !parallel || specs.len() <= 1 {
+        let mut all = Vec::new();
+        for s in specs {
+            all.extend(run_benchmark(s, modes)?);
+        }
+        return Ok(all);
+    }
+
+    let slots: Mutex<Vec<Option<Result<Vec<ExperimentResult>, IcgmmError>>>> =
+        Mutex::new((0..specs.len()).map(|_| None).collect());
+    crossbeam::thread::scope(|scope| {
+        for (i, spec) in specs.iter().enumerate() {
+            let slots = &slots;
+            scope.spawn(move |_| {
+                let r = run_benchmark(spec, modes);
+                slots.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+
+    let mut all = Vec::new();
+    for slot in slots.into_inner() {
+        all.extend(slot.expect("all slots filled")?);
+    }
+    Ok(all)
+}
+
+/// Extracts the result for `(benchmark, mode)` from a result set.
+pub fn find<'a>(
+    results: &'a [ExperimentResult],
+    benchmark: &str,
+    mode: PolicyMode,
+) -> Option<&'a ExperimentResult> {
+    results
+        .iter()
+        .find(|r| r.benchmark == benchmark && r.mode == mode)
+}
+
+/// The best (lowest-miss) GMM mode result for a benchmark, mirroring the
+/// paper's Fig. 6 "pick the best strategy" presentation.
+pub fn best_gmm<'a>(
+    results: &'a [ExperimentResult],
+    benchmark: &str,
+) -> Option<&'a ExperimentResult> {
+    results
+        .iter()
+        .filter(|r| r.benchmark == benchmark && r.mode.uses_gmm())
+        .min_by(|a, b| a.miss_pct.partial_cmp(&b.miss_pct).expect("finite rates"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icgmm_trace::synth::WorkloadKind;
+
+    fn tiny_spec(kind: WorkloadKind) -> BenchmarkSpec {
+        BenchmarkSpec {
+            kind,
+            requests: 20_000,
+            seed: 5,
+            admission_quantile: 0.2,
+        }
+    }
+
+    /// Small EM settings so tests stay fast in debug builds.
+    fn tiny_config() -> crate::IcgmmConfig {
+        crate::IcgmmConfig {
+            em: icgmm_gmm::EmConfig {
+                k: 8,
+                max_iters: 10,
+                ..Default::default()
+            },
+            max_train_cells: 5_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn run_benchmark_produces_one_row_per_mode() {
+        // Score-free modes skip training entirely — fast at any K.
+        let mut spec = tiny_spec(WorkloadKind::Memtier);
+        spec.requests = 10_000;
+        let results = run_benchmark(&spec, &[PolicyMode::Lru, PolicyMode::Fifo]).unwrap();
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|r| r.benchmark == "memtier"));
+        assert!(results.iter().all(|r| r.requests > 0));
+    }
+
+    #[test]
+    fn suite_order_is_stable_under_parallelism() {
+        let specs = vec![
+            tiny_spec(WorkloadKind::Stream),
+            tiny_spec(WorkloadKind::Parsec),
+        ];
+        let serial = run_suite(&specs, &[PolicyMode::Lru], false).unwrap();
+        let parallel = run_suite(&specs, &[PolicyMode::Lru], true).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[0].benchmark, "stream");
+        assert_eq!(serial[1].benchmark, "parsec");
+    }
+
+    #[test]
+    fn find_and_best_gmm_helpers() {
+        let results = vec![
+            ExperimentResult {
+                benchmark: "x".into(),
+                mode: PolicyMode::Lru,
+                miss_pct: 5.0,
+                avg_us: 4.0,
+                bypasses: 0,
+                dirty_evictions: 0,
+                requests: 100,
+            },
+            ExperimentResult {
+                benchmark: "x".into(),
+                mode: PolicyMode::GmmCachingOnly,
+                miss_pct: 4.0,
+                avg_us: 3.5,
+                bypasses: 5,
+                dirty_evictions: 0,
+                requests: 100,
+            },
+            ExperimentResult {
+                benchmark: "x".into(),
+                mode: PolicyMode::GmmCachingEviction,
+                miss_pct: 3.0,
+                avg_us: 3.0,
+                bypasses: 9,
+                dirty_evictions: 0,
+                requests: 100,
+            },
+        ];
+        assert_eq!(find(&results, "x", PolicyMode::Lru).unwrap().miss_pct, 5.0);
+        assert!(find(&results, "y", PolicyMode::Lru).is_none());
+        assert_eq!(
+            best_gmm(&results, "x").unwrap().mode,
+            PolicyMode::GmmCachingEviction
+        );
+    }
+
+    #[test]
+    fn gmm_modes_in_suite_trigger_training() {
+        let mut spec = tiny_spec(WorkloadKind::Memtier);
+        spec.requests = 10_000;
+        let results = run_benchmark_with(
+            &spec,
+            tiny_config(),
+            &[PolicyMode::Lru, PolicyMode::GmmEvictionOnly],
+        )
+        .unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[1].mode, PolicyMode::GmmEvictionOnly);
+    }
+}

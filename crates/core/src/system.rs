@@ -1,0 +1,490 @@
+//! The end-to-end ICGMM system: fit (offline GMM training, paper §3) and
+//! run (online cache simulation with the chosen policy, paper §5).
+
+use crate::config::{IcgmmConfig, PolicyMode};
+use crate::engine::{GmmPolicyEngine, TrainedModel};
+use crate::error::IcgmmError;
+use icgmm_cache::{
+    simulate_with_warmup, AlwaysAdmit, BeladyPolicy, FifoPolicy, GmmScorePolicy, LatencyModel,
+    LfuPolicy, LruPolicy, RandomPolicy, SetAssocCache, SimReport, ThresholdAdmit,
+};
+use icgmm_gmm::{calibrate_threshold, EmReport, EmTrainer, StandardScaler};
+use icgmm_hw::{DataflowConfig, DataflowReport};
+use icgmm_trace::{extract_weighted_cells_range, trim, Trace, TraceRecord};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Summary of one `fit` (offline training) invocation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FitSummary {
+    /// Records remaining after trimming.
+    pub records_used: usize,
+    /// Deduplicated `(page, window)` training cells before subsampling.
+    pub cells_total: usize,
+    /// Cells actually used for EM.
+    pub cells_trained: usize,
+    /// EM convergence report.
+    pub em: EmReport,
+    /// Calibrated admission threshold.
+    pub threshold: f64,
+}
+
+/// Result of one policy run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Which policy produced this.
+    pub mode: PolicyMode,
+    /// Simulator output (miss rates, latency).
+    pub sim: SimReport,
+    /// Policy-engine inferences performed (0 for score-free modes).
+    pub gmm_inferences: u64,
+}
+
+impl RunReport {
+    /// Miss rate in percent.
+    pub fn miss_rate_pct(&self) -> f64 {
+        self.sim.miss_rate_pct()
+    }
+
+    /// Average access latency in µs.
+    pub fn avg_us(&self) -> f64 {
+        self.sim.avg_us
+    }
+}
+
+/// The ICGMM system: configuration + (after [`Icgmm::fit`]) a trained
+/// policy engine.
+///
+/// ```no_run
+/// use icgmm::{Icgmm, IcgmmConfig, PolicyMode};
+/// use icgmm_trace::synth::{Workload, WorkloadKind};
+///
+/// let trace = WorkloadKind::Memtier.default_workload().generate(200_000, 1);
+/// let mut sys = Icgmm::new(IcgmmConfig::default())?;
+/// sys.fit(&trace)?;
+/// let lru = sys.run(&trace, PolicyMode::Lru)?;
+/// let gmm = sys.run(&trace, PolicyMode::GmmCachingEviction)?;
+/// assert!(gmm.miss_rate_pct() <= lru.miss_rate_pct());
+/// # Ok::<(), icgmm::IcgmmError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Icgmm {
+    cfg: IcgmmConfig,
+    model: Option<TrainedModel>,
+    last_fit: Option<FitSummary>,
+}
+
+impl Icgmm {
+    /// Creates an untrained system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IcgmmError::Config`] for invalid configuration.
+    pub fn new(cfg: IcgmmConfig) -> Result<Self, IcgmmError> {
+        cfg.validate()?;
+        Ok(Icgmm {
+            cfg,
+            model: None,
+            last_fit: None,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &IcgmmConfig {
+        &self.cfg
+    }
+
+    /// The trained model, if any.
+    pub fn model(&self) -> Option<&TrainedModel> {
+        self.model.as_ref()
+    }
+
+    /// The last fit summary, if any.
+    pub fn last_fit(&self) -> Option<&FitSummary> {
+        self.last_fit.as_ref()
+    }
+
+    /// Installs an externally trained model (e.g. deserialized from disk).
+    pub fn set_model(&mut self, model: TrainedModel) {
+        self.model = Some(model);
+    }
+
+    /// Offline training (paper §3): trim the trace, extract weighted
+    /// `(page, window)` cells, subsample, standardize, run EM, calibrate
+    /// the admission threshold.
+    ///
+    /// # Errors
+    ///
+    /// [`IcgmmError::EmptyTrace`] when nothing survives trimming, or a
+    /// wrapped GMM error from EM.
+    pub fn fit(&mut self, trace: &Trace) -> Result<&FitSummary, IcgmmError> {
+        let (start, end) = self.cfg.preprocess.kept_range(trace.len());
+        if start >= end {
+            return Err(IcgmmError::EmptyTrace);
+        }
+        // The Algorithm 1 clock runs from the start of the trace; only the
+        // kept middle contributes training cells (paper §3.1).
+        let cells = extract_weighted_cells_range(trace.records(), &self.cfg.preprocess, start, end);
+        let records_used = end - start;
+        let cells_total = cells.len();
+
+        // Uniform subsample of cells (weights ride along, so weighted EM on
+        // the subsample estimates the same mixture).
+        let mut rng = StdRng::seed_from_u64(self.cfg.em.seed ^ 0x5EED_CE11);
+        let sampled: Vec<&icgmm_trace::WeightedSample> = if cells.len() > self.cfg.max_train_cells
+        {
+            let mut idx: Vec<usize> = (0..cells.len()).collect();
+            idx.shuffle(&mut rng);
+            idx.truncate(self.cfg.max_train_cells);
+            idx.into_iter().map(|i| &cells[i]).collect()
+        } else {
+            cells.iter().collect()
+        };
+
+        let mut xs: Vec<[f64; 2]> = sampled.iter().map(|c| [c.page, c.time]).collect();
+        let ws: Vec<f64> = sampled.iter().map(|c| c.weight).collect();
+        let scaler = StandardScaler::fit(&xs, &ws);
+        scaler.transform_all(&mut xs);
+
+        let trainer = EmTrainer::new(self.cfg.em)?;
+        let (gmm, em_report) = trainer.fit(&xs, &ws)?;
+        let threshold = calibrate_threshold(&gmm, &xs, &ws, &self.cfg.threshold);
+
+        let summary = FitSummary {
+            records_used,
+            cells_total,
+            cells_trained: xs.len(),
+            em: em_report,
+            threshold,
+        };
+        self.model = Some(TrainedModel {
+            scaler,
+            gmm,
+            threshold,
+        });
+        self.last_fit = Some(summary);
+        Ok(self.last_fit.as_ref().expect("just set"))
+    }
+
+    /// Builds a fresh policy engine from the trained model.
+    ///
+    /// # Errors
+    ///
+    /// [`IcgmmError::NotFitted`] before `fit`.
+    pub fn policy_engine(&self) -> Result<GmmPolicyEngine, IcgmmError> {
+        let model = self.model.as_ref().ok_or(IcgmmError::NotFitted)?;
+        Ok(GmmPolicyEngine::new(
+            model,
+            &self.cfg.preprocess,
+            self.cfg.fixed_point_inference,
+        )?)
+    }
+
+    /// The evaluated portion of a trace (same trim as training — warm-up
+    /// and tail are excluded from measurement, paper §3.1).
+    pub fn eval_records<'a>(&self, trace: &'a Trace) -> &'a [TraceRecord] {
+        trim(trace, &self.cfg.preprocess)
+    }
+
+    /// Splits a trace into its warm-up prefix and measured middle. The
+    /// warm-up is replayed through the cache (state, policies and the
+    /// Algorithm 1 clock all see it) but excluded from statistics.
+    fn phases<'a>(&self, trace: &'a Trace) -> (&'a [TraceRecord], &'a [TraceRecord]) {
+        let (start, end) = self.cfg.preprocess.kept_range(trace.len());
+        (&trace.records()[..start], &trace.records()[start..end])
+    }
+
+    /// Runs one policy mode over the (trimmed) trace with the analytic
+    /// latency model — the paper's Fig. 6 / Table 1 measurement.
+    ///
+    /// # Errors
+    ///
+    /// [`IcgmmError::NotFitted`] if `mode.uses_gmm()` and the system is
+    /// untrained; cache-geometry errors otherwise.
+    pub fn run(&self, trace: &Trace, mode: PolicyMode) -> Result<RunReport, IcgmmError> {
+        self.run_with_latency(trace, mode, &self.cfg.latency)
+    }
+
+    /// [`Icgmm::run`] with an explicit latency model (SSD sweeps).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Icgmm::run`].
+    pub fn run_with_latency(
+        &self,
+        trace: &Trace,
+        mode: PolicyMode,
+        latency: &LatencyModel,
+    ) -> Result<RunReport, IcgmmError> {
+        let (warmup, measured) = self.phases(trace);
+        let mut cache = SetAssocCache::new(self.cfg.cache)?;
+        let sets = self.cfg.cache.num_sets();
+        let ways = self.cfg.cache.ways;
+
+        let mut engine = if mode.uses_gmm() {
+            Some(self.policy_engine()?)
+        } else {
+            None
+        };
+        let threshold = self.model.as_ref().map(|m| m.threshold).unwrap_or(0.0);
+
+        let sim = {
+            let score = engine
+                .as_mut()
+                .map(|e| e as &mut dyn icgmm_cache::ScoreSource);
+            let mut run = |adm: &mut dyn icgmm_cache::AdmissionPolicy,
+                           ev: &mut dyn icgmm_cache::EvictionPolicy,
+                           score: Option<&mut dyn icgmm_cache::ScoreSource>| {
+                simulate_with_warmup(warmup, measured, &mut cache, adm, ev, score, latency, None)
+            };
+            match mode {
+                PolicyMode::Lru => run(&mut AlwaysAdmit, &mut LruPolicy::new(sets, ways), None),
+                PolicyMode::Fifo => run(&mut AlwaysAdmit, &mut FifoPolicy::new(sets, ways), None),
+                PolicyMode::Random => run(
+                    &mut AlwaysAdmit,
+                    &mut RandomPolicy::new(self.cfg.em.seed),
+                    None,
+                ),
+                PolicyMode::Lfu => run(&mut AlwaysAdmit, &mut LfuPolicy::new(sets, ways), None),
+                PolicyMode::Belady => {
+                    // The oracle sees warm-up + measured with absolute
+                    // sequence numbers (seq is continuous across phases).
+                    let end = warmup.len() + measured.len();
+                    let mut ev = BeladyPolicy::from_records(&trace.records()[..end], sets, ways);
+                    run(&mut AlwaysAdmit, &mut ev, None)
+                }
+                PolicyMode::GmmCachingOnly => run(
+                    &mut self.admission(threshold),
+                    &mut LruPolicy::new(sets, ways),
+                    score,
+                ),
+                PolicyMode::GmmEvictionOnly => run(
+                    &mut AlwaysAdmit,
+                    &mut self.score_eviction(sets, ways),
+                    score,
+                ),
+                PolicyMode::GmmCachingEviction => run(
+                    &mut self.admission(threshold),
+                    &mut self.score_eviction(sets, ways),
+                    score,
+                ),
+            }
+        };
+        Ok(RunReport {
+            mode,
+            sim,
+            gmm_inferences: engine.map(|e| e.scores_computed()).unwrap_or(0),
+        })
+    }
+
+    /// Runs one mode through the cycle-approximate dataflow hardware model
+    /// instead of the analytic latency constants.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Icgmm::run`].
+    pub fn run_dataflow(
+        &self,
+        trace: &Trace,
+        mode: PolicyMode,
+        config: &DataflowConfig,
+    ) -> Result<DataflowReport, IcgmmError> {
+        let (warmup, measured) = self.phases(trace);
+        let sets = self.cfg.cache.num_sets();
+        let ways = self.cfg.cache.ways;
+        let mut engine = if mode.uses_gmm() {
+            Some(self.policy_engine()?)
+        } else {
+            None
+        };
+        let threshold = self.model.as_ref().map(|m| m.threshold).unwrap_or(0.0);
+        let score = engine
+            .as_mut()
+            .map(|e| e as &mut dyn icgmm_cache::ScoreSource);
+        let cache_cfg = self.cfg.cache;
+        let go = |adm: &mut dyn icgmm_cache::AdmissionPolicy,
+                      ev: &mut dyn icgmm_cache::EvictionPolicy,
+                      score: Option<&mut dyn icgmm_cache::ScoreSource>|
+         -> Result<DataflowReport, IcgmmError> {
+            Ok(icgmm_hw::run_dataflow_with_warmup(
+                warmup, measured, cache_cfg, adm, ev, score, config,
+            )?)
+        };
+        match mode {
+            PolicyMode::Lru | PolicyMode::Fifo | PolicyMode::Random | PolicyMode::Lfu => {
+                let mut ev: Box<dyn icgmm_cache::EvictionPolicy> = match mode {
+                    PolicyMode::Fifo => Box::new(FifoPolicy::new(sets, ways)),
+                    PolicyMode::Random => Box::new(RandomPolicy::new(self.cfg.em.seed)),
+                    PolicyMode::Lfu => Box::new(LfuPolicy::new(sets, ways)),
+                    _ => Box::new(LruPolicy::new(sets, ways)),
+                };
+                go(&mut AlwaysAdmit, ev.as_mut(), None)
+            }
+            PolicyMode::Belady => {
+                let end = warmup.len() + measured.len();
+                let mut ev = BeladyPolicy::from_records(&trace.records()[..end], sets, ways);
+                go(&mut AlwaysAdmit, &mut ev, None)
+            }
+            PolicyMode::GmmCachingOnly => go(
+                &mut self.admission(threshold),
+                &mut LruPolicy::new(sets, ways),
+                score,
+            ),
+            PolicyMode::GmmEvictionOnly => go(
+                &mut AlwaysAdmit,
+                &mut self.score_eviction(sets, ways),
+                score,
+            ),
+            PolicyMode::GmmCachingEviction => go(
+                &mut self.admission(threshold),
+                &mut self.score_eviction(sets, ways),
+                score,
+            ),
+        }
+    }
+
+    fn score_eviction(&self, sets: usize, ways: usize) -> GmmScorePolicy {
+        if self.cfg.eviction_hit_bonus > 0.0 {
+            GmmScorePolicy::with_hit_bonus(sets, ways, self.cfg.eviction_hit_bonus)
+        } else {
+            GmmScorePolicy::new(sets, ways)
+        }
+    }
+
+    fn admission(&self, threshold: f64) -> ThresholdAdmit {
+        ThresholdAdmit {
+            threshold,
+            admit_writes_always: self.cfg.admit_writes_always,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icgmm_cache::CacheConfig;
+    use icgmm_gmm::EmConfig;
+    use icgmm_trace::synth::WorkloadKind;
+    use icgmm_trace::PreprocessConfig;
+
+    /// A small config that trains in milliseconds.
+    fn small_cfg() -> IcgmmConfig {
+        IcgmmConfig {
+            cache: CacheConfig {
+                capacity_bytes: 256 * 4096,
+                block_bytes: 4096,
+                ways: 8,
+            },
+            em: EmConfig {
+                k: 16,
+                max_iters: 20,
+                ..Default::default()
+            },
+            preprocess: PreprocessConfig {
+                len_window: 32,
+                len_access_shot: 1_000,
+                ..Default::default()
+            },
+            max_train_cells: 20_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn gmm_modes_require_fit() {
+        let sys = Icgmm::new(small_cfg()).unwrap();
+        let trace = WorkloadKind::Memtier.default_workload().generate(5_000, 1);
+        let err = sys.run(&trace, PolicyMode::GmmCachingOnly).unwrap_err();
+        assert!(matches!(err, IcgmmError::NotFitted));
+        // Score-free modes work untrained.
+        assert!(sys.run(&trace, PolicyMode::Lru).is_ok());
+        assert!(sys.run(&trace, PolicyMode::Belady).is_ok());
+    }
+
+    #[test]
+    fn fit_then_run_all_fig6_modes() {
+        let mut sys = Icgmm::new(small_cfg()).unwrap();
+        let trace = WorkloadKind::Memtier.default_workload().generate(60_000, 2);
+        let fit = sys.fit(&trace).unwrap().clone();
+        assert!(fit.cells_trained > 0);
+        assert!(fit.cells_trained <= fit.cells_total);
+        assert!(fit.threshold.is_finite());
+
+        for mode in PolicyMode::fig6_modes() {
+            let rep = sys.run(&trace, mode).unwrap();
+            assert_eq!(rep.mode, mode);
+            assert!(rep.sim.stats.accesses() > 0);
+            if mode.uses_gmm() {
+                assert!(rep.gmm_inferences > 0, "{mode} did not use the engine");
+            } else {
+                assert_eq!(rep.gmm_inferences, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn belady_bounds_every_other_policy() {
+        let mut sys = Icgmm::new(small_cfg()).unwrap();
+        let trace = WorkloadKind::Memtier.default_workload().generate(50_000, 3);
+        sys.fit(&trace).unwrap();
+        let belady = sys.run(&trace, PolicyMode::Belady).unwrap();
+        for mode in [PolicyMode::Lru, PolicyMode::Fifo, PolicyMode::GmmEvictionOnly] {
+            let rep = sys.run(&trace, mode).unwrap();
+            assert!(
+                belady.miss_rate_pct() <= rep.miss_rate_pct() + 1e-9,
+                "belady {} vs {mode} {}",
+                belady.miss_rate_pct(),
+                rep.miss_rate_pct()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_trace_fit_fails_cleanly() {
+        let mut sys = Icgmm::new(small_cfg()).unwrap();
+        assert!(matches!(
+            sys.fit(&Trace::new()),
+            Err(IcgmmError::EmptyTrace)
+        ));
+    }
+
+    #[test]
+    fn dataflow_and_analytic_agree_functionally() {
+        let mut sys = Icgmm::new(small_cfg()).unwrap();
+        let trace = WorkloadKind::Memtier.default_workload().generate(30_000, 4);
+        sys.fit(&trace).unwrap();
+        let a = sys.run(&trace, PolicyMode::GmmCachingEviction).unwrap();
+        let d = sys
+            .run_dataflow(
+                &trace,
+                PolicyMode::GmmCachingEviction,
+                &DataflowConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(a.sim.stats, d.stats, "functional divergence");
+        let rel = (d.avg_request_us - a.avg_us()).abs() / a.avg_us().max(1e-9);
+        assert!(rel < 0.05, "latency divergence {rel}");
+    }
+
+    #[test]
+    fn fixed_point_mode_runs_and_stays_close() {
+        let mut cfg = small_cfg();
+        let trace = WorkloadKind::Memtier.default_workload().generate(40_000, 5);
+        let mut f64_sys = Icgmm::new(cfg).unwrap();
+        f64_sys.fit(&trace).unwrap();
+        cfg.fixed_point_inference = true;
+        let mut fx_sys = Icgmm::new(cfg).unwrap();
+        fx_sys.fit(&trace).unwrap();
+        let a = f64_sys.run(&trace, PolicyMode::GmmCachingEviction).unwrap();
+        let b = fx_sys.run(&trace, PolicyMode::GmmCachingEviction).unwrap();
+        // Quantization may flip a few marginal decisions, not the outcome.
+        assert!(
+            (a.miss_rate_pct() - b.miss_rate_pct()).abs() < 1.0,
+            "f64 {} vs fixed {}",
+            a.miss_rate_pct(),
+            b.miss_rate_pct()
+        );
+    }
+}

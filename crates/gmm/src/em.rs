@@ -1,0 +1,555 @@
+//! Expectation-Maximization training (paper §3.3).
+//!
+//! Full-covariance weighted EM with log-sum-exp responsibilities, k-means++
+//! initialization, covariance regularization, empty-component re-seeding,
+//! and a crossbeam-parallel E-step (the paper trains offline on millions of
+//! trace cells; the parallel E-step keeps K = 256 practical on a laptop).
+//!
+//! Convergence follows the paper: after each iteration the change in the
+//! (weighted mean) log-likelihood is compared against a threshold.
+
+use crate::error::GmmError;
+use crate::gaussian::{Gaussian2, Mat2, Vec2};
+use crate::init::{init_params, InitMethod};
+use crate::model::Gmm;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// EM hyper-parameters. `k = 256` is the paper's component count.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EmConfig {
+    /// Number of mixture components `K`.
+    pub k: usize,
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on the change in mean log-likelihood.
+    pub tol: f64,
+    /// Diagonal regularization added to every covariance at each M-step.
+    pub reg_covar: f64,
+    /// RNG seed (initialization and empty-component re-seeding).
+    pub seed: u64,
+    /// Initialization strategy.
+    pub init: InitMethod,
+    /// E-step worker threads; `0` selects the available parallelism.
+    pub threads: usize,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        EmConfig {
+            k: 256,
+            max_iters: 60,
+            tol: 1e-4,
+            reg_covar: 1e-6,
+            seed: 0xD0C5_EED,
+            init: InitMethod::default(),
+            threads: 0,
+        }
+    }
+}
+
+impl EmConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GmmError::InvalidParam`] when `k == 0`, `max_iters == 0`,
+    /// or tolerances are non-positive/non-finite.
+    pub fn validate(&self) -> Result<(), GmmError> {
+        if self.k == 0 {
+            return Err(GmmError::InvalidParam("k must be >= 1".into()));
+        }
+        if self.max_iters == 0 {
+            return Err(GmmError::InvalidParam("max_iters must be >= 1".into()));
+        }
+        if !(self.tol.is_finite() && self.tol > 0.0) {
+            return Err(GmmError::InvalidParam("tol must be finite and > 0".into()));
+        }
+        if !(self.reg_covar.is_finite() && self.reg_covar >= 0.0) {
+            return Err(GmmError::InvalidParam(
+                "reg_covar must be finite and >= 0".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of an EM fit.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EmReport {
+    /// Iterations actually executed.
+    pub iterations: usize,
+    /// Whether the tolerance was reached before `max_iters`.
+    pub converged: bool,
+    /// Mean log-likelihood after each iteration (non-decreasing up to
+    /// regularization/re-seeding effects).
+    pub log_likelihood: Vec<f64>,
+}
+
+/// Trains a [`Gmm`] on weighted 2-D samples.
+///
+/// ```
+/// use icgmm_gmm::{EmConfig, EmTrainer};
+/// let xs = vec![[0.0, 0.0], [0.1, 0.1], [5.0, 5.0], [5.1, 4.9]];
+/// let trainer = EmTrainer::new(EmConfig { k: 2, ..Default::default() })?;
+/// let (gmm, report) = trainer.fit(&xs, &[])?;
+/// assert_eq!(gmm.k(), 2);
+/// assert!(report.iterations >= 1);
+/// # Ok::<(), icgmm_gmm::GmmError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct EmTrainer {
+    cfg: EmConfig,
+}
+
+/// Per-component sufficient statistics gathered by the E-step.
+#[derive(Clone, Debug, Default)]
+struct SuffStats {
+    nk: Vec<f64>,
+    sx: Vec<[f64; 2]>,
+    sq: Vec<[f64; 3]>, // xx, xy, yy
+    loglik: f64,
+}
+
+impl SuffStats {
+    fn zeros(k: usize) -> Self {
+        SuffStats {
+            nk: vec![0.0; k],
+            sx: vec![[0.0; 2]; k],
+            sq: vec![[0.0; 3]; k],
+            loglik: 0.0,
+        }
+    }
+
+    fn merge(&mut self, other: &SuffStats) {
+        for k in 0..self.nk.len() {
+            self.nk[k] += other.nk[k];
+            self.sx[k][0] += other.sx[k][0];
+            self.sx[k][1] += other.sx[k][1];
+            self.sq[k][0] += other.sq[k][0];
+            self.sq[k][1] += other.sq[k][1];
+            self.sq[k][2] += other.sq[k][2];
+        }
+        self.loglik += other.loglik;
+    }
+}
+
+/// Flat, cache-friendly component parameters used in the hot loop.
+struct FlatParams {
+    /// `ln π_k + log_norm_k` per component.
+    coef: Vec<f64>,
+    inv_xx: Vec<f64>,
+    inv_xy: Vec<f64>,
+    inv_yy: Vec<f64>,
+    mx: Vec<f64>,
+    my: Vec<f64>,
+}
+
+impl FlatParams {
+    fn from(weights: &[f64], means: &[Vec2], covs: &[Mat2]) -> Result<Self, GmmError> {
+        let k = weights.len();
+        let mut fp = FlatParams {
+            coef: Vec::with_capacity(k),
+            inv_xx: Vec::with_capacity(k),
+            inv_xy: Vec::with_capacity(k),
+            inv_yy: Vec::with_capacity(k),
+            mx: Vec::with_capacity(k),
+            my: Vec::with_capacity(k),
+        };
+        for i in 0..k {
+            let inv = covs[i]
+                .inverse()
+                .ok_or(GmmError::SingularCovariance { component: i })?;
+            let log_norm = -crate::gaussian::LN_2PI - 0.5 * covs[i].det().ln();
+            let lw = if weights[i] > 0.0 {
+                weights[i].ln()
+            } else {
+                f64::NEG_INFINITY
+            };
+            fp.coef.push(lw + log_norm);
+            fp.inv_xx.push(inv.xx);
+            fp.inv_xy.push(inv.xy);
+            fp.inv_yy.push(inv.yy);
+            fp.mx.push(means[i][0]);
+            fp.my.push(means[i][1]);
+        }
+        Ok(fp)
+    }
+
+    /// E-step over a slice, accumulating into `stats`. `logs` is a per-call
+    /// scratch buffer of length K.
+    fn accumulate(
+        &self,
+        xs: &[Vec2],
+        ws: &[f64],
+        offset: usize,
+        stats: &mut SuffStats,
+        logs: &mut [f64],
+    ) {
+        let k = self.coef.len();
+        for (i, x) in xs.iter().enumerate() {
+            let w = if ws.is_empty() { 1.0 } else { ws[offset + i] };
+            let mut m = f64::NEG_INFINITY;
+            for j in 0..k {
+                let dx = x[0] - self.mx[j];
+                let dy = x[1] - self.my[j];
+                let q = self.inv_xx[j] * dx * dx
+                    + 2.0 * self.inv_xy[j] * dx * dy
+                    + self.inv_yy[j] * dy * dy;
+                let l = self.coef[j] - 0.5 * q;
+                logs[j] = l;
+                if l > m {
+                    m = l;
+                }
+            }
+            if !m.is_finite() {
+                continue;
+            }
+            let mut sum = 0.0;
+            for l in logs.iter_mut() {
+                *l = (*l - m).exp();
+                sum += *l;
+            }
+            let lse = m + sum.ln();
+            stats.loglik += w * lse;
+            let inv_sum = 1.0 / sum;
+            for j in 0..k {
+                let r = logs[j] * inv_sum * w;
+                if r == 0.0 {
+                    continue;
+                }
+                stats.nk[j] += r;
+                stats.sx[j][0] += r * x[0];
+                stats.sx[j][1] += r * x[1];
+                stats.sq[j][0] += r * x[0] * x[0];
+                stats.sq[j][1] += r * x[0] * x[1];
+                stats.sq[j][2] += r * x[1] * x[1];
+            }
+        }
+    }
+}
+
+impl EmTrainer {
+    /// Creates a trainer after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`EmConfig::validate`].
+    pub fn new(cfg: EmConfig) -> Result<Self, GmmError> {
+        cfg.validate()?;
+        Ok(EmTrainer { cfg })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EmConfig {
+        &self.cfg
+    }
+
+    /// Fits a mixture to weighted samples (`ws` empty ⇒ uniform weights).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GmmError::EmptyInput`] for empty/zero-weight data and
+    /// propagates covariance failures (which regularization makes rare).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ws` is non-empty and `ws.len() != xs.len()`.
+    pub fn fit(&self, xs: &[Vec2], ws: &[f64]) -> Result<(Gmm, EmReport), GmmError> {
+        assert!(
+            ws.is_empty() || ws.len() == xs.len(),
+            "weights must be empty or match samples"
+        );
+        let total_w: f64 = if ws.is_empty() {
+            xs.len() as f64
+        } else {
+            ws.iter().sum()
+        };
+        if xs.is_empty() || total_w <= 0.0 {
+            return Err(GmmError::EmptyInput);
+        }
+        let k = self.cfg.k.min(xs.len());
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let (mut weights, mut means, mut covs) =
+            init_params(xs, ws, k, self.cfg.init, self.cfg.reg_covar.max(1e-9), &mut rng);
+
+        let threads = if self.cfg.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(16)
+        } else {
+            self.cfg.threads
+        };
+
+        let mut history = Vec::with_capacity(self.cfg.max_iters);
+        let mut converged = false;
+        let mut iterations = 0;
+        let mut prev_mll = f64::NEG_INFINITY;
+
+        for _ in 0..self.cfg.max_iters {
+            iterations += 1;
+            let fp = FlatParams::from(&weights, &means, &covs)?;
+            let stats = e_step(&fp, xs, ws, k, threads);
+
+            // M-step.
+            let global = crate::init::global_cov(xs, ws);
+            for j in 0..k {
+                if stats.nk[j] > 1e-10 {
+                    let nk = stats.nk[j];
+                    weights[j] = nk / total_w;
+                    means[j] = [stats.sx[j][0] / nk, stats.sx[j][1] / nk];
+                    let m = means[j];
+                    let cov = Mat2::new(
+                        (stats.sq[j][0] / nk - m[0] * m[0]).max(0.0) + self.cfg.reg_covar.max(1e-9),
+                        stats.sq[j][1] / nk - m[0] * m[1],
+                        (stats.sq[j][2] / nk - m[1] * m[1]).max(0.0) + self.cfg.reg_covar.max(1e-9),
+                    );
+                    covs[j] = if cov.is_spd() {
+                        cov
+                    } else {
+                        Mat2::new(cov.xx, 0.0, cov.yy)
+                    };
+                } else {
+                    // Re-seed a starved component on a random data point.
+                    let idx = rng.gen_range(0..xs.len());
+                    means[j] = xs[idx];
+                    covs[j] = global;
+                    weights[j] = 1.0 / total_w;
+                }
+            }
+            let wsum: f64 = weights.iter().sum();
+            for w in &mut weights {
+                *w /= wsum;
+            }
+
+            let mll = stats.loglik / total_w;
+            history.push(mll);
+            if (mll - prev_mll).abs() < self.cfg.tol {
+                converged = true;
+                break;
+            }
+            prev_mll = mll;
+        }
+
+        let components: Result<Vec<Gaussian2>, GmmError> = means
+            .iter()
+            .zip(&covs)
+            .enumerate()
+            .map(|(i, (m, c))| {
+                Gaussian2::new(*m, *c).map_err(|_| GmmError::SingularCovariance { component: i })
+            })
+            .collect();
+        let gmm = Gmm::new(weights, components?)?;
+        Ok((
+            gmm,
+            EmReport {
+                iterations,
+                converged,
+                log_likelihood: history,
+            },
+        ))
+    }
+}
+
+use rand::Rng;
+
+/// Runs the E-step, splitting samples across `threads` workers.
+fn e_step(fp: &FlatParams, xs: &[Vec2], ws: &[f64], k: usize, threads: usize) -> SuffStats {
+    let threads = threads.max(1);
+    if threads == 1 || xs.len() < 4_096 {
+        let mut stats = SuffStats::zeros(k);
+        let mut logs = vec![0.0f64; k];
+        fp.accumulate(xs, ws, 0, &mut stats, &mut logs);
+        return stats;
+    }
+    let chunk = xs.len().div_ceil(threads);
+    let mut partials: Vec<SuffStats> = Vec::with_capacity(threads);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lo = t * chunk;
+            if lo >= xs.len() {
+                break;
+            }
+            let hi = ((t + 1) * chunk).min(xs.len());
+            let slice = &xs[lo..hi];
+            handles.push(scope.spawn(move |_| {
+                let mut stats = SuffStats::zeros(k);
+                let mut logs = vec![0.0f64; k];
+                fp.accumulate(slice, ws, lo, &mut stats, &mut logs);
+                stats
+            }));
+        }
+        for h in handles {
+            partials.push(h.join().expect("E-step worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    let mut stats = SuffStats::zeros(k);
+    for p in &partials {
+        stats.merge(p);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn synth_mixture(n: usize, seed: u64) -> Vec<Vec2> {
+        // Ground truth: 2 well-separated Gaussians, weights 0.75/0.25.
+        let g = Gmm::new(
+            vec![0.75, 0.25],
+            vec![
+                Gaussian2::new([-4.0, 0.0], Mat2::new(0.5, 0.1, 0.3)).unwrap(),
+                Gaussian2::new([4.0, 2.0], Mat2::new(0.4, -0.05, 0.6)).unwrap(),
+            ],
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| g.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(EmConfig::default().validate().is_ok());
+        assert!(EmConfig { k: 0, ..Default::default() }.validate().is_err());
+        assert!(EmConfig { max_iters: 0, ..Default::default() }.validate().is_err());
+        assert!(EmConfig { tol: 0.0, ..Default::default() }.validate().is_err());
+        assert!(EmConfig { reg_covar: -1.0, ..Default::default() }.validate().is_err());
+        assert!(EmTrainer::new(EmConfig { k: 0, ..Default::default() }).is_err());
+    }
+
+    #[test]
+    fn recovers_two_component_mixture() {
+        let xs = synth_mixture(4_000, 7);
+        let trainer = EmTrainer::new(EmConfig {
+            k: 2,
+            max_iters: 100,
+            tol: 1e-7,
+            ..Default::default()
+        })
+        .unwrap();
+        let (gmm, report) = trainer.fit(&xs, &[]).unwrap();
+        assert!(report.converged, "EM did not converge");
+        // Recover weights within 3%.
+        let mut w: Vec<f64> = gmm.weights().to_vec();
+        w.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((w[0] - 0.25).abs() < 0.03, "weights {w:?}");
+        // Means near ±4.
+        let found_left = gmm.components().iter().any(|c| (c.mean()[0] + 4.0).abs() < 0.3);
+        let found_right = gmm.components().iter().any(|c| (c.mean()[0] - 4.0).abs() < 0.3);
+        assert!(found_left && found_right);
+    }
+
+    #[test]
+    fn log_likelihood_is_monotone_nondecreasing() {
+        let xs = synth_mixture(2_000, 8);
+        let trainer = EmTrainer::new(EmConfig {
+            k: 4,
+            max_iters: 30,
+            tol: 1e-12, // force full run
+            ..Default::default()
+        })
+        .unwrap();
+        let (_, report) = trainer.fit(&xs, &[]).unwrap();
+        for pair in report.log_likelihood.windows(2) {
+            assert!(
+                pair[1] >= pair[0] - 1e-6,
+                "log-likelihood decreased: {} -> {}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_fit_equals_expanded_fit() {
+        // Duplicate-count weights must match an expanded multiset.
+        let base: Vec<Vec2> = vec![[0.0, 0.0], [1.0, 1.0], [8.0, 8.0]];
+        let ws = [3.0, 1.0, 2.0];
+        let mut expanded = Vec::new();
+        for (x, &w) in base.iter().zip(&ws) {
+            for _ in 0..w as usize {
+                expanded.push(*x);
+            }
+        }
+        let cfg = EmConfig {
+            k: 2,
+            max_iters: 50,
+            seed: 3,
+            ..Default::default()
+        };
+        let (g1, _) = EmTrainer::new(cfg).unwrap().fit(&base, &ws).unwrap();
+        let (g2, _) = EmTrainer::new(cfg).unwrap().fit(&expanded, &[]).unwrap();
+        // Same mean log-likelihood on the expanded set (models equivalent).
+        let l1 = g1.mean_log_likelihood(&expanded, &[]);
+        let l2 = g2.mean_log_likelihood(&expanded, &[]);
+        assert!((l1 - l2).abs() < 0.05, "l1={l1} l2={l2}");
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        let trainer = EmTrainer::new(EmConfig::default()).unwrap();
+        assert_eq!(trainer.fit(&[], &[]).unwrap_err(), GmmError::EmptyInput);
+        let xs = [[1.0, 1.0]];
+        assert_eq!(
+            trainer.fit(&xs, &[0.0]).unwrap_err(),
+            GmmError::EmptyInput
+        );
+    }
+
+    #[test]
+    fn k_is_clamped_to_sample_count() {
+        let xs = vec![[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]];
+        let trainer = EmTrainer::new(EmConfig {
+            k: 64,
+            max_iters: 5,
+            ..Default::default()
+        })
+        .unwrap();
+        let (gmm, _) = trainer.fit(&xs, &[]).unwrap();
+        assert!(gmm.k() <= 3);
+    }
+
+    #[test]
+    fn parallel_and_serial_estep_agree() {
+        let xs = synth_mixture(6_000, 9);
+        let mk = |threads| {
+            EmTrainer::new(EmConfig {
+                k: 3,
+                max_iters: 8,
+                tol: 1e-12,
+                threads,
+                seed: 42,
+                ..Default::default()
+            })
+            .unwrap()
+            .fit(&xs, &[])
+            .unwrap()
+        };
+        let (_, r1) = mk(1);
+        let (_, r4) = mk(4);
+        for (a, b) in r1.log_likelihood.iter().zip(&r4.log_likelihood) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn degenerate_duplicate_data_survives() {
+        let xs = vec![[5.0, 5.0]; 100];
+        let trainer = EmTrainer::new(EmConfig {
+            k: 3,
+            max_iters: 10,
+            ..Default::default()
+        })
+        .unwrap();
+        let (gmm, _) = trainer.fit(&xs, &[]).unwrap();
+        assert!(gmm.density([5.0, 5.0]).is_finite());
+        assert!(gmm.density([5.0, 5.0]) > gmm.density([100.0, 100.0]));
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for GMM construction and training.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by GMM construction, training, or inference setup.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GmmError {
+    /// A parameter was out of its valid range.
+    InvalidParam(String),
+    /// A covariance matrix was not symmetric positive definite.
+    SingularCovariance {
+        /// Index of the offending component.
+        component: usize,
+    },
+    /// Training data was empty (or all weights were zero).
+    EmptyInput,
+    /// Mixture weights and component list disagree in length, or weights
+    /// do not form a distribution.
+    InvalidWeights(String),
+}
+
+impl fmt::Display for GmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GmmError::InvalidParam(s) => write!(f, "invalid parameter: {s}"),
+            GmmError::SingularCovariance { component } => {
+                write!(f, "covariance of component {component} is not positive definite")
+            }
+            GmmError::EmptyInput => f.write_str("training data is empty"),
+            GmmError::InvalidWeights(s) => write!(f, "invalid mixture weights: {s}"),
+        }
+    }
+}
+
+impl Error for GmmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(GmmError::EmptyInput.to_string().contains("empty"));
+        assert!(GmmError::SingularCovariance { component: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(GmmError::InvalidParam("k".into()).to_string().contains('k'));
+        assert!(GmmError::InvalidWeights("sum".into())
+            .to_string()
+            .contains("sum"));
+    }
+}

@@ -1,0 +1,376 @@
+//! Fixed-point GMM inference — the software mirror of the FPGA datapath.
+//!
+//! The paper's policy engine evaluates Eq. 3 in programmable logic. HLS
+//! synthesizes fixed-point arithmetic with a look-up-table `exp`; this
+//! module reproduces that datapath bit-for-bit in software so that
+//!
+//! * accuracy claims ("GMM scores survive quantization") are testable, and
+//! * the cycle-level model in `icgmm-hw` can report what the hardware
+//!   would actually compute, not an f64 idealization.
+//!
+//! Layout: Q39.24 signed fixed point (i64 storage, 24 fractional bits),
+//! products computed through i128 and truncated. Per component `k`, the
+//! engine computes `q_k = (x−μ_k)ᵀ Σ_k⁻¹ (x−μ_k)` in fixed point, looks up
+//! `exp(−q_k/2)` in a 4096-entry table over `[−32, 0]` with linear
+//! interpolation, scales by the precomputed coefficient
+//! `π_k / (2π |Σ_k|^{1/2})` and accumulates.
+
+use crate::error::GmmError;
+use crate::gaussian::Vec2;
+use crate::model::Gmm;
+use serde::{Deserialize, Serialize};
+
+/// Fractional bits of the fixed-point format.
+pub const FRAC_BITS: u32 = 24;
+const ONE_RAW: i64 = 1 << FRAC_BITS;
+
+/// Exponent clamp: `exp(x)` is evaluated for `x ∈ [−EXP_RANGE, 0]`; lower
+/// inputs flush to zero (below fixed-point resolution anyway).
+pub const EXP_RANGE: f64 = 32.0;
+
+/// Entries in the `exp` look-up table.
+pub const EXP_LUT_ENTRIES: usize = 4096;
+
+/// A Q39.24 signed fixed-point number.
+///
+/// ```
+/// use icgmm_gmm::fixed::Fixed;
+/// let a = Fixed::from_f64(1.5);
+/// let b = Fixed::from_f64(-0.25);
+/// assert!((a.mul(b).to_f64() + 0.375).abs() < 1e-6);
+/// ```
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Fixed(i64);
+
+impl Fixed {
+    /// Zero.
+    pub const ZERO: Fixed = Fixed(0);
+    /// One.
+    pub const ONE: Fixed = Fixed(ONE_RAW);
+
+    /// Converts from `f64`, saturating at the representable range.
+    pub fn from_f64(x: f64) -> Fixed {
+        if x.is_nan() {
+            return Fixed(0);
+        }
+        let scaled = x * ONE_RAW as f64;
+        if scaled >= i64::MAX as f64 {
+            Fixed(i64::MAX)
+        } else if scaled <= i64::MIN as f64 {
+            Fixed(i64::MIN)
+        } else {
+            Fixed(scaled.round() as i64)
+        }
+    }
+
+    /// Converts to `f64`.
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / ONE_RAW as f64
+    }
+
+    /// Raw two's-complement payload.
+    pub fn raw(self) -> i64 {
+        self.0
+    }
+
+    /// Wraps a raw payload.
+    pub fn from_raw(raw: i64) -> Fixed {
+        Fixed(raw)
+    }
+
+    /// Saturating addition.
+    pub fn add(self, o: Fixed) -> Fixed {
+        Fixed(self.0.saturating_add(o.0))
+    }
+
+    /// Saturating subtraction.
+    pub fn sub(self, o: Fixed) -> Fixed {
+        Fixed(self.0.saturating_sub(o.0))
+    }
+
+    /// Fixed-point multiplication (i128 intermediate, truncating).
+    pub fn mul(self, o: Fixed) -> Fixed {
+        let p = (self.0 as i128 * o.0 as i128) >> FRAC_BITS;
+        if p > i64::MAX as i128 {
+            Fixed(i64::MAX)
+        } else if p < i64::MIN as i128 {
+            Fixed(i64::MIN)
+        } else {
+            Fixed(p as i64)
+        }
+    }
+
+    /// Arithmetic shift right (cheap divide by a power of two).
+    pub fn shr(self, bits: u32) -> Fixed {
+        Fixed(self.0 >> bits)
+    }
+}
+
+/// Look-up-table `exp` over `[−EXP_RANGE, 0]` with linear interpolation —
+/// what HLS synthesizes from a bounded `exp` under resource constraints.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExpLut {
+    table: Vec<Fixed>,
+    /// LUT cells per unit of input (entries / EXP_RANGE), in fixed point.
+    scale: Fixed,
+}
+
+impl ExpLut {
+    /// Builds the table with [`EXP_LUT_ENTRIES`] entries.
+    pub fn new() -> Self {
+        let entries = EXP_LUT_ENTRIES;
+        let mut table = Vec::with_capacity(entries + 1);
+        for i in 0..=entries {
+            let x = -EXP_RANGE + EXP_RANGE * i as f64 / entries as f64;
+            table.push(Fixed::from_f64(x.exp()));
+        }
+        ExpLut {
+            table,
+            scale: Fixed::from_f64(entries as f64 / EXP_RANGE),
+        }
+    }
+
+    /// Evaluates `exp(x)` for `x ≤ 0`; inputs below `−EXP_RANGE` return 0,
+    /// inputs above 0 are clamped to `exp(0) = 1`.
+    pub fn eval(&self, x: Fixed) -> Fixed {
+        if x >= Fixed::ZERO {
+            return Fixed::ONE;
+        }
+        if x.to_f64() <= -EXP_RANGE {
+            return Fixed::ZERO;
+        }
+        // Position within the table: (x + RANGE) * scale.
+        let pos = x.add(Fixed::from_f64(EXP_RANGE)).mul(self.scale);
+        let idx = (pos.raw() >> FRAC_BITS) as usize;
+        let frac = Fixed::from_raw(pos.raw() & (ONE_RAW - 1));
+        let lo = self.table[idx.min(self.table.len() - 1)];
+        let hi = self.table[(idx + 1).min(self.table.len() - 1)];
+        lo.add(hi.sub(lo).mul(frac))
+    }
+}
+
+impl Default for ExpLut {
+    fn default() -> Self {
+        ExpLut::new()
+    }
+}
+
+/// Per-component quantized parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+struct FixedComponent {
+    mx: Fixed,
+    my: Fixed,
+    inv_xx: Fixed,
+    inv_xy: Fixed,
+    inv_yy: Fixed,
+    /// `π_k / (2π |Σ_k|^{1/2})`.
+    coeff: Fixed,
+}
+
+/// A [`Gmm`] quantized for the fixed-point datapath.
+///
+/// ```
+/// use icgmm_gmm::{EmConfig, EmTrainer};
+/// use icgmm_gmm::fixed::FixedGmm;
+/// let xs = vec![[0.0, 0.0], [0.2, -0.1], [4.0, 4.0], [4.1, 3.8]];
+/// let (gmm, _) = EmTrainer::new(EmConfig { k: 2, ..Default::default() })?
+///     .fit(&xs, &[])?;
+/// let fx = FixedGmm::from_gmm(&gmm)?;
+/// let err = (fx.score([0.0, 0.0]) - gmm.score([0.0, 0.0])).abs();
+/// assert!(err < 1e-2 * gmm.score([0.0, 0.0]).max(1e-9));
+/// # Ok::<(), icgmm_gmm::GmmError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FixedGmm {
+    components: Vec<FixedComponent>,
+    lut: ExpLut,
+}
+
+impl FixedGmm {
+    /// Quantizes a trained mixture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GmmError::InvalidParam`] when a coefficient overflows the
+    /// fixed-point range (pathologically tiny covariance determinant) —
+    /// increase `reg_covar` in training if this occurs.
+    pub fn from_gmm(gmm: &Gmm) -> Result<Self, GmmError> {
+        let mut components = Vec::with_capacity(gmm.k());
+        for (i, (w, c)) in gmm.weights().iter().zip(gmm.components()).enumerate() {
+            let det = c.cov().det();
+            let coeff = w / (2.0 * std::f64::consts::PI * det.sqrt());
+            if !coeff.is_finite() || coeff >= (1i64 << (62 - FRAC_BITS)) as f64 {
+                return Err(GmmError::InvalidParam(format!(
+                    "component {i}: coefficient {coeff} exceeds fixed-point range"
+                )));
+            }
+            let inv = c.inv_cov();
+            components.push(FixedComponent {
+                mx: Fixed::from_f64(c.mean()[0]),
+                my: Fixed::from_f64(c.mean()[1]),
+                inv_xx: Fixed::from_f64(inv.xx),
+                inv_xy: Fixed::from_f64(inv.xy),
+                inv_yy: Fixed::from_f64(inv.yy),
+                coeff: Fixed::from_f64(coeff),
+            });
+        }
+        Ok(FixedGmm {
+            components,
+            lut: ExpLut::new(),
+        })
+    }
+
+    /// Number of components.
+    pub fn k(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Fixed-point mixture score, returned in fixed point.
+    pub fn score_fixed(&self, x: [Fixed; 2]) -> Fixed {
+        let mut acc = Fixed::ZERO;
+        for c in &self.components {
+            let dx = x[0].sub(c.mx);
+            let dy = x[1].sub(c.my);
+            // q = inv_xx·dx² + 2·inv_xy·dx·dy + inv_yy·dy²
+            let q = c
+                .inv_xx
+                .mul(dx)
+                .mul(dx)
+                .add(c.inv_xy.mul(dx).mul(dy).add(c.inv_xy.mul(dx).mul(dy)))
+                .add(c.inv_yy.mul(dy).mul(dy));
+            // exponent = −q/2
+            let e = Fixed::ZERO.sub(q.shr(1));
+            let g = self.lut.eval(e);
+            acc = acc.add(c.coeff.mul(g));
+        }
+        acc
+    }
+
+    /// Convenience: score from f64 inputs, returned as f64.
+    pub fn score(&self, x: Vec2) -> f64 {
+        self.score_fixed([Fixed::from_f64(x[0]), Fixed::from_f64(x[1])])
+            .to_f64()
+    }
+
+    /// Bytes of parameter storage the hardware needs for this model
+    /// (6 fixed-point words per component) — the paper's "GMM size is small
+    /// enough to be stored within an on-board weight buffer".
+    pub fn weight_buffer_bytes(&self) -> usize {
+        self.components.len() * 6 * std::mem::size_of::<i64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::{Gaussian2, Mat2};
+
+    #[test]
+    fn fixed_round_trip_and_arith() {
+        for v in [0.0, 1.0, -1.0, 0.123456, -7.875, 1000.5] {
+            assert!((Fixed::from_f64(v).to_f64() - v).abs() < 1e-6);
+        }
+        let a = Fixed::from_f64(2.5);
+        let b = Fixed::from_f64(4.0);
+        assert!((a.mul(b).to_f64() - 10.0).abs() < 1e-6);
+        assert!((a.add(b).to_f64() - 6.5).abs() < 1e-9);
+        assert!((a.sub(b).to_f64() + 1.5).abs() < 1e-9);
+        assert!((Fixed::from_f64(8.0).shr(2).to_f64() - 2.0).abs() < 1e-9);
+        assert_eq!(Fixed::from_f64(f64::NAN), Fixed::ZERO);
+    }
+
+    #[test]
+    fn fixed_saturates_instead_of_wrapping() {
+        let big = Fixed::from_f64(1e30);
+        assert_eq!(big.raw(), i64::MAX);
+        assert_eq!(big.add(big).raw(), i64::MAX);
+        let small = Fixed::from_f64(-1e30);
+        assert_eq!(small.raw(), i64::MIN);
+    }
+
+    #[test]
+    fn exp_lut_accuracy() {
+        let lut = ExpLut::new();
+        for x in [-0.01, -0.5, -1.0, -2.0, -5.0, -10.0, -20.0, -31.0] {
+            let got = lut.eval(Fixed::from_f64(x)).to_f64();
+            let want = x.exp();
+            let tol = (want * 1e-3).max(2e-7);
+            assert!((got - want).abs() < tol, "exp({x}): got {got}, want {want}");
+        }
+        assert_eq!(lut.eval(Fixed::from_f64(0.5)), Fixed::ONE);
+        assert_eq!(lut.eval(Fixed::from_f64(-40.0)), Fixed::ZERO);
+    }
+
+    fn test_gmm() -> Gmm {
+        Gmm::new(
+            vec![0.6, 0.4],
+            vec![
+                Gaussian2::new([-1.0, 0.5], Mat2::new(0.5, 0.1, 0.8)).unwrap(),
+                Gaussian2::new([2.0, -1.0], Mat2::new(1.2, -0.2, 0.6)).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fixed_score_tracks_f64_score() {
+        let gmm = test_gmm();
+        let fx = FixedGmm::from_gmm(&gmm).unwrap();
+        for x in [
+            [-1.0, 0.5],
+            [2.0, -1.0],
+            [0.0, 0.0],
+            [1.0, 1.0],
+            [-3.0, 2.0],
+        ] {
+            let f = gmm.score(x);
+            let q = fx.score(x);
+            assert!(
+                (f - q).abs() < f.max(1e-6) * 0.01 + 1e-6,
+                "score({x:?}): f64 {f} vs fixed {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_preserves_score_ordering() {
+        let gmm = test_gmm();
+        let fx = FixedGmm::from_gmm(&gmm).unwrap();
+        // Hot point (near a mean) must outrank a cold point after
+        // quantization, which is all the cache policy needs.
+        assert!(fx.score([-1.0, 0.5]) > fx.score([8.0, 8.0]));
+        assert!(fx.score([2.0, -1.0]) > fx.score([-8.0, -8.0]));
+    }
+
+    #[test]
+    fn far_points_flush_to_zero_not_garbage() {
+        let gmm = test_gmm();
+        let fx = FixedGmm::from_gmm(&gmm).unwrap();
+        let s = fx.score([1e6, 1e6]);
+        assert!(s >= 0.0 && s < 1e-6, "far score {s}");
+    }
+
+    #[test]
+    fn weight_buffer_is_kilobytes_at_k256() {
+        // The paper stores the whole model on-chip; confirm the K=256 model
+        // is a few KiB (it reports 8 BRAMs).
+        let comps: Vec<Gaussian2> = (0..256)
+            .map(|i| {
+                Gaussian2::new([i as f64, 0.0], Mat2::scaled_identity(1.0)).unwrap()
+            })
+            .collect();
+        let gmm = Gmm::new(vec![1.0 / 256.0; 256], comps).unwrap();
+        let fx = FixedGmm::from_gmm(&gmm).unwrap();
+        assert_eq!(fx.k(), 256);
+        assert_eq!(fx.weight_buffer_bytes(), 256 * 48);
+        assert!(fx.weight_buffer_bytes() < 16 * 1024);
+    }
+
+    #[test]
+    fn pathological_coefficient_is_rejected() {
+        // Covariance determinant ~1e-40 ⇒ coefficient ~1e19 ⇒ overflow.
+        let g = Gaussian2::new([0.0, 0.0], Mat2::scaled_identity(1e-20)).unwrap();
+        let gmm = Gmm::new(vec![1.0], vec![g]).unwrap();
+        assert!(FixedGmm::from_gmm(&gmm).is_err());
+    }
+}

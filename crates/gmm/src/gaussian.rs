@@ -1,0 +1,254 @@
+//! Two-dimensional Gaussian components and the minimal linear algebra they
+//! need (paper Eq. 1–2).
+//!
+//! The feature space is fixed at 2-D — `(page index, timestamp)` — so we
+//! carry exact 2×2 formulas instead of a general linear-algebra dependency;
+//! this also keeps the fixed-point hardware mirror (`crate::fixed`) an
+//! instruction-for-instruction match.
+
+use crate::error::GmmError;
+use serde::{Deserialize, Serialize};
+
+/// A point in the 2-D feature space `[P, T]`.
+pub type Vec2 = [f64; 2];
+
+/// Natural log of 2π.
+pub(crate) const LN_2PI: f64 = 1.837_877_066_409_345_4;
+
+/// A symmetric 2×2 matrix `[[xx, xy], [xy, yy]]`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Mat2 {
+    /// Top-left entry (variance of the first feature).
+    pub xx: f64,
+    /// Off-diagonal entry (covariance).
+    pub xy: f64,
+    /// Bottom-right entry (variance of the second feature).
+    pub yy: f64,
+}
+
+impl Mat2 {
+    /// Constructs a symmetric matrix.
+    pub fn new(xx: f64, xy: f64, yy: f64) -> Self {
+        Mat2 { xx, xy, yy }
+    }
+
+    /// The identity matrix scaled by `s`.
+    pub fn scaled_identity(s: f64) -> Self {
+        Mat2::new(s, 0.0, s)
+    }
+
+    /// Determinant.
+    pub fn det(&self) -> f64 {
+        self.xx * self.yy - self.xy * self.xy
+    }
+
+    /// Inverse, or `None` if the determinant is not strictly positive
+    /// (positive-definiteness requires `det > 0` and `xx > 0`).
+    pub fn inverse(&self) -> Option<Mat2> {
+        let d = self.det();
+        if !(d.is_finite() && d > 0.0 && self.xx > 0.0) {
+            return None;
+        }
+        Some(Mat2::new(self.yy / d, -self.xy / d, self.xx / d))
+    }
+
+    /// `true` when the matrix is symmetric positive definite.
+    pub fn is_spd(&self) -> bool {
+        self.xx > 0.0 && self.det() > 0.0 && self.xx.is_finite() && self.yy.is_finite()
+    }
+
+    /// Quadratic form `vᵀ M v`.
+    pub fn quad_form(&self, v: Vec2) -> f64 {
+        self.xx * v[0] * v[0] + 2.0 * self.xy * v[0] * v[1] + self.yy * v[1] * v[1]
+    }
+
+    /// Lower-triangular Cholesky factor `L` with `L Lᵀ = M`, or `None` if
+    /// the matrix is not positive definite. Used for sampling in tests.
+    pub fn cholesky(&self) -> Option<(f64, f64, f64)> {
+        if !self.is_spd() {
+            return None;
+        }
+        let l11 = self.xx.sqrt();
+        let l21 = self.xy / l11;
+        let t = self.yy - l21 * l21;
+        if t <= 0.0 {
+            return None;
+        }
+        Some((l11, l21, t.sqrt()))
+    }
+}
+
+/// One 2-D Gaussian `N(x | μ, Σ)` with cached inverse covariance and
+/// log-normalizer (paper Eq. 1).
+///
+/// ```
+/// use icgmm_gmm::{Gaussian2, Mat2};
+/// let g = Gaussian2::new([0.0, 0.0], Mat2::scaled_identity(1.0)).unwrap();
+/// // Peak density of a standard 2-D normal is 1/(2π).
+/// assert!((g.pdf([0.0, 0.0]) - 1.0 / (2.0 * std::f64::consts::PI)).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Gaussian2 {
+    mean: Vec2,
+    cov: Mat2,
+    inv: Mat2,
+    /// `-ln(2π) - ½ ln|Σ|`, so `log_pdf = log_norm - ½ quad_form`.
+    log_norm: f64,
+}
+
+impl Gaussian2 {
+    /// Creates a Gaussian from a mean and covariance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GmmError::SingularCovariance`] when `cov` is not symmetric
+    /// positive definite (component index 0 is reported; the mixture
+    /// constructor re-maps it).
+    pub fn new(mean: Vec2, cov: Mat2) -> Result<Self, GmmError> {
+        let inv = cov
+            .inverse()
+            .ok_or(GmmError::SingularCovariance { component: 0 })?;
+        if !(mean[0].is_finite() && mean[1].is_finite()) {
+            return Err(GmmError::InvalidParam("mean must be finite".into()));
+        }
+        let log_norm = -LN_2PI - 0.5 * cov.det().ln();
+        Ok(Gaussian2 {
+            mean,
+            cov,
+            inv,
+            log_norm,
+        })
+    }
+
+    /// Mean vector μ.
+    pub fn mean(&self) -> Vec2 {
+        self.mean
+    }
+
+    /// Covariance matrix Σ.
+    pub fn cov(&self) -> Mat2 {
+        self.cov
+    }
+
+    /// Cached inverse covariance Σ⁻¹.
+    pub fn inv_cov(&self) -> Mat2 {
+        self.inv
+    }
+
+    /// Cached log-normalizer `-ln(2π) - ½ ln|Σ|`.
+    pub fn log_norm(&self) -> f64 {
+        self.log_norm
+    }
+
+    /// Mahalanobis quadratic form `(x−μ)ᵀ Σ⁻¹ (x−μ)`.
+    pub fn mahalanobis_sq(&self, x: Vec2) -> f64 {
+        let d = [x[0] - self.mean[0], x[1] - self.mean[1]];
+        self.inv.quad_form(d)
+    }
+
+    /// Log probability density at `x`.
+    pub fn log_pdf(&self, x: Vec2) -> f64 {
+        self.log_norm - 0.5 * self.mahalanobis_sq(x)
+    }
+
+    /// Probability density at `x` (Eq. 1).
+    pub fn pdf(&self, x: Vec2) -> f64 {
+        self.log_pdf(x).exp()
+    }
+}
+
+/// Numerically stable `ln Σ exp(vals)` (log-sum-exp).
+pub(crate) fn log_sum_exp(vals: &[f64]) -> f64 {
+    let m = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !m.is_finite() {
+        return m;
+    }
+    let s: f64 = vals.iter().map(|v| (v - m).exp()).sum();
+    m + s.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_round_trips() {
+        let m = Mat2::new(4.0, 1.0, 3.0);
+        let inv = m.inverse().unwrap();
+        // M * M⁻¹ = I
+        let a = m.xx * inv.xx + m.xy * inv.xy;
+        let b = m.xx * inv.xy + m.xy * inv.yy;
+        let d = m.xy * inv.xy + m.yy * inv.yy;
+        assert!((a - 1.0).abs() < 1e-12);
+        assert!(b.abs() < 1e-12);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_spd_matrices_are_rejected() {
+        assert!(Mat2::new(1.0, 2.0, 1.0).inverse().is_none()); // det < 0
+        assert!(Mat2::new(-1.0, 0.0, 1.0).inverse().is_none());
+        assert!(Mat2::new(0.0, 0.0, 0.0).inverse().is_none());
+        assert!(!Mat2::new(1.0, 0.0, f64::NAN).is_spd());
+        assert!(Gaussian2::new([0.0, 0.0], Mat2::new(1.0, 2.0, 1.0)).is_err());
+    }
+
+    #[test]
+    fn nan_mean_is_rejected() {
+        let err = Gaussian2::new([f64::NAN, 0.0], Mat2::scaled_identity(1.0)).unwrap_err();
+        assert!(matches!(err, GmmError::InvalidParam(_)));
+    }
+
+    #[test]
+    fn pdf_integrates_to_one_on_a_grid() {
+        let g = Gaussian2::new([1.0, -2.0], Mat2::new(0.8, 0.2, 1.5)).unwrap();
+        // Riemann sum over ±6σ box.
+        let (mut sum, step, half) = (0.0f64, 0.05, 8.0);
+        let mut x = 1.0 - half;
+        while x < 1.0 + half {
+            let mut y = -2.0 - half;
+            while y < -2.0 + half {
+                sum += g.pdf([x, y]) * step * step;
+                y += step;
+            }
+            x += step;
+        }
+        assert!((sum - 1.0).abs() < 1e-3, "integral {sum}");
+    }
+
+    #[test]
+    fn mahalanobis_is_zero_at_mean_and_grows() {
+        let g = Gaussian2::new([3.0, 4.0], Mat2::new(2.0, 0.5, 1.0)).unwrap();
+        assert!(g.mahalanobis_sq([3.0, 4.0]).abs() < 1e-15);
+        assert!(g.mahalanobis_sq([4.0, 4.0]) > 0.0);
+        assert!(g.log_pdf([3.0, 4.0]) > g.log_pdf([10.0, 10.0]));
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let m = Mat2::new(4.0, 1.2, 2.0);
+        let (l11, l21, l22) = m.cholesky().unwrap();
+        assert!((l11 * l11 - m.xx).abs() < 1e-12);
+        assert!((l11 * l21 - m.xy).abs() < 1e-12);
+        assert!((l21 * l21 + l22 * l22 - m.yy).abs() < 1e-12);
+        assert!(Mat2::new(1.0, 2.0, 1.0).cholesky().is_none());
+    }
+
+    #[test]
+    fn log_sum_exp_matches_naive_and_survives_extremes() {
+        let vals = [-1.0f64, 0.5, 2.0];
+        let naive: f64 = vals.iter().map(|v| v.exp()).sum::<f64>().ln();
+        assert!((log_sum_exp(&vals) - naive).abs() < 1e-12);
+        // Would overflow naively.
+        let big = [1000.0, 1000.0];
+        assert!((log_sum_exp(&big) - (1000.0 + 2.0f64.ln())).abs() < 1e-9);
+        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn quad_form_symmetric() {
+        let m = Mat2::new(2.0, 0.3, 1.0);
+        let q = m.quad_form([1.0, -2.0]);
+        assert!((q - (2.0 + 2.0 * 0.3 * -2.0 + 4.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,208 @@
+//! Feature standardization.
+//!
+//! Raw GMM inputs span wildly different ranges (page indices up to 2³⁰,
+//! timestamps up to 10⁴), which makes f64 EM ill-conditioned and a
+//! fixed-point hardware implementation impossible. The FPGA fixes feature
+//! ranges at design time; we do the software equivalent — an affine
+//! standardization whose parameters are stored with the model.
+
+use crate::gaussian::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// Per-feature affine map `x ↦ (x − mean) / std`.
+///
+/// ```
+/// use icgmm_gmm::StandardScaler;
+/// let s = StandardScaler::fit(&[[0.0, 10.0], [2.0, 30.0]], &[1.0, 1.0]);
+/// let z = s.transform([1.0, 20.0]);
+/// assert!((z[0]).abs() < 1e-12 && (z[1]).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    mean: Vec2,
+    std: Vec2,
+}
+
+impl StandardScaler {
+    /// Identity scaler (useful for pre-scaled data and tests).
+    pub fn identity() -> Self {
+        StandardScaler {
+            mean: [0.0, 0.0],
+            std: [1.0, 1.0],
+        }
+    }
+
+    /// Reconstructs a scaler from stored parameters (model loading).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when any parameter is non-finite or a standard
+    /// deviation is not strictly positive.
+    pub fn from_parts(mean: Vec2, std: Vec2) -> Result<Self, String> {
+        if !(mean[0].is_finite() && mean[1].is_finite()) {
+            return Err("scaler mean must be finite".into());
+        }
+        if !(std[0].is_finite() && std[1].is_finite() && std[0] > 0.0 && std[1] > 0.0) {
+            return Err("scaler std must be finite and > 0".into());
+        }
+        Ok(StandardScaler { mean, std })
+    }
+
+    /// Fits mean and standard deviation on weighted samples.
+    ///
+    /// Weights must be non-negative; an empty or zero-weight input yields
+    /// the identity scaler. Degenerate (constant) features get `std = 1` so
+    /// the transform stays invertible.
+    pub fn fit(xs: &[Vec2], ws: &[f64]) -> Self {
+        assert!(
+            ws.is_empty() || ws.len() == xs.len(),
+            "weights must be empty or match samples"
+        );
+        let total: f64 = if ws.is_empty() {
+            xs.len() as f64
+        } else {
+            ws.iter().sum()
+        };
+        if xs.is_empty() || total <= 0.0 {
+            return StandardScaler::identity();
+        }
+        let w_at = |i: usize| if ws.is_empty() { 1.0 } else { ws[i] };
+        let mut mean = [0.0f64; 2];
+        for (i, x) in xs.iter().enumerate() {
+            mean[0] += w_at(i) * x[0];
+            mean[1] += w_at(i) * x[1];
+        }
+        mean[0] /= total;
+        mean[1] /= total;
+        let mut var = [0.0f64; 2];
+        for (i, x) in xs.iter().enumerate() {
+            var[0] += w_at(i) * (x[0] - mean[0]) * (x[0] - mean[0]);
+            var[1] += w_at(i) * (x[1] - mean[1]) * (x[1] - mean[1]);
+        }
+        var[0] /= total;
+        var[1] /= total;
+        let std = [
+            if var[0] > 0.0 { var[0].sqrt() } else { 1.0 },
+            if var[1] > 0.0 { var[1].sqrt() } else { 1.0 },
+        ];
+        StandardScaler { mean, std }
+    }
+
+    /// Maps a raw feature vector into standardized space.
+    pub fn transform(&self, x: Vec2) -> Vec2 {
+        [
+            (x[0] - self.mean[0]) / self.std[0],
+            (x[1] - self.mean[1]) / self.std[1],
+        ]
+    }
+
+    /// Maps a standardized vector back to raw space.
+    pub fn inverse_transform(&self, z: Vec2) -> Vec2 {
+        [
+            z[0] * self.std[0] + self.mean[0],
+            z[1] * self.std[1] + self.mean[1],
+        ]
+    }
+
+    /// Transforms a batch in place.
+    pub fn transform_all(&self, xs: &mut [Vec2]) {
+        for x in xs.iter_mut() {
+            *x = self.transform(*x);
+        }
+    }
+
+    /// Fitted per-feature mean.
+    pub fn mean(&self) -> Vec2 {
+        self.mean
+    }
+
+    /// Fitted per-feature standard deviation.
+    pub fn std(&self) -> Vec2 {
+        self.std
+    }
+}
+
+impl Default for StandardScaler {
+    fn default() -> Self {
+        StandardScaler::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_fit_centers_and_scales() {
+        let xs = [[0.0, 0.0], [10.0, 100.0]];
+        let ws = [3.0, 1.0];
+        let s = StandardScaler::fit(&xs, &ws);
+        // Weighted mean = 2.5, 25.
+        assert!((s.mean()[0] - 2.5).abs() < 1e-12);
+        assert!((s.mean()[1] - 25.0).abs() < 1e-12);
+        let z = s.transform([2.5, 25.0]);
+        assert!(z[0].abs() < 1e-12 && z[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn unweighted_fit_uses_uniform_weights() {
+        let xs = [[1.0, 2.0], [3.0, 6.0]];
+        let a = StandardScaler::fit(&xs, &[]);
+        let b = StandardScaler::fit(&xs, &[1.0, 1.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let xs = [[1.0, 5.0], [2.0, 9.0], [4.0, -3.0]];
+        let s = StandardScaler::fit(&xs, &[]);
+        for x in xs {
+            let back = s.inverse_transform(s.transform(x));
+            assert!((back[0] - x[0]).abs() < 1e-10);
+            assert!((back[1] - x[1]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn constant_feature_keeps_unit_std() {
+        let xs = [[7.0, 1.0], [7.0, 2.0]];
+        let s = StandardScaler::fit(&xs, &[]);
+        assert_eq!(s.std()[0], 1.0);
+        assert!(s.std()[1] > 0.0);
+        // Transform stays finite.
+        let z = s.transform([7.0, 1.5]);
+        assert!(z[0].is_finite() && z[1].is_finite());
+    }
+
+    #[test]
+    fn empty_input_gives_identity() {
+        let s = StandardScaler::fit(&[], &[]);
+        assert_eq!(s, StandardScaler::identity());
+        assert_eq!(s.transform([3.0, 4.0]), [3.0, 4.0]);
+    }
+
+    #[test]
+    fn transform_all_matches_pointwise() {
+        let s = StandardScaler::fit(&[[0.0, 0.0], [4.0, 2.0]], &[]);
+        let mut batch = [[1.0, 1.0], [2.0, 0.5]];
+        let expect: Vec<_> = batch.iter().map(|&x| s.transform(x)).collect();
+        s.transform_all(&mut batch);
+        assert_eq!(batch.to_vec(), expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights")]
+    fn mismatched_weights_panic() {
+        let _ = StandardScaler::fit(&[[0.0, 0.0]], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(StandardScaler::from_parts([0.0, 0.0], [1.0, 1.0]).is_ok());
+        assert!(StandardScaler::from_parts([f64::NAN, 0.0], [1.0, 1.0]).is_err());
+        assert!(StandardScaler::from_parts([0.0, 0.0], [0.0, 1.0]).is_err());
+        assert!(StandardScaler::from_parts([0.0, 0.0], [1.0, -2.0]).is_err());
+        let s = StandardScaler::from_parts([5.0, 2.0], [2.0, 4.0]).unwrap();
+        assert_eq!(s.transform([7.0, 6.0]), [1.0, 1.0]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Bounded FIFOs — the glue of the paper's dataflow architecture (Fig. 5:
+//! trace FIFO, score FIFO, response FIFO).
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Occupancy/stall statistics of one FIFO.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FifoStats {
+    /// Successful pushes.
+    pub pushes: u64,
+    /// Successful pops.
+    pub pops: u64,
+    /// Push attempts rejected because the FIFO was full (producer stalls).
+    pub push_stalls: u64,
+    /// Pop attempts on an empty FIFO (consumer stalls).
+    pub pop_stalls: u64,
+    /// High-water mark.
+    pub max_occupancy: usize,
+}
+
+/// A bounded single-producer/single-consumer FIFO with stall accounting.
+///
+/// ```
+/// use icgmm_hw::BoundedFifo;
+/// let mut f = BoundedFifo::new(2);
+/// assert!(f.push(1).is_ok());
+/// assert!(f.push(2).is_ok());
+/// assert!(f.push(3).is_err()); // full — producer must stall
+/// assert_eq!(f.pop(), Some(1));
+/// assert_eq!(f.stats().push_stalls, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BoundedFifo<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    stats: FifoStats,
+}
+
+impl<T> BoundedFifo<T> {
+    /// Creates a FIFO with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be >= 1");
+        BoundedFifo {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            stats: FifoStats::default(),
+        }
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// `true` when full.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+
+    /// Attempts to enqueue; on a full FIFO the item is handed back and a
+    /// producer stall is recorded.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` when full.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.is_full() {
+            self.stats.push_stalls += 1;
+            return Err(item);
+        }
+        self.buf.push_back(item);
+        self.stats.pushes += 1;
+        self.stats.max_occupancy = self.stats.max_occupancy.max(self.buf.len());
+        Ok(())
+    }
+
+    /// Dequeues, recording a consumer stall when empty.
+    pub fn pop(&mut self) -> Option<T> {
+        match self.buf.pop_front() {
+            Some(v) => {
+                self.stats.pops += 1;
+                Some(v)
+            }
+            None => {
+                self.stats.pop_stalls += 1;
+                None
+            }
+        }
+    }
+
+    /// Peeks at the head without consuming.
+    pub fn peek(&self) -> Option<&T> {
+        self.buf.front()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> FifoStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_fifo() {
+        let mut f = BoundedFifo::new(4);
+        for i in 0..4 {
+            f.push(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(f.pop(), Some(i));
+        }
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn backpressure_is_observable() {
+        let mut f = BoundedFifo::new(1);
+        f.push('a').unwrap();
+        assert!(f.is_full());
+        assert_eq!(f.push('b'), Err('b'));
+        assert_eq!(f.stats().push_stalls, 1);
+        assert_eq!(f.pop(), Some('a'));
+        f.push('b').unwrap();
+        assert_eq!(f.peek(), Some(&'b'));
+    }
+
+    #[test]
+    fn stats_track_watermark() {
+        let mut f = BoundedFifo::new(8);
+        for i in 0..5 {
+            f.push(i).unwrap();
+        }
+        f.pop();
+        f.pop();
+        assert_eq!(f.stats().max_occupancy, 5);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.stats().pushes, 5);
+        assert_eq!(f.stats().pops, 2);
+    }
+
+    #[test]
+    fn empty_pop_counts_stall() {
+        let mut f: BoundedFifo<u8> = BoundedFifo::new(2);
+        assert!(f.pop().is_none());
+        assert_eq!(f.stats().pop_stalls, 1);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _: BoundedFifo<u8> = BoundedFifo::new(0);
+    }
+}

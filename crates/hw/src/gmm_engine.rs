@@ -1,0 +1,172 @@
+//! Pipelined GMM policy-engine model (paper §4.1).
+//!
+//! The hardware evaluates the `K` Gaussian terms through one deep pipeline
+//! with initiation interval II = 1 — a new Gaussian enters every cycle —
+//! and a shift-register accumulator resolves the score-sum dependency, so
+//!
+//! `latency = pipeline_depth + (K − 1) · II` cycles.
+//!
+//! The paper measures 3 µs end-to-end at 233 MHz with K = 256; with II = 1
+//! that implies a ~444-cycle pipeline depth (trace decode, fixed-point
+//! quadratic form, LUT exp with interpolation, scaling, accumulation and
+//! FIFO hand-off), which is the calibrated default here.
+
+use crate::clock::{ClockDomain, Cycles};
+use icgmm_gmm::fixed::FixedGmm;
+use icgmm_gmm::{Gmm, GmmError, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// Timing parameters of the GMM processing element.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GmmEngineModel {
+    /// Mixture components evaluated per inference.
+    pub k: usize,
+    /// Initiation interval of the Gaussian pipeline (cycles per component).
+    pub ii: u64,
+    /// Pipeline depth in cycles (fill latency).
+    pub pipeline_depth: u64,
+    /// Clock domain.
+    pub clock: ClockDomain,
+}
+
+impl GmmEngineModel {
+    /// Calibrated to the paper's measurement: K = 256, II = 1, 233 MHz,
+    /// ≈3 µs per inference.
+    pub fn paper_k256() -> Self {
+        GmmEngineModel {
+            k: 256,
+            ii: 1,
+            pipeline_depth: 444,
+            clock: ClockDomain::paper_233mhz(),
+        }
+    }
+
+    /// Same pipeline, different component count.
+    pub fn with_k(k: usize) -> Self {
+        GmmEngineModel {
+            k,
+            ..GmmEngineModel::paper_k256()
+        }
+    }
+
+    /// Inference latency in cycles.
+    pub fn latency_cycles(&self) -> Cycles {
+        Cycles(self.pipeline_depth + (self.k.saturating_sub(1)) as u64 * self.ii)
+    }
+
+    /// Inference latency in µs.
+    pub fn latency_us(&self) -> f64 {
+        self.clock.cycles_to_us(self.latency_cycles())
+    }
+
+    /// Throughput once the pipeline is full, in inferences per second
+    /// (back-to-back scores are II·K cycles apart).
+    pub fn throughput_per_sec(&self) -> f64 {
+        let cycles_per = (self.k as u64 * self.ii).max(1);
+        self.clock.mhz * 1e6 / cycles_per as f64
+    }
+}
+
+impl Default for GmmEngineModel {
+    fn default() -> Self {
+        GmmEngineModel::paper_k256()
+    }
+}
+
+/// A functional + timed GMM engine: the fixed-point datapath plus the
+/// pipeline timing model.
+#[derive(Clone, Debug)]
+pub struct GmmEngine {
+    model: GmmEngineModel,
+    datapath: FixedGmm,
+    inferences: u64,
+}
+
+impl GmmEngine {
+    /// Quantizes `gmm` onto the fixed-point datapath with timing from
+    /// `model` (the model's `k` is overridden by the mixture's actual K).
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantization failures from [`FixedGmm::from_gmm`].
+    pub fn new(gmm: &Gmm, mut model: GmmEngineModel) -> Result<Self, GmmError> {
+        model.k = gmm.k();
+        Ok(GmmEngine {
+            model,
+            datapath: FixedGmm::from_gmm(gmm)?,
+            inferences: 0,
+        })
+    }
+
+    /// Timing model.
+    pub fn model(&self) -> &GmmEngineModel {
+        &self.model
+    }
+
+    /// Scores a (already standardized) feature pair on the fixed-point
+    /// datapath, counting the inference.
+    pub fn score(&mut self, x: Vec2) -> f64 {
+        self.inferences += 1;
+        self.datapath.score(x)
+    }
+
+    /// Number of inferences performed.
+    pub fn inferences(&self) -> u64 {
+        self.inferences
+    }
+
+    /// Total busy time implied by the inference count, µs.
+    pub fn busy_us(&self) -> f64 {
+        self.inferences as f64 * self.model.latency_us()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icgmm_gmm::{Gaussian2, Mat2};
+
+    #[test]
+    fn paper_latency_is_three_us() {
+        let m = GmmEngineModel::paper_k256();
+        assert_eq!(m.latency_cycles(), Cycles(444 + 255));
+        assert!((m.latency_us() - 3.0).abs() < 0.01, "{}", m.latency_us());
+    }
+
+    #[test]
+    fn latency_scales_with_k() {
+        let k64 = GmmEngineModel::with_k(64);
+        let k256 = GmmEngineModel::with_k(256);
+        let k1024 = GmmEngineModel::with_k(1024);
+        assert!(k64.latency_us() < k256.latency_us());
+        assert!(k256.latency_us() < k1024.latency_us());
+        // Marginal cost is II = 1 cycle per extra component.
+        assert_eq!(
+            (k1024.latency_cycles() - k256.latency_cycles()).0,
+            (1024 - 256)
+        );
+    }
+
+    #[test]
+    fn throughput_reflects_pipelining() {
+        let m = GmmEngineModel::paper_k256();
+        // One inference every 256 cycles at 233 MHz ≈ 910 k inferences/s.
+        assert!((m.throughput_per_sec() - 233e6 / 256.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn engine_counts_and_scores() {
+        let gmm = Gmm::new(
+            vec![1.0],
+            vec![Gaussian2::new([0.0, 0.0], Mat2::scaled_identity(1.0)).unwrap()],
+        )
+        .unwrap();
+        let mut e = GmmEngine::new(&gmm, GmmEngineModel::paper_k256()).unwrap();
+        assert_eq!(e.model().k, 1);
+        let near = e.score([0.0, 0.0]);
+        let far = e.score([5.0, 5.0]);
+        assert!(near > far);
+        assert_eq!(e.inferences(), 2);
+        assert!(e.busy_us() > 0.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! # icgmm-hw
+//!
+//! Cycle-approximate hardware model of the ICGMM FPGA prototype (DAC
+//! 2024, Fig. 5): the dataflow architecture of free-running kernels
+//! connected by bounded FIFOs, the pipelined GMM policy engine, the cache
+//! control engine with parallel tag compare, the SSD access-latency
+//! emulator, and an FPGA resource model calibrated against the paper's
+//! Table 2.
+//!
+//! The paper's latency numbers come from an emulator *inside* the FPGA
+//! (§4.2); this crate reproduces the same measurement methodology in
+//! software, down to the 233 MHz clock:
+//!
+//! * hit ≈ 1 µs ([`CacheEngineModel::hit_us`]),
+//! * GMM inference ≈ 3 µs at K = 256 ([`GmmEngineModel::latency_us`]),
+//! * TLC SSD 75/900 µs ([`SsdProfile::tlc`]),
+//! * overlap of inference with SSD access ([`run_dataflow`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use icgmm_hw::{run_dataflow, DataflowConfig};
+//! use icgmm_cache::{AlwaysAdmit, CacheConfig, LruPolicy};
+//! use icgmm_trace::TraceRecord;
+//!
+//! let cfg = CacheConfig { capacity_bytes: 8 * 4096, block_bytes: 4096, ways: 2 };
+//! let mut lru = LruPolicy::new(cfg.num_sets(), cfg.ways);
+//! let trace: Vec<TraceRecord> = (0..64u64).map(|i| TraceRecord::read((i % 4) << 12)).collect();
+//! let report = run_dataflow(&trace, cfg, &mut AlwaysAdmit, &mut lru, None, &DataflowConfig::default())?;
+//! assert_eq!(report.stats.misses(), 4);
+//! # Ok::<(), icgmm_cache::CacheConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache_engine;
+mod clock;
+mod fifo;
+mod gmm_engine;
+mod kernel;
+mod resources;
+mod ssd;
+mod system;
+
+pub use cache_engine::CacheEngineModel;
+pub use clock::{ClockDomain, Cycles};
+pub use fifo::{BoundedFifo, FifoStats};
+pub use gmm_engine::{GmmEngine, GmmEngineModel};
+pub use kernel::{run_until_done, Kernel, KernelStats};
+pub use resources::{table2, GmmResourceModel, ResourceEstimate};
+pub use ssd::{SsdEmulator, SsdProfile, SsdStats};
+pub use system::{run_dataflow, run_dataflow_with_warmup, DataflowConfig, DataflowReport};

@@ -1,0 +1,164 @@
+//! SSD access-latency emulator (paper §4.2).
+//!
+//! The FPGA prototype cannot be attached to a real SSD in the authors'
+//! measurement loop, so the paper embeds an emulator in the cache control
+//! engine that "pauses the dataflow for a set duration to emulate SSD
+//! response times", parameterized by device type. We model exactly that: a
+//! single-command device that is busy for the programmed latency.
+
+use icgmm_trace::Op;
+use serde::{Deserialize, Serialize};
+
+/// Latency profile of an emulated storage device.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SsdProfile {
+    /// Device name for reports.
+    pub name: String,
+    /// Page (4 KiB) read latency, µs.
+    pub read_us: f64,
+    /// Page program latency, µs.
+    pub write_us: f64,
+}
+
+impl SsdProfile {
+    /// The paper's target: TLC NAND, 75 µs read / 900 µs program.
+    pub fn tlc() -> Self {
+        SsdProfile {
+            name: "tlc".into(),
+            read_us: 75.0,
+            write_us: 900.0,
+        }
+    }
+
+    /// A low-latency (Z-NAND class) device: 10 µs / 100 µs.
+    pub fn low_latency() -> Self {
+        SsdProfile {
+            name: "z-nand".into(),
+            read_us: 10.0,
+            write_us: 100.0,
+        }
+    }
+
+    /// A QLC device: 150 µs / 2200 µs.
+    pub fn qlc() -> Self {
+        SsdProfile {
+            name: "qlc".into(),
+            read_us: 150.0,
+            write_us: 2200.0,
+        }
+    }
+
+    /// Latency of one operation.
+    pub fn latency_us(&self, op: Op) -> f64 {
+        match op {
+            Op::Read => self.read_us,
+            Op::Write => self.write_us,
+        }
+    }
+}
+
+impl Default for SsdProfile {
+    fn default() -> Self {
+        SsdProfile::tlc()
+    }
+}
+
+/// Cumulative emulator statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SsdStats {
+    /// Page reads served.
+    pub reads: u64,
+    /// Page programs served.
+    pub writes: u64,
+    /// Total device-busy time, µs.
+    pub busy_us: f64,
+    /// Total time commands waited for the device, µs.
+    pub queue_wait_us: f64,
+}
+
+/// Single-command SSD emulator with a busy-until clock.
+#[derive(Clone, Debug)]
+pub struct SsdEmulator {
+    profile: SsdProfile,
+    busy_until_us: f64,
+    stats: SsdStats,
+}
+
+impl SsdEmulator {
+    /// Creates an idle emulator.
+    pub fn new(profile: SsdProfile) -> Self {
+        SsdEmulator {
+            profile,
+            busy_until_us: 0.0,
+            stats: SsdStats::default(),
+        }
+    }
+
+    /// The profile in use.
+    pub fn profile(&self) -> &SsdProfile {
+        &self.profile
+    }
+
+    /// Issues one command at absolute time `now_us`; returns the command's
+    /// completion time. Commands queue behind an in-flight command.
+    pub fn access(&mut self, now_us: f64, op: Op) -> f64 {
+        let start = now_us.max(self.busy_until_us);
+        self.stats.queue_wait_us += start - now_us;
+        let latency = self.profile.latency_us(op);
+        self.busy_until_us = start + latency;
+        self.stats.busy_us += latency;
+        match op {
+            Op::Read => self.stats.reads += 1,
+            Op::Write => self.stats.writes += 1,
+        }
+        self.busy_until_us
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> SsdStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_paper_constants() {
+        let tlc = SsdProfile::tlc();
+        assert_eq!(tlc.latency_us(Op::Read), 75.0);
+        assert_eq!(tlc.latency_us(Op::Write), 900.0);
+        assert!(SsdProfile::low_latency().read_us < tlc.read_us);
+        assert!(SsdProfile::qlc().write_us > tlc.write_us);
+    }
+
+    #[test]
+    fn idle_device_serves_immediately() {
+        let mut e = SsdEmulator::new(SsdProfile::tlc());
+        let done = e.access(100.0, Op::Read);
+        assert_eq!(done, 175.0);
+        assert_eq!(e.stats().queue_wait_us, 0.0);
+    }
+
+    #[test]
+    fn back_to_back_commands_queue() {
+        let mut e = SsdEmulator::new(SsdProfile::tlc());
+        let d1 = e.access(0.0, Op::Read); // 0..75
+        let d2 = e.access(10.0, Op::Read); // waits 65, 75..150
+        assert_eq!(d1, 75.0);
+        assert_eq!(d2, 150.0);
+        assert_eq!(e.stats().queue_wait_us, 65.0);
+        assert_eq!(e.stats().reads, 2);
+        assert_eq!(e.stats().busy_us, 150.0);
+    }
+
+    #[test]
+    fn writes_hold_the_device_longer() {
+        let mut e = SsdEmulator::new(SsdProfile::tlc());
+        e.access(0.0, Op::Write);
+        let d = e.access(0.0, Op::Read);
+        assert_eq!(d, 975.0); // 900 program then 75 read
+        assert_eq!(e.stats().writes, 1);
+    }
+}

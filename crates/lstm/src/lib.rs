@@ -1,0 +1,48 @@
+//! # icgmm-lstm
+//!
+//! The LSTM baseline policy engine of the ICGMM paper's Table 2, built from
+//! scratch: a stacked LSTM (3 layers × hidden 128, input sequence 32 — the
+//! paper's baseline), truncated-BPTT training, a [`ScoreSource`] adapter so
+//! the LSTM can drive the same cache simulator as the GMM, and an FPGA
+//! cost model calibrated against Table 2.
+//!
+//! The point of this crate is the *comparison*: the GMM scores a page from
+//! its current `(page, time)` coordinates alone, while an LSTM must buffer
+//! and re-process a 32-step history — hence the >10,000× inference-latency
+//! gap and ~40× BRAM gap the paper reports.
+//!
+//! ## Example
+//!
+//! ```
+//! use icgmm_lstm::{LstmArch, LstmCostModel, LstmNetwork};
+//! use rand::SeedableRng;
+//!
+//! let arch = LstmArch { layers: 1, hidden: 8, input: 2, seq_len: 4 };
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let net = LstmNetwork::new(arch, &mut rng);
+//! let seq: Vec<Vec<f32>> = (0..4).map(|t| vec![t as f32 * 0.1, 0.0]).collect();
+//! assert!(net.forward(&seq).is_finite());
+//!
+//! // The paper's Table 2 row for the full-size baseline:
+//! let cost = LstmCostModel::paper_calibrated().estimate(&LstmArch::paper_baseline());
+//! assert!(cost.latency_us > 40_000.0); // ~46.3 ms
+//! ```
+//!
+//! [`ScoreSource`]: icgmm_cache::ScoreSource
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell;
+mod cost;
+mod network;
+mod predictor;
+mod tensor;
+mod train;
+
+pub use cell::{CellGrads, CellState, LstmCell};
+pub use cost::{FpgaCost, LstmCostModel};
+pub use network::{ForwardCache, LstmArch, LstmNetwork};
+pub use predictor::LstmScoreSource;
+pub use tensor::{sigmoid, Matrix};
+pub use train::{synthetic_dataset, train, TrainConfig, TrainExample, TrainReport};

@@ -1,0 +1,310 @@
+//! Stacked LSTM network with a scalar regression head — the paper's
+//! baseline policy engine (3 layers, hidden = 128, sequence length = 32).
+
+use crate::cell::{CellCache, CellGrads, CellState, LstmCell};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Architecture of the LSTM baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LstmArch {
+    /// Number of stacked layers.
+    pub layers: usize,
+    /// Hidden size per layer.
+    pub hidden: usize,
+    /// Input feature dimension per timestep.
+    pub input: usize,
+    /// Input sequence length.
+    pub seq_len: usize,
+}
+
+impl LstmArch {
+    /// The paper's Table 2 baseline: 3 layers, hidden 128, sequence 32.
+    /// Inputs are the 2-D `(page, time)` features.
+    pub fn paper_baseline() -> Self {
+        LstmArch {
+            layers: 3,
+            hidden: 128,
+            input: 2,
+            seq_len: 32,
+        }
+    }
+
+    /// Trainable parameter count (cells + head).
+    pub fn param_count(&self) -> usize {
+        let mut total = 0;
+        for l in 0..self.layers {
+            let input = if l == 0 { self.input } else { self.hidden };
+            total += 4 * self.hidden * (input + self.hidden) + 4 * self.hidden;
+        }
+        total + self.hidden + 1 // head
+    }
+
+    /// Multiply-accumulate operations per inference (all timesteps).
+    pub fn macs_per_inference(&self) -> u64 {
+        let mut per_step = 0u64;
+        for l in 0..self.layers {
+            let input = if l == 0 { self.input } else { self.hidden };
+            per_step += 4 * self.hidden as u64 * (input as u64 + self.hidden as u64);
+        }
+        per_step * self.seq_len as u64 + self.hidden as u64
+    }
+}
+
+/// The stacked network.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LstmNetwork {
+    arch: LstmArch,
+    cells: Vec<LstmCell>,
+    head_w: Vec<f32>,
+    head_b: f32,
+}
+
+/// Per-sequence caches needed for BPTT.
+pub struct ForwardCache {
+    /// `caches[t][l]` — cache of layer `l` at timestep `t`.
+    caches: Vec<Vec<CellCache>>,
+    /// Final hidden vector (head input).
+    last_h: Vec<f32>,
+}
+
+impl LstmNetwork {
+    /// Builds a randomly initialized network.
+    pub fn new<R: Rng + ?Sized>(arch: LstmArch, rng: &mut R) -> Self {
+        let cells = (0..arch.layers)
+            .map(|l| {
+                let input = if l == 0 { arch.input } else { arch.hidden };
+                LstmCell::new(input, arch.hidden, rng)
+            })
+            .collect();
+        let mut head_w = vec![0.0f32; arch.hidden];
+        for w in &mut head_w {
+            let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let u2: f64 = rng.gen();
+            *w = ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32 * 0.05;
+        }
+        LstmNetwork {
+            arch,
+            cells,
+            head_w,
+            head_b: 0.0,
+        }
+    }
+
+    /// The architecture.
+    pub fn arch(&self) -> LstmArch {
+        self.arch
+    }
+
+    /// Trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.cells.iter().map(LstmCell::param_count).sum::<usize>() + self.head_w.len() + 1
+    }
+
+    /// Scores a sequence of feature vectors (`seq.len()` should equal
+    /// `arch.seq_len`, but any non-empty length works).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sequence or wrong feature width.
+    pub fn forward(&self, seq: &[Vec<f32>]) -> f32 {
+        self.forward_cached(seq).1
+    }
+
+    /// Forward pass retaining caches for BPTT. Returns `(cache, score)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sequence or wrong feature width.
+    pub fn forward_cached(&self, seq: &[Vec<f32>]) -> (ForwardCache, f32) {
+        assert!(!seq.is_empty(), "sequence must be non-empty");
+        let mut states: Vec<CellState> = self
+            .cells
+            .iter()
+            .map(|c| CellState::zeros(c.hidden()))
+            .collect();
+        let mut caches: Vec<Vec<CellCache>> = Vec::with_capacity(seq.len());
+        for x in seq {
+            assert_eq!(x.len(), self.arch.input, "feature width mismatch");
+            let mut layer_caches = Vec::with_capacity(self.cells.len());
+            let mut input = x.clone();
+            for (l, cell) in self.cells.iter().enumerate() {
+                let (ns, cache) = cell.forward(&input, &states[l]);
+                input = ns.h.clone();
+                states[l] = ns;
+                layer_caches.push(cache);
+            }
+            caches.push(layer_caches);
+        }
+        let last_h = states.last().expect("at least one layer").h.clone();
+        let score = self
+            .head_w
+            .iter()
+            .zip(&last_h)
+            .map(|(w, h)| w * h)
+            .sum::<f32>()
+            + self.head_b;
+        (ForwardCache { caches, last_h }, score)
+    }
+
+    /// Full BPTT for one sequence given `dscore` (gradient of the loss with
+    /// respect to the network output). Accumulates into `grads` and returns
+    /// the head gradients `(d_head_w, d_head_b)`.
+    pub fn backward(
+        &self,
+        cache: &ForwardCache,
+        dscore: f32,
+        grads: &mut [CellGrads],
+    ) -> (Vec<f32>, f32) {
+        let layers = self.cells.len();
+        let steps = cache.caches.len();
+        let h = self.arch.hidden;
+
+        let d_head_w: Vec<f32> = cache.last_h.iter().map(|v| dscore * v).collect();
+        let d_head_b = dscore;
+
+        // dh/dc flowing backward per layer.
+        let mut dh: Vec<Vec<f32>> = vec![vec![0.0; h]; layers];
+        let mut dc: Vec<Vec<f32>> = vec![vec![0.0; h]; layers];
+        for (j, w) in self.head_w.iter().enumerate() {
+            dh[layers - 1][j] = dscore * w;
+        }
+
+        for t in (0..steps).rev() {
+            // dx of layer l feeds dh of layer l-1 (same timestep).
+            let mut dx_down: Option<Vec<f32>> = None;
+            for l in (0..layers).rev() {
+                if let Some(dx) = dx_down.take() {
+                    for (a, b) in dh[l].iter_mut().zip(&dx) {
+                        *a += b;
+                    }
+                }
+                let (dx, dh_prev, dc_prev) =
+                    self.cells[l].backward(&cache.caches[t][l], &dh[l], &dc[l], &mut grads[l]);
+                dh[l] = dh_prev;
+                dc[l] = dc_prev;
+                dx_down = Some(dx);
+            }
+        }
+        (d_head_w, d_head_b)
+    }
+
+    /// Zero gradients for every layer.
+    pub fn zero_grads(&self) -> Vec<CellGrads> {
+        self.cells.iter().map(CellGrads::zeros).collect()
+    }
+
+    /// Plain SGD step on all parameters.
+    pub fn apply_sgd(&mut self, grads: &[CellGrads], d_head_w: &[f32], d_head_b: f32, lr: f32) {
+        for (cell, g) in self.cells.iter_mut().zip(grads) {
+            cell.apply_sgd(g, lr);
+        }
+        for (w, g) in self.head_w.iter_mut().zip(d_head_w) {
+            *w -= lr * g;
+        }
+        self.head_b -= lr * d_head_b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_arch_dimensions() {
+        let a = LstmArch::paper_baseline();
+        assert_eq!(a.layers, 3);
+        assert_eq!(a.hidden, 128);
+        assert_eq!(a.seq_len, 32);
+        // 4h(in+h)+4h per layer: 66_560+512, then 2 × (131_072+512), +head.
+        assert_eq!(a.param_count(), 66_560 + 512 + 2 * (131_072 + 512) + 129);
+        // 32 steps × (66,560 + 2 × 131,072) MACs + head = ~10.5 M.
+        assert_eq!(a.macs_per_inference(), 32 * 328_704 + 128);
+    }
+
+    #[test]
+    fn forward_is_deterministic_and_finite() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = LstmNetwork::new(
+            LstmArch {
+                layers: 2,
+                hidden: 8,
+                input: 2,
+                seq_len: 4,
+            },
+            &mut rng,
+        );
+        let seq: Vec<Vec<f32>> = (0..4).map(|t| vec![t as f32 * 0.1, 0.5]).collect();
+        let a = net.forward(&seq);
+        let b = net.forward(&seq);
+        assert_eq!(a, b);
+        assert!(a.is_finite());
+    }
+
+    #[test]
+    fn network_gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = LstmNetwork::new(
+            LstmArch {
+                layers: 2,
+                hidden: 3,
+                input: 2,
+                seq_len: 3,
+            },
+            &mut rng,
+        );
+        let seq: Vec<Vec<f32>> = vec![vec![0.2, -0.4], vec![0.6, 0.1], vec![-0.3, 0.5]];
+        // Loss = 0.5 * score².
+        let (cache, score) = net.forward_cached(&seq);
+        let mut grads = net.zero_grads();
+        let (dhw, dhb) = net.backward(&cache, score, &mut grads);
+
+        let eps = 1e-3f32;
+        let loss = |n: &LstmNetwork| {
+            let s = n.forward(&seq);
+            0.5 * s * s
+        };
+        // Head bias.
+        let l0 = loss(&net);
+        net.head_b += eps;
+        let l_up = loss(&net);
+        net.head_b -= eps;
+        let fd = (l_up - l0) / eps;
+        assert!((fd - dhb).abs() < 3e-2 * fd.abs().max(1.0), "dhb fd {fd} vs {dhb}");
+
+        // A couple of first-layer Wx entries.
+        for (r, c) in [(0usize, 0usize), (5, 1)] {
+            let orig = net.cells[0].wx.at(r, c);
+            *net.cells[0].wx.at_mut(r, c) = orig + eps;
+            let up = loss(&net);
+            *net.cells[0].wx.at_mut(r, c) = orig - eps;
+            let down = loss(&net);
+            *net.cells[0].wx.at_mut(r, c) = orig;
+            let fd = (up - down) / (2.0 * eps);
+            let an = grads[0].wx.at(r, c);
+            assert!(
+                (fd - an).abs() < 3e-2 * fd.abs().max(1.0),
+                "dWx[{r},{c}] fd {fd} vs {an}"
+            );
+        }
+        let _ = dhw;
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sequence_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = LstmNetwork::new(
+            LstmArch {
+                layers: 1,
+                hidden: 2,
+                input: 2,
+                seq_len: 2,
+            },
+            &mut rng,
+        );
+        let _ = net.forward(&[]);
+    }
+}

@@ -1,0 +1,236 @@
+//! Minimal dense linear algebra for the LSTM baseline (row-major f32).
+//!
+//! Deliberately dependency-free: the LSTM exists only as the paper's
+//! Table 2 comparison baseline, and a ~100-line matrix type keeps the MAC
+//! count transparent for the FPGA cost model.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A row-major `rows × cols` matrix of `f32`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Gaussian-initialized matrix with standard deviation `scale`
+    /// (Box–Muller; `rand_distr` is outside the approved dependency set).
+    pub fn randn<R: Rng + ?Sized>(rows: usize, cols: usize, scale: f32, rng: &mut R) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for v in &mut m.data {
+            let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let u2: f64 = rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            *v = (z as f32) * scale;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Raw data slice.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// `out += M · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when dimensions disagree.
+    pub fn matvec_acc(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "matvec: x length");
+        assert_eq!(out.len(), self.rows, "matvec: out length");
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0f32;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            out[r] += acc;
+        }
+    }
+
+    /// `out += Mᵀ · y` (used for input/hidden gradients).
+    ///
+    /// # Panics
+    ///
+    /// Panics when dimensions disagree.
+    pub fn t_matvec_acc(&self, y: &[f32], out: &mut [f32]) {
+        assert_eq!(y.len(), self.rows, "t_matvec: y length");
+        assert_eq!(out.len(), self.cols, "t_matvec: out length");
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let yr = y[r];
+            for (o, a) in out.iter_mut().zip(row) {
+                *o += yr * a;
+            }
+        }
+    }
+
+    /// Rank-1 update `M += y ⊗ x` (gradient accumulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics when dimensions disagree.
+    pub fn outer_acc(&mut self, y: &[f32], x: &[f32]) {
+        assert_eq!(y.len(), self.rows, "outer: y length");
+        assert_eq!(x.len(), self.cols, "outer: x length");
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            let yr = y[r];
+            for (m, a) in row.iter_mut().zip(x) {
+                *m += yr * a;
+            }
+        }
+    }
+
+    /// In-place SGD/Adam-style update helper: `M -= lr * G` element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes disagree.
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "axpy: shape mismatch"
+        );
+        for (m, g) in self.data.iter_mut().zip(&other.data) {
+            *m += alpha * g;
+        }
+    }
+
+    /// Sets every element to zero (reusing the allocation).
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Mutable raw data (for optimizers).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matvec_matches_manual() {
+        let mut m = Matrix::zeros(2, 3);
+        // [[1,2,3],[4,5,6]]
+        for (i, v) in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0].iter().enumerate() {
+            m.data_mut()[i] = *v;
+        }
+        let mut out = vec![0.0; 2];
+        m.matvec_acc(&[1.0, 0.5, -1.0], &mut out);
+        assert_eq!(out, vec![1.0 + 1.0 - 3.0, 4.0 + 2.5 - 6.0]);
+    }
+
+    #[test]
+    fn transpose_matvec_matches_manual() {
+        let mut m = Matrix::zeros(2, 2);
+        for (i, v) in [1.0, 2.0, 3.0, 4.0].iter().enumerate() {
+            m.data_mut()[i] = *v;
+        }
+        let mut out = vec![0.0; 2];
+        m.t_matvec_acc(&[1.0, 1.0], &mut out);
+        assert_eq!(out, vec![4.0, 6.0]); // column sums
+    }
+
+    #[test]
+    fn outer_accumulates() {
+        let mut m = Matrix::zeros(2, 2);
+        m.outer_acc(&[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(m.at(0, 0), 3.0);
+        assert_eq!(m.at(0, 1), 4.0);
+        assert_eq!(m.at(1, 0), 6.0);
+        assert_eq!(m.at(1, 1), 8.0);
+        m.outer_acc(&[1.0, 0.0], &[1.0, 1.0]);
+        assert_eq!(m.at(0, 0), 4.0);
+    }
+
+    #[test]
+    fn randn_has_expected_spread() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Matrix::randn(50, 50, 0.1, &mut rng);
+        let mean: f32 = m.data().iter().sum::<f32>() / m.len() as f32;
+        let var: f32 =
+            m.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.len() as f32;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var.sqrt() - 0.1).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn sigmoid_range_and_midpoint() {
+        assert_eq!(sigmoid(0.0), 0.5);
+        assert!(sigmoid(10.0) > 0.999);
+        assert!(sigmoid(-10.0) < 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "matvec")]
+    fn dimension_mismatch_panics() {
+        let m = Matrix::zeros(2, 3);
+        let mut out = vec![0.0; 2];
+        m.matvec_acc(&[1.0], &mut out);
+    }
+}

@@ -1,0 +1,161 @@
+//! Plain-text trace serialization.
+//!
+//! Format: one request per line, `R <hex paddr>` or `W <hex paddr>`, with
+//! `#`-prefixed comment lines — compatible in spirit with the trace dumps of
+//! the open-source collection tool the paper uses, so externally collected
+//! traces can be fed to the simulator.
+
+use crate::record::{Op, TraceRecord};
+use crate::trace::Trace;
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Error produced when parsing a text trace.
+#[derive(Debug)]
+pub enum ParseTraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line that is neither a comment nor a valid record.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTraceError::Io(e) => write!(f, "i/o error reading trace: {e}"),
+            ParseTraceError::Malformed { line, text } => {
+                write!(f, "malformed trace record at line {line}: {text:?}")
+            }
+        }
+    }
+}
+
+impl Error for ParseTraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseTraceError::Io(e) => Some(e),
+            ParseTraceError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseTraceError {
+    fn from(e: std::io::Error) -> Self {
+        ParseTraceError::Io(e)
+    }
+}
+
+/// Writes a trace in text form. A `&mut` reference may be passed for `w`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_text<W: Write>(trace: &Trace, w: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "# icgmm trace v1: <R|W> <hex paddr>")?;
+    for r in trace {
+        writeln!(w, "{} {:#x}", r.op, r.paddr)?;
+    }
+    w.flush()
+}
+
+/// Reads a text trace. A `&mut` reference may be passed for `r`.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError::Malformed`] on the first bad line, or
+/// [`ParseTraceError::Io`] on reader failure.
+pub fn read_text<R: Read>(r: R) -> Result<Trace, ParseTraceError> {
+    let reader = BufReader::new(r);
+    let mut trace = Trace::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let s = line.trim();
+        if s.is_empty() || s.starts_with('#') {
+            continue;
+        }
+        let malformed = || ParseTraceError::Malformed {
+            line: i + 1,
+            text: s.to_string(),
+        };
+        let (op_s, addr_s) = s.split_once(char::is_whitespace).ok_or_else(malformed)?;
+        let op = match op_s {
+            "R" | "r" => Op::Read,
+            "W" | "w" => Op::Write,
+            _ => return Err(malformed()),
+        };
+        let addr_s = addr_s.trim();
+        let paddr = if let Some(hex) = addr_s.strip_prefix("0x").or_else(|| addr_s.strip_prefix("0X")) {
+            u64::from_str_radix(hex, 16).map_err(|_| malformed())?
+        } else {
+            addr_s.parse::<u64>().map_err(|_| malformed())?
+        };
+        trace.push(TraceRecord::new(op, paddr));
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace::from_records(vec![
+            TraceRecord::read(0x1000),
+            TraceRecord::write(0x2040),
+            TraceRecord::read(0xdead_beef),
+        ])
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_text(&t, &mut buf).unwrap();
+        let back = read_text(buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# header\n\nR 0x10\n  \nW 32\n";
+        let t = read_text(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.records()[0].paddr, 0x10);
+        assert_eq!(t.records()[1].paddr, 32); // decimal accepted
+        assert_eq!(t.records()[1].op, Op::Write);
+    }
+
+    #[test]
+    fn malformed_line_is_reported_with_position() {
+        let text = "R 0x10\nX 0x20\n";
+        let err = read_text(text.as_bytes()).unwrap_err();
+        match err {
+            ParseTraceError::Malformed { line, text } => {
+                assert_eq!(line, 2);
+                assert!(text.contains('X'));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_address_is_malformed() {
+        assert!(read_text("R zzz".as_bytes()).is_err());
+        assert!(read_text("R 0xzz".as_bytes()).is_err());
+        assert!(read_text("R".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = read_text("Q 1".as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "{msg}");
+    }
+}

@@ -1,0 +1,401 @@
+//! Trace preprocessing for GMM training (paper §3.1 and Algorithm 1).
+//!
+//! Three steps:
+//!
+//! 1. **Warm-up trimming** — discard the initial 20 % and final 10 % of the
+//!    trace to remove program warm-up and tear-down bias.
+//! 2. **Page consolidation** — map 64 B host addresses onto 4 KiB SSD pages
+//!    ([`crate::PageIndex`]).
+//! 3. **Timestamp transformation** — Algorithm 1: requests are grouped into
+//!    *time windows* of `len_window` requests sharing one timestamp; the
+//!    timestamp wraps to zero after `len_access_shot` windows (an *access
+//!    shot*), which teaches the GMM the periodic structure of the workload.
+//!
+//! The paper's prose describes an access shot as containing
+//! `len_access_shot` *traces*, while its Algorithm 1 resets when
+//! `timestamp >= len_access_shot`, i.e. after `len_access_shot` *windows*.
+//! We implement Algorithm 1 literally (timestamps live in
+//! `[0, len_access_shot)`) and keep both knobs configurable.
+
+use crate::record::TraceRecord;
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of the preprocessing pipeline.
+///
+/// Defaults are the paper's choices: trim 20 %/10 %, `len_window = 32`,
+/// `len_access_shot = 10_000`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PreprocessConfig {
+    /// Fraction of the trace discarded from the front (program warm-up).
+    pub warmup_frac: f64,
+    /// Fraction of the trace discarded from the back (tear-down).
+    pub tail_frac: f64,
+    /// Requests per time window (Algorithm 1 `len_window`).
+    pub len_window: u32,
+    /// Windows per access shot (Algorithm 1 `len_access_shot`).
+    pub len_access_shot: u32,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        PreprocessConfig {
+            warmup_frac: 0.20,
+            tail_frac: 0.10,
+            len_window: 32,
+            len_access_shot: 10_000,
+        }
+    }
+}
+
+impl PreprocessConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when fractions are out of `[0, 1)` or together
+    /// exceed 1, or when either Algorithm 1 length is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..1.0).contains(&self.warmup_frac) || !(0.0..1.0).contains(&self.tail_frac) {
+            return Err("trim fractions must be in [0, 1)".into());
+        }
+        if self.warmup_frac + self.tail_frac >= 1.0 {
+            return Err("trim fractions must leave a non-empty middle".into());
+        }
+        if self.len_window == 0 || self.len_access_shot == 0 {
+            return Err("len_window and len_access_shot must be >= 1".into());
+        }
+        Ok(())
+    }
+
+    /// The record range `[start, end)` kept after trimming a trace of
+    /// length `n`.
+    pub fn kept_range(&self, n: usize) -> (usize, usize) {
+        let start = (n as f64 * self.warmup_frac).floor() as usize;
+        let end = n - (n as f64 * self.tail_frac).floor() as usize;
+        (start.min(n), end.max(start.min(n)))
+    }
+}
+
+/// Returns the trimmed middle portion of a trace as a slice
+/// (first `warmup_frac` and last `tail_frac` removed).
+///
+/// ```
+/// use icgmm_trace::{PreprocessConfig, Trace, TraceRecord};
+/// let t: Trace = (0..100u64).map(|i| TraceRecord::read(i * 64)).collect();
+/// let kept = icgmm_trace::trim(&t, &PreprocessConfig::default());
+/// assert_eq!(kept.len(), 70);
+/// assert_eq!(kept[0].paddr, 20 * 64);
+/// ```
+pub fn trim<'a>(trace: &'a Trace, cfg: &PreprocessConfig) -> &'a [TraceRecord] {
+    let (start, end) = cfg.kept_range(trace.len());
+    &trace.records()[start..end]
+}
+
+/// Online implementation of the paper's Algorithm 1.
+///
+/// Call [`TimestampTransformer::next`] once per request, in trace order; it
+/// returns the transformed timestamp assigned to that request. The same
+/// transformer is used during training (offline pass) and at run time inside
+/// the policy engine (the algorithm is causal: it depends only on the number
+/// of requests seen so far).
+///
+/// ```
+/// use icgmm_trace::TimestampTransformer;
+/// let mut t = TimestampTransformer::new(2, 3); // 2 requests/window, 3 windows/shot
+/// let ts: Vec<u64> = (0..10).map(|_| t.next()).collect();
+/// assert_eq!(ts, [0, 0, 1, 1, 2, 2, 0, 0, 1, 1]);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TimestampTransformer {
+    len_window: u32,
+    len_access_shot: u32,
+    timestamp: u64,
+    index: u32,
+}
+
+impl TimestampTransformer {
+    /// Creates a transformer with the given window and shot lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either length is zero.
+    pub fn new(len_window: u32, len_access_shot: u32) -> Self {
+        assert!(len_window > 0, "len_window must be >= 1");
+        assert!(len_access_shot > 0, "len_access_shot must be >= 1");
+        TimestampTransformer {
+            len_window,
+            len_access_shot,
+            timestamp: 0,
+            index: 0,
+        }
+    }
+
+    /// Creates a transformer from a [`PreprocessConfig`].
+    pub fn from_config(cfg: &PreprocessConfig) -> Self {
+        TimestampTransformer::new(cfg.len_window, cfg.len_access_shot)
+    }
+
+    /// Advances the transformer by one request and returns that request's
+    /// timestamp (Algorithm 1, lines 3–11).
+    pub fn next(&mut self) -> u64 {
+        if self.index >= self.len_window {
+            self.timestamp += 1;
+            self.index = 0;
+        }
+        if self.timestamp >= u64::from(self.len_access_shot) {
+            self.timestamp = 0;
+        }
+        self.index += 1;
+        self.timestamp
+    }
+
+    /// Resets to the initial state.
+    pub fn reset(&mut self) {
+        self.timestamp = 0;
+        self.index = 0;
+    }
+
+    /// Largest timestamp this transformer can emit.
+    pub fn max_timestamp(&self) -> u64 {
+        u64::from(self.len_access_shot) - 1
+    }
+}
+
+/// A `(page index, timestamp)` pair with a multiplicity weight — the GMM
+/// training representation of one or more identical trace cells.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WeightedSample {
+    /// Page index (feature *P*).
+    pub page: f64,
+    /// Transformed timestamp (feature *T*).
+    pub time: f64,
+    /// Number of requests that mapped to this `(page, window)` cell.
+    pub weight: f64,
+}
+
+/// Extracts per-request GMM input features `[page_index, timestamp]` from a
+/// (pre-trimmed) record slice.
+pub fn extract_features(records: &[TraceRecord], cfg: &PreprocessConfig) -> Vec<[f64; 2]> {
+    let mut t = TimestampTransformer::from_config(cfg);
+    records
+        .iter()
+        .map(|r| [r.page().raw() as f64, t.next() as f64])
+        .collect()
+}
+
+/// Deduplicates per-request features into weighted `(page, timestamp)`
+/// cells. Weighted EM over these cells is mathematically identical to EM
+/// over the expanded per-request multiset, and typically 10–50× smaller.
+pub fn extract_weighted_cells(
+    records: &[TraceRecord],
+    cfg: &PreprocessConfig,
+) -> Vec<WeightedSample> {
+    extract_weighted_cells_range(records, cfg, 0, records.len())
+}
+
+/// [`extract_weighted_cells`] over `records[start..end]` with the
+/// Algorithm 1 clock running from `records[0]` — how training must see a
+/// trimmed trace: the warm-up prefix advances the timestamp (the paper's
+/// algorithm counts every request from program start) but contributes no
+/// training cells.
+///
+/// # Panics
+///
+/// Panics when `start > end` or `end > records.len()`.
+pub fn extract_weighted_cells_range(
+    records: &[TraceRecord],
+    cfg: &PreprocessConfig,
+    start: usize,
+    end: usize,
+) -> Vec<WeightedSample> {
+    assert!(start <= end && end <= records.len(), "invalid cell range");
+    let mut t = TimestampTransformer::from_config(cfg);
+    let mut cells: HashMap<(u64, u64), u64> = HashMap::new();
+    for (i, r) in records[..end].iter().enumerate() {
+        let ts = t.next();
+        if i >= start {
+            *cells.entry((r.page().raw(), ts)).or_insert(0) += 1;
+        }
+    }
+    let mut out: Vec<WeightedSample> = cells
+        .into_iter()
+        .map(|((p, ts), w)| WeightedSample {
+            page: p as f64,
+            time: ts as f64,
+            weight: w as f64,
+        })
+        .collect();
+    // Deterministic order regardless of hash state.
+    out.sort_by(|a, b| {
+        (a.page, a.time)
+            .partial_cmp(&(b.page, b.time))
+            .expect("page/time are finite")
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceRecord;
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = PreprocessConfig::default();
+        assert_eq!(c.warmup_frac, 0.20);
+        assert_eq!(c.tail_frac, 0.10);
+        assert_eq!(c.len_window, 32);
+        assert_eq!(c.len_access_shot, 10_000);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = PreprocessConfig::default();
+        c.warmup_frac = 0.8;
+        c.tail_frac = 0.3;
+        assert!(c.validate().is_err());
+        c = PreprocessConfig {
+            len_window: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        c = PreprocessConfig {
+            warmup_frac: -0.1,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn trim_keeps_the_middle() {
+        let t: Trace = (0..10u64).map(|i| TraceRecord::read(i << 12)).collect();
+        let cfg = PreprocessConfig::default();
+        let kept = trim(&t, &cfg);
+        assert_eq!(kept.len(), 7); // drop 2 front, 1 back
+        assert_eq!(kept[0].page().raw(), 2);
+        assert_eq!(kept.last().unwrap().page().raw(), 8);
+    }
+
+    #[test]
+    fn trim_of_empty_trace_is_empty() {
+        let t = Trace::new();
+        assert!(trim(&t, &PreprocessConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn algorithm1_window_grouping() {
+        let mut tr = TimestampTransformer::new(32, 10_000);
+        // First 32 requests share timestamp 0.
+        for _ in 0..32 {
+            assert_eq!(tr.next(), 0);
+        }
+        // Next 32 share timestamp 1.
+        for _ in 0..32 {
+            assert_eq!(tr.next(), 1);
+        }
+    }
+
+    #[test]
+    fn algorithm1_shot_wraps() {
+        let mut tr = TimestampTransformer::new(1, 4);
+        let ts: Vec<u64> = (0..9).map(|_| tr.next()).collect();
+        assert_eq!(ts, [0, 1, 2, 3, 0, 1, 2, 3, 0]);
+        assert_eq!(tr.max_timestamp(), 3);
+    }
+
+    #[test]
+    fn transformer_reset_restores_initial_state() {
+        let mut tr = TimestampTransformer::new(2, 5);
+        for _ in 0..7 {
+            tr.next();
+        }
+        tr.reset();
+        assert_eq!(tr.next(), 0);
+        assert_eq!(tr.next(), 0);
+        assert_eq!(tr.next(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "len_window")]
+    fn zero_window_panics() {
+        let _ = TimestampTransformer::new(0, 1);
+    }
+
+    #[test]
+    fn features_pair_page_and_time() {
+        let t: Trace = (0..6u64).map(|i| TraceRecord::read(i << 12)).collect();
+        let cfg = PreprocessConfig {
+            len_window: 2,
+            len_access_shot: 100,
+            ..Default::default()
+        };
+        let f = extract_features(t.records(), &cfg);
+        assert_eq!(f.len(), 6);
+        assert_eq!(f[0], [0.0, 0.0]);
+        assert_eq!(f[1], [1.0, 0.0]);
+        assert_eq!(f[2], [2.0, 1.0]);
+        assert_eq!(f[5], [5.0, 2.0]);
+    }
+
+    #[test]
+    fn weighted_cells_preserve_total_mass() {
+        // Repeated accesses to one page in one window collapse to one cell.
+        let t: Trace = (0..8u64).map(|_| TraceRecord::read(0x5000)).collect();
+        let cfg = PreprocessConfig {
+            len_window: 4,
+            len_access_shot: 100,
+            ..Default::default()
+        };
+        let cells = extract_weighted_cells(t.records(), &cfg);
+        assert_eq!(cells.len(), 2); // windows 0 and 1
+        let total: f64 = cells.iter().map(|c| c.weight).sum();
+        assert_eq!(total, 8.0);
+        assert!(cells.iter().all(|c| c.page == 5.0));
+    }
+
+    #[test]
+    fn range_extraction_keeps_the_clock_but_skips_prefix_cells() {
+        // Pages 0..6, window = 2. Full extraction sees windows 0,0,1,1,2,2;
+        // range (2, 6) must keep those timestamps but drop the prefix.
+        let t: Trace = (0..6u64).map(|i| TraceRecord::read(i << 12)).collect();
+        let cfg = PreprocessConfig {
+            len_window: 2,
+            len_access_shot: 100,
+            ..Default::default()
+        };
+        let cells = extract_weighted_cells_range(t.records(), &cfg, 2, 6);
+        assert_eq!(cells.len(), 4);
+        // Page 2 was in window 1 (not 0): the clock ran over the prefix.
+        assert!(cells.iter().any(|c| c.page == 2.0 && c.time == 1.0));
+        assert!(cells.iter().all(|c| c.page >= 2.0));
+        let total: f64 = cells.iter().map(|c| c.weight).sum();
+        assert_eq!(total, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "range")]
+    fn bad_cell_range_panics() {
+        let t: Trace = (0..3u64).map(|i| TraceRecord::read(i << 12)).collect();
+        let _ = extract_weighted_cells_range(t.records(), &PreprocessConfig::default(), 2, 1);
+    }
+
+    #[test]
+    fn weighted_cells_are_sorted_deterministically() {
+        let t = Trace::from_records(vec![
+            TraceRecord::read(0x3000),
+            TraceRecord::read(0x1000),
+            TraceRecord::read(0x2000),
+        ]);
+        let cfg = PreprocessConfig {
+            len_window: 1,
+            len_access_shot: 10,
+            ..Default::default()
+        };
+        let cells = extract_weighted_cells(t.records(), &cfg);
+        let pages: Vec<f64> = cells.iter().map(|c| c.page).collect();
+        assert_eq!(pages, vec![1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Basic memory-access trace record types.
+//!
+//! The trace-collection tool cited by the paper (Yang et al., USENIX ATC'23)
+//! records `(read/write, physical address, access time)` tuples. We keep the
+//! same information: the access time is implicit in the record's position in
+//! the trace (the paper's Algorithm 1 derives its timestamps purely from
+//! trace position, not wall-clock time).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Base-2 logarithm of the SSD page size (4 KiB), the minimum SSD access
+/// granularity and therefore the DRAM-cache block size (paper §2.1).
+pub const PAGE_SHIFT: u32 = 12;
+
+/// SSD page size in bytes (4 KiB).
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// Host memory-access granularity in bytes (one cache line, paper §1: 64 B).
+pub const HOST_ACCESS_BYTES: u64 = 64;
+
+/// Direction of a memory request.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// A load from the expanded memory space.
+    Read,
+    /// A store to the expanded memory space.
+    Write,
+}
+
+impl Op {
+    /// Returns `true` for [`Op::Write`].
+    ///
+    /// ```
+    /// use icgmm_trace::Op;
+    /// assert!(Op::Write.is_write());
+    /// assert!(!Op::Read.is_write());
+    /// ```
+    pub fn is_write(self) -> bool {
+        matches!(self, Op::Write)
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Read => f.write_str("R"),
+            Op::Write => f.write_str("W"),
+        }
+    }
+}
+
+/// Index of a 4 KiB page in the expanded (SSD-backed) memory space.
+///
+/// The paper consolidates 64 B host accesses into SSD pages by deriving a
+/// page index from the physical address. (The paper prints `PI = PA << 12`,
+/// which is a typographical slip — grouping addresses into 4 KiB pages
+/// requires a *right* shift, which is what this type performs.)
+///
+/// ```
+/// use icgmm_trace::PageIndex;
+/// let pi = PageIndex::from_paddr(0x1234_5678);
+/// assert_eq!(pi.raw(), 0x1234_5678 >> 12);
+/// assert_eq!(pi.base_paddr(), (0x1234_5678 >> 12) << 12);
+/// ```
+#[derive(
+    Copy, Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct PageIndex(u64);
+
+impl PageIndex {
+    /// Wraps a raw page number.
+    pub fn new(raw: u64) -> Self {
+        PageIndex(raw)
+    }
+
+    /// Derives the page index from a physical byte address.
+    pub fn from_paddr(paddr: u64) -> Self {
+        PageIndex(paddr >> PAGE_SHIFT)
+    }
+
+    /// The raw page number.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The physical address of the first byte of this page.
+    pub fn base_paddr(self) -> u64 {
+        self.0 << PAGE_SHIFT
+    }
+}
+
+impl fmt::Display for PageIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pg{:#x}", self.0)
+    }
+}
+
+impl From<u64> for PageIndex {
+    fn from(raw: u64) -> Self {
+        PageIndex(raw)
+    }
+}
+
+/// One host memory request observed at the CXL device.
+///
+/// ```
+/// use icgmm_trace::{Op, TraceRecord};
+/// let r = TraceRecord::new(Op::Read, 0x8000);
+/// assert_eq!(r.page().raw(), 8);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Read or write.
+    pub op: Op,
+    /// Physical byte address in the expanded memory space.
+    pub paddr: u64,
+}
+
+impl TraceRecord {
+    /// Creates a record.
+    pub fn new(op: Op, paddr: u64) -> Self {
+        TraceRecord { op, paddr }
+    }
+
+    /// Convenience constructor for a read.
+    pub fn read(paddr: u64) -> Self {
+        TraceRecord::new(Op::Read, paddr)
+    }
+
+    /// Convenience constructor for a write.
+    pub fn write(paddr: u64) -> Self {
+        TraceRecord::new(Op::Write, paddr)
+    }
+
+    /// The 4 KiB page this request falls in.
+    pub fn page(&self) -> PageIndex {
+        PageIndex::from_paddr(self.paddr)
+    }
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:#x}", self.op, self.paddr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_index_from_paddr_shifts_right() {
+        assert_eq!(PageIndex::from_paddr(0).raw(), 0);
+        assert_eq!(PageIndex::from_paddr(4095).raw(), 0);
+        assert_eq!(PageIndex::from_paddr(4096).raw(), 1);
+        assert_eq!(PageIndex::from_paddr(u64::MAX).raw(), u64::MAX >> 12);
+    }
+
+    #[test]
+    fn page_base_is_aligned() {
+        let pi = PageIndex::from_paddr(0xdead_beef);
+        assert_eq!(pi.base_paddr() % PAGE_SIZE, 0);
+        assert!(pi.base_paddr() <= 0xdead_beef);
+        assert!(0xdead_beef < pi.base_paddr() + PAGE_SIZE);
+    }
+
+    #[test]
+    fn record_page_matches_manual_shift() {
+        let r = TraceRecord::write(0x12_3456);
+        assert_eq!(r.page().raw(), 0x12_3456 >> 12);
+        assert!(r.op.is_write());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TraceRecord::read(0x1000).to_string(), "R 0x1000");
+        assert_eq!(TraceRecord::write(0x2a).to_string(), "W 0x2a");
+        assert_eq!(PageIndex::new(16).to_string(), "pg0x10");
+    }
+
+    #[test]
+    fn ordering_on_page_index() {
+        assert!(PageIndex::new(1) < PageIndex::new(2));
+        assert_eq!(PageIndex::from(7u64), PageIndex::new(7));
+    }
+}

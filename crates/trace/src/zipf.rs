@@ -1,0 +1,211 @@
+//! Zipf-distributed sampling without external dependencies.
+//!
+//! Key-popularity skew is the dominant statistical feature of the database
+//! and recommendation workloads the paper evaluates (memtier, sysbench,
+//! dlrm). We implement Hörmann & Derflinger's *rejection-inversion* method,
+//! which samples `P(k) ∝ k^{-s}` over `{1..n}` in O(1) per draw with no
+//! per-element table, so key spaces of many millions cost nothing to set up.
+
+use rand::Rng;
+
+/// Zipf distribution over ranks `1..=n` with exponent `s > 0`.
+///
+/// Smaller ranks are more popular: `P(k) ∝ k^{-s}`.
+///
+/// ```
+/// use icgmm_trace::Zipf;
+/// use rand::SeedableRng;
+/// let z = Zipf::new(1_000_000, 0.99).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let k = z.sample(&mut rng);
+/// assert!((1..=1_000_000).contains(&k));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    // Precomputed constants of the rejection-inversion scheme.
+    h_x1: f64,
+    h_n_half: f64,
+    shift: f64,
+}
+
+/// Error returned by [`Zipf::new`] for invalid parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ZipfError {
+    what: &'static str,
+}
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid zipf parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `1..=n` with exponent `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `n == 0`, or `s` is not finite and positive.
+    pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
+        if n == 0 {
+            return Err(ZipfError { what: "n must be >= 1" });
+        }
+        if !(s.is_finite() && s > 0.0) {
+            return Err(ZipfError {
+                what: "exponent must be finite and > 0",
+            });
+        }
+        let h_x1 = Self::h(s, 1.5) - 1.0;
+        let h_n_half = Self::h(s, n as f64 + 0.5);
+        let shift = 1.0 - Self::h_inv(s, Self::h(s, 1.5) - 1.0);
+        Ok(Zipf {
+            n,
+            s,
+            h_x1,
+            h_n_half,
+            shift,
+        })
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew exponent.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    // H(x) = ∫ x^{-s} dx ; the s == 1 limit is ln(x).
+    fn h(s: f64, x: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-12 {
+            x.ln()
+        } else {
+            (x.powf(1.0 - s) - 1.0) / (1.0 - s)
+        }
+    }
+
+    fn h_inv(s: f64, y: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-12 {
+            y.exp()
+        } else {
+            (1.0 + (1.0 - s) * y).powf(1.0 / (1.0 - s))
+        }
+    }
+
+    /// Draws one rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.n == 1 {
+            return 1;
+        }
+        loop {
+            // u uniform in [H(n + 1/2), H(3/2) - 1)
+            let u = self.h_n_half + rng.gen::<f64>() * (self.h_x1 - self.h_n_half);
+            let x = Self::h_inv(self.s, u);
+            let k = x.round().clamp(1.0, self.n as f64);
+            if k - x <= self.shift {
+                return k as u64;
+            }
+            if u >= Self::h(self.s, k + 0.5) - (k.powf(-self.s)) {
+                return k as u64;
+            }
+        }
+    }
+
+    /// Exact probability of rank `k` (O(n); intended for tests/analysis).
+    pub fn pmf(&self, k: u64) -> f64 {
+        assert!(k >= 1 && k <= self.n, "rank out of range");
+        let z: f64 = (1..=self.n).map(|i| (i as f64).powf(-self.s)).sum();
+        (k as f64).powf(-self.s) / z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, 0.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+        let e = Zipf::new(0, 1.0).unwrap_err();
+        assert!(e.to_string().contains("zipf"));
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(100, 1.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=100).contains(&k));
+        }
+    }
+
+    #[test]
+    fn single_rank_always_one() {
+        let z = Zipf::new(1, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(z.sample(&mut rng), 1);
+    }
+
+    #[test]
+    fn empirical_matches_pmf() {
+        // Chi-square-style sanity check on a small support.
+        let n = 50u64;
+        let z = Zipf::new(n, 0.9).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let draws = 200_000usize;
+        let mut counts = vec![0u64; n as usize + 1];
+        for _ in 0..draws {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for k in [1u64, 2, 5, 10, 25, 50] {
+            let expected = z.pmf(k) * draws as f64;
+            let got = counts[k as usize] as f64;
+            // Allow 10% relative error plus slack for small expectations.
+            let tol = (expected * 0.10).max(60.0);
+            assert!(
+                (got - expected).abs() < tol,
+                "rank {k}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponent_one_is_handled() {
+        let z = Zipf::new(1000, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mean_top: f64 = (0..50_000)
+            .map(|_| u64::from(z.sample(&mut rng) <= 10) as u32 as f64)
+            .sum::<f64>()
+            / 50_000.0;
+        // P(k <= 10) for s=1, n=1000 is H(10)/H(1000) ≈ 2.93/7.49 ≈ 0.39.
+        assert!((mean_top - 0.39).abs() < 0.03, "got {mean_top}");
+    }
+
+    #[test]
+    fn skew_orders_popularity() {
+        let z = Zipf::new(1000, 1.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ones = 0;
+        let mut hundreds = 0;
+        for _ in 0..100_000 {
+            match z.sample(&mut rng) {
+                1 => ones += 1,
+                100 => hundreds += 1,
+                _ => {}
+            }
+        }
+        assert!(ones > hundreds * 10, "ones={ones} hundreds={hundreds}");
+    }
+}

@@ -1,0 +1,67 @@
+//! Explore the statistical structure of the seven paper workloads — the
+//! Fig. 2-style spatial/temporal views plus the numbers behind them.
+//!
+//! Run with: `cargo run --release --example trace_explorer [workload]`
+//! (default: dlrm; try `parsec`, `stream`, `hashmap`, ...)
+
+use icgmm_trace::histogram::{working_set_series, SpatialHistogram, TemporalHeatmap};
+use icgmm_trace::synth::WorkloadKind;
+use icgmm_trace::PreprocessConfig;
+use std::str::FromStr;
+
+fn sparkline(counts: &[u64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = counts.iter().copied().max().unwrap_or(0).max(1);
+    counts
+        .iter()
+        .map(|&c| GLYPHS[((c * 7).div_ceil(max)) as usize % 8])
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kind = std::env::args()
+        .nth(1)
+        .map(|s| WorkloadKind::from_str(&s))
+        .transpose()?
+        .unwrap_or(WorkloadKind::Dlrm);
+
+    let trace = kind.default_workload().generate(200_000, 3);
+    let cfg = PreprocessConfig::default();
+    let records = icgmm_trace::trim(&trace, &cfg);
+    let stats = trace.stats();
+
+    println!("== {kind} ==");
+    println!(
+        "requests {}  distinct pages {}  footprint {} MiB  writes {:.1}%",
+        stats.requests,
+        stats.distinct_pages,
+        stats.footprint_bytes() / (1024 * 1024),
+        stats.write_fraction() * 100.0
+    );
+
+    let spatial = SpatialHistogram::from_records(records, 64);
+    println!("\nspatial distribution (accesses per page bucket — Fig. 2 left):");
+    println!("  {}", sparkline(&spatial.counts));
+    println!(
+        "  modes: {}   top-8-bucket share: {:.2}",
+        spatial.mode_count(),
+        spatial.top_k_share(8)
+    );
+
+    let heat = TemporalHeatmap::from_records(records, &cfg, 12, 56);
+    println!("\ntemporal heat map (page rows × time cols — Fig. 2 right):");
+    for r in 0..heat.rows {
+        let row: Vec<u64> = (0..heat.cols).map(|c| heat.at(r, c)).collect();
+        println!("  {}", sparkline(&row));
+    }
+    println!(
+        "  busiest-row temporal CV: {:.2} (>> 0 means uneven in time)",
+        heat.busiest_row_cv()
+    );
+
+    let ws = working_set_series(records, &cfg);
+    let head: Vec<u64> = ws.iter().take(56).map(|&n| n as u64).collect();
+    println!("\nper-window working-set size (drift view):");
+    println!("  {}", sparkline(&head));
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Workspace-level umbrella crate for the ICGMM reproduction.
+//!
+//! This crate exists to host the repository-root `examples/` and `tests/`
+//! directories; the actual functionality lives in the `icgmm*` crates under
+//! `crates/`. Downstream users should depend on [`icgmm`] directly.
+
+pub use icgmm;
+pub use icgmm_cache;
+pub use icgmm_gmm;
+pub use icgmm_hw;
+pub use icgmm_lstm;
+pub use icgmm_trace;

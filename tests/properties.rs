@@ -1,0 +1,327 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! reproduction: cache coherence of the tag store, GMM distribution
+//! axioms, Algorithm 1 bounds, fixed-point fidelity and policy sanity.
+
+use icgmm_cache::{
+    simulate, AccessOutcome, AlwaysAdmit, CacheConfig, FifoPolicy, GmmScorePolicy, LatencyModel,
+    LfuPolicy, LruPolicy, SetAssocCache, ThresholdAdmit,
+};
+use icgmm_gmm::fixed::{ExpLut, Fixed, FixedGmm};
+use icgmm_gmm::{EmConfig, EmTrainer, Gaussian2, Gmm, Mat2, StandardScaler};
+use icgmm_trace::{Op, PageIndex, TimestampTransformer, TraceRecord};
+use proptest::prelude::*;
+
+fn small_cfg() -> CacheConfig {
+    CacheConfig {
+        capacity_bytes: 32 * 4096,
+        block_bytes: 4096,
+        ways: 4,
+    }
+}
+
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    (0u64..64, any::<bool>(), 0u64..4096).prop_map(|(page, write, off)| {
+        let addr = (page << 12) + (off & !63);
+        if write {
+            TraceRecord::write(addr)
+        } else {
+            TraceRecord::read(addr)
+        }
+    })
+}
+
+proptest! {
+    /// The tag store never holds the same page twice, never exceeds its
+    /// associativity, and a just-inserted page is immediately findable.
+    #[test]
+    fn cache_tag_store_invariants(records in prop::collection::vec(arb_record(), 1..600)) {
+        let cfg = small_cfg();
+        let mut cache = SetAssocCache::new(cfg).unwrap();
+        let mut lru = LruPolicy::new(cfg.num_sets(), cfg.ways);
+        let mut admit = AlwaysAdmit;
+        for (i, r) in records.iter().enumerate() {
+            let out = cache.access(r, i as u64, None, &mut admit, &mut lru);
+            match out {
+                AccessOutcome::Hit { way } => prop_assert!(way < cfg.ways),
+                AccessOutcome::MissInserted { way, .. } => {
+                    prop_assert!(way < cfg.ways);
+                    prop_assert!(cache.contains(r.page()), "inserted page not findable");
+                }
+                AccessOutcome::MissBypassed => unreachable!("AlwaysAdmit never bypasses"),
+            }
+            // No duplicate tags within any set.
+            for set in 0..cfg.num_sets() {
+                let mut tags = vec![];
+                for way in 0..cfg.ways {
+                    let b = cache.block(set, way);
+                    if b.valid {
+                        tags.push(b.tag);
+                    }
+                }
+                let mut dedup = tags.clone();
+                dedup.sort_unstable();
+                dedup.dedup();
+                prop_assert_eq!(dedup.len(), tags.len(), "duplicate tag in set {}", set);
+            }
+            prop_assert!(cache.occupancy() <= cfg.num_blocks());
+        }
+    }
+
+    /// Bypassed misses leave the cache bit-for-bit untouched.
+    #[test]
+    fn bypass_never_mutates_state(records in prop::collection::vec(arb_record(), 1..300)) {
+        let cfg = small_cfg();
+        let mut cache = SetAssocCache::new(cfg).unwrap();
+        let mut lru = LruPolicy::new(cfg.num_sets(), cfg.ways);
+        // Threshold 1.0 with score 0.0 ⇒ every read miss bypasses.
+        let mut admit = ThresholdAdmit { threshold: 1.0, admit_writes_always: false };
+        for (i, r) in records.iter().enumerate() {
+            let before = cache.occupancy();
+            let out = cache.access(r, i as u64, Some(0.0), &mut admit, &mut lru);
+            match out {
+                AccessOutcome::MissBypassed => prop_assert_eq!(cache.occupancy(), before),
+                AccessOutcome::Hit { .. } => {}
+                AccessOutcome::MissInserted { .. } => {
+                    prop_assert!(false, "nothing should be admitted at threshold 1.0");
+                }
+            }
+        }
+        prop_assert_eq!(cache.occupancy(), 0);
+    }
+
+    /// LRU evicts exactly the least-recently-touched page of a full set.
+    #[test]
+    fn lru_victim_is_least_recent(touch_order in proptest::sample::subsequence((0..16u64).collect::<Vec<_>>(), 4..12)) {
+        // One-set cache: 4 ways over pages that all collide.
+        let cfg = CacheConfig { capacity_bytes: 4 * 4096, block_bytes: 4096, ways: 4 };
+        let mut cache = SetAssocCache::new(cfg).unwrap();
+        let mut lru = LruPolicy::new(1, 4);
+        let mut admit = AlwaysAdmit;
+        let mut seq = 0u64;
+        let mut touched: Vec<u64> = vec![];
+        for &p in &touch_order {
+            let r = TraceRecord::read(p << 12);
+            cache.access(&r, seq, None, &mut admit, &mut lru);
+            seq += 1;
+            touched.retain(|&q| q != p);
+            touched.push(p);
+        }
+        // Insert a brand-new page; if the set was full, the victim must be
+        // the oldest touched page among the resident four.
+        if touched.len() >= 4 {
+            let resident: Vec<u64> = touched.iter().rev().take(4).copied().collect();
+            let expected_victim = *resident.last().unwrap();
+            let out = cache.access(&TraceRecord::read(99 << 12), seq, None, &mut admit, &mut lru);
+            if let AccessOutcome::MissInserted { evicted: Some(e), .. } = out {
+                prop_assert_eq!(e.page.raw(), expected_victim);
+            } else {
+                prop_assert!(false, "expected an eviction");
+            }
+        }
+    }
+
+    /// GMM axioms: weights sum to one; density is finite and non-negative;
+    /// responsibilities form a distribution.
+    #[test]
+    fn gmm_distribution_axioms(
+        seeds in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 2..12),
+        x in (-100.0f64..100.0),
+        y in (-100.0f64..100.0),
+    ) {
+        let k = seeds.len();
+        let comps: Vec<Gaussian2> = seeds
+            .iter()
+            .map(|&(mx, my)| Gaussian2::new([mx, my], Mat2::new(1.0, 0.2, 2.0)).unwrap())
+            .collect();
+        let gmm = Gmm::new(vec![1.0 / k as f64; k], comps).unwrap();
+        prop_assert!((gmm.weights().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let d = gmm.density([x, y]);
+        prop_assert!(d.is_finite() && d >= 0.0, "density {}", d);
+        let resp = gmm.responsibilities([x, y]);
+        prop_assert!((resp.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        prop_assert!(resp.iter().all(|r| (0.0..=1.0 + 1e-9).contains(r)));
+    }
+
+    /// EM never decreases the training log-likelihood (up to re-seeding
+    /// noise, which the tolerance absorbs).
+    #[test]
+    fn em_loglik_monotone(points in prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 30..120)) {
+        let xs: Vec<[f64; 2]> = points.iter().map(|&(a, b)| [a, b]).collect();
+        let trainer = EmTrainer::new(EmConfig {
+            k: 3,
+            max_iters: 12,
+            tol: 1e-12,
+            ..Default::default()
+        })
+        .unwrap();
+        let (_, report) = trainer.fit(&xs, &[]).unwrap();
+        for w in report.log_likelihood.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-6, "loglik fell: {} -> {}", w[0], w[1]);
+        }
+    }
+
+    /// Algorithm 1: timestamps always lie in [0, len_access_shot) and are
+    /// piecewise constant over windows.
+    #[test]
+    fn algorithm1_bounds(
+        len_window in 1u32..64,
+        len_shot in 1u32..64,
+        n in 1usize..2000,
+    ) {
+        let mut t = TimestampTransformer::new(len_window, len_shot);
+        let mut last = None;
+        for i in 0..n {
+            let ts = t.next();
+            prop_assert!(ts < u64::from(len_shot), "ts {} out of range", ts);
+            if let Some((prev_i, prev_ts)) = last {
+                let _: usize = prev_i;
+                // Within one window the timestamp cannot change.
+                if i / (len_window as usize) == prev_i / (len_window as usize) {
+                    prop_assert_eq!(ts, prev_ts);
+                }
+            }
+            last = Some((i, ts));
+        }
+    }
+
+    /// Fixed-point arithmetic round-trips within quantization error and
+    /// multiplication matches f64 within tolerance.
+    #[test]
+    fn fixed_point_accuracy(a in -1000.0f64..1000.0, b in -1000.0f64..1000.0) {
+        let fa = Fixed::from_f64(a);
+        let fb = Fixed::from_f64(b);
+        prop_assert!((fa.to_f64() - a).abs() < 1e-6);
+        let prod = fa.mul(fb).to_f64();
+        let tol = (a * b).abs() * 1e-6 + 1e-4;
+        prop_assert!((prod - a * b).abs() < tol, "{} * {} = {} (got {})", a, b, a * b, prod);
+    }
+
+    /// The LUT exp agrees with f64 exp over its domain.
+    #[test]
+    fn exp_lut_tracks_exp(x in -30.0f64..0.0) {
+        let lut = ExpLut::new();
+        let got = lut.eval(Fixed::from_f64(x)).to_f64();
+        let want = x.exp();
+        prop_assert!((got - want).abs() < want * 2e-3 + 1e-6, "exp({}) {} vs {}", x, got, want);
+    }
+
+    /// Quantized scores preserve the ordering of well-separated f64 scores
+    /// (all the cache policy needs from the datapath).
+    #[test]
+    fn fixed_gmm_preserves_ordering(
+        hot in -3.0f64..3.0,
+        cold_offset in 6.0f64..30.0,
+    ) {
+        let gmm = Gmm::new(
+            vec![1.0],
+            vec![Gaussian2::new([0.0, 0.0], Mat2::scaled_identity(1.0)).unwrap()],
+        )
+        .unwrap();
+        let fx = FixedGmm::from_gmm(&gmm).unwrap();
+        let near = [hot * 0.3, hot * 0.3];
+        let far = [hot * 0.3 + cold_offset, hot * 0.3];
+        prop_assert!(fx.score(near) > fx.score(far));
+    }
+
+    /// The scaler inverse-transform is a true inverse.
+    #[test]
+    fn scaler_roundtrip(points in prop::collection::vec((-1e6f64..1e6, -1e4f64..1e4), 2..40)) {
+        let xs: Vec<[f64; 2]> = points.iter().map(|&(a, b)| [a, b]).collect();
+        let s = StandardScaler::fit(&xs, &[]);
+        for x in &xs {
+            let back = s.inverse_transform(s.transform(*x));
+            prop_assert!((back[0] - x[0]).abs() < 1e-6 * x[0].abs().max(1.0));
+            prop_assert!((back[1] - x[1]).abs() < 1e-6 * x[1].abs().max(1.0));
+        }
+    }
+
+    /// Simulation accounting: hits + insertions + bypasses == accesses, and
+    /// the latency model never reports less than the hit time per request.
+    #[test]
+    fn simulation_accounting_is_conserved(records in prop::collection::vec(arb_record(), 1..500)) {
+        let cfg = small_cfg();
+        let mut cache = SetAssocCache::new(cfg).unwrap();
+        let mut ev = LfuPolicy::new(cfg.num_sets(), cfg.ways);
+        let mut admit = AlwaysAdmit;
+        let report = simulate(
+            &records,
+            &mut cache,
+            &mut admit,
+            &mut ev,
+            None,
+            &LatencyModel::paper_tlc(),
+            None,
+        );
+        let s = &report.stats;
+        prop_assert_eq!(
+            s.hits() + s.read_insertions + s.write_insertions + s.bypasses(),
+            s.accesses()
+        );
+        prop_assert_eq!(s.accesses() as usize, records.len());
+        prop_assert!(report.avg_us >= 1.0);
+        // Occupancy equals insertions minus evictions.
+        let evictions = s.clean_evictions + s.dirty_evictions;
+        prop_assert_eq!(
+            cache.occupancy() as u64,
+            s.read_insertions + s.write_insertions - evictions
+        );
+    }
+
+    /// FIFO and GMM-score policies always return in-range victims and never
+    /// corrupt the cache across random traces.
+    #[test]
+    fn alternative_policies_stay_coherent(records in prop::collection::vec(arb_record(), 1..400)) {
+        let cfg = small_cfg();
+        for which in 0..2 {
+            let mut cache = SetAssocCache::new(cfg).unwrap();
+            let mut admit = AlwaysAdmit;
+            let report = match which {
+                0 => {
+                    let mut ev = FifoPolicy::new(cfg.num_sets(), cfg.ways);
+                    simulate(&records, &mut cache, &mut admit, &mut ev, None, &LatencyModel::paper_tlc(), None)
+                }
+                _ => {
+                    let mut ev = GmmScorePolicy::new(cfg.num_sets(), cfg.ways);
+                    simulate(&records, &mut cache, &mut admit, &mut ev, None, &LatencyModel::paper_tlc(), None)
+                }
+            };
+            prop_assert_eq!(report.stats.accesses() as usize, records.len());
+            // Every distinct page that was accessed at least... the last
+            // accessed page must be resident (it was just touched/inserted).
+            let last = records.last().unwrap().page();
+            prop_assert!(cache.contains(last), "last page evicted immediately");
+        }
+    }
+
+    /// Write-backs only ever follow write activity: a read-only trace can
+    /// never produce dirty evictions.
+    #[test]
+    fn read_only_traces_never_write_back(pages in prop::collection::vec(0u64..128, 1..500)) {
+        let records: Vec<TraceRecord> =
+            pages.iter().map(|&p| TraceRecord::read(p << 12)).collect();
+        let cfg = small_cfg();
+        let mut cache = SetAssocCache::new(cfg).unwrap();
+        let mut ev = LruPolicy::new(cfg.num_sets(), cfg.ways);
+        let report = simulate(
+            &records,
+            &mut cache,
+            &mut AlwaysAdmit,
+            &mut ev,
+            None,
+            &LatencyModel::paper_tlc(),
+            None,
+        );
+        prop_assert_eq!(report.stats.dirty_evictions, 0);
+        prop_assert_eq!(report.stats.writes, 0);
+    }
+}
+
+#[test]
+fn page_index_is_stable_across_ops() {
+    // Deterministic companion to the proptest suite: Op does not affect
+    // page derivation.
+    let a = TraceRecord::new(Op::Read, 0xABCDE);
+    let b = TraceRecord::new(Op::Write, 0xABCDE);
+    assert_eq!(a.page(), b.page());
+    assert_eq!(a.page(), PageIndex::from_paddr(0xABCDE));
+}
