@@ -6,7 +6,7 @@ use icgmm_cache::{
     simulate, AlwaysAdmit, CacheConfig, EvictionPolicy, FifoPolicy, GmmScorePolicy, LatencyModel,
     LfuPolicy, LruPolicy, SetAssocCache,
 };
-use icgmm_trace::synth::{Workload, WorkloadKind};
+use icgmm_trace::synth::WorkloadKind;
 use std::hint::black_box;
 
 fn bench_policy(
@@ -35,7 +35,9 @@ fn bench_policy(
 }
 
 fn bench_cache(c: &mut Criterion) {
-    let trace = WorkloadKind::Memtier.default_workload().generate(100_000, 7);
+    let trace = WorkloadKind::Memtier
+        .default_workload()
+        .generate(100_000, 7);
     let records = trace.records();
     let cfg = CacheConfig::paper_default();
 

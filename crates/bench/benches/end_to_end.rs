@@ -1,14 +1,18 @@
 //! Criterion bench: end-to-end fit+run pipeline on a reduced workload
-//! (regression guard for total harness cost).
+//! (regression guard for total harness cost), plus the streaming-vs-
+//! windowed policy-engine scoring comparison on a realistic miss window.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use icgmm::{Icgmm, IcgmmConfig, PolicyMode};
+use icgmm_cache::ScoreSource;
 use icgmm_gmm::EmConfig;
-use icgmm_trace::synth::{Workload, WorkloadKind};
+use icgmm_trace::synth::WorkloadKind;
 use std::hint::black_box;
 
 fn bench_end_to_end(c: &mut Criterion) {
-    let trace = WorkloadKind::Memtier.default_workload().generate(100_000, 11);
+    let trace = WorkloadKind::Memtier
+        .default_workload()
+        .generate(100_000, 11);
     let cfg = IcgmmConfig {
         em: EmConfig {
             k: 32,
@@ -37,6 +41,31 @@ fn bench_end_to_end(c: &mut Criterion) {
         b.iter(|| black_box(sys.run(black_box(&trace), PolicyMode::Lru)))
     });
     group.finish();
+
+    // Streaming vs windowed policy-engine scoring over one miss window —
+    // the per-miss cost the GMM modes pay inside `run`.
+    let window = &trace.records()[..8_192];
+    let mut scores = vec![0.0; window.len()];
+    let mut scoring = c.benchmark_group("policy_engine_scoring");
+    scoring.throughput(Throughput::Elements(window.len() as u64));
+    scoring.bench_function("streaming_8k_window", |b| {
+        let mut engine = sys.policy_engine().expect("fitted");
+        b.iter(|| {
+            engine.reset();
+            for r in window {
+                engine.observe(black_box(r));
+                black_box(engine.score_current());
+            }
+        })
+    });
+    scoring.bench_function("batched_8k_window", |b| {
+        let mut engine = sys.policy_engine().expect("fitted");
+        b.iter(|| {
+            engine.reset();
+            engine.score_window(black_box(window), black_box(&mut scores));
+        })
+    });
+    scoring.finish();
 }
 
 criterion_group!(benches, bench_end_to_end);

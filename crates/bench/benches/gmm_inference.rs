@@ -1,9 +1,22 @@
-//! Criterion bench: GMM score latency (f64 and fixed-point datapaths) at
-//! several K — the software side of Table 2's latency column.
+//! Criterion bench: GMM score latency — the software side of Table 2's
+//! latency column, extended with the SoA batch-scoring kernel.
+//!
+//! Groups at K = 256 (the paper's component count):
+//!
+//! * `seed_scalar_k256` — the pre-scorer implementation (per-call `Vec`,
+//!   per-component `ln π_k`, array-of-structs walk), kept here as the
+//!   regression baseline the ≥5× batched-speedup target is measured
+//!   against;
+//! * `scalar_k256` — `Gmm::density` via the allocation-free SoA scalar
+//!   path;
+//! * `batched_k256` / `parallel_k256` — `GmmScorer::score_batch` and its
+//!   crossbeam-parallel variant, reported per point via
+//!   `Throughput::Elements`;
+//! * `f64` / `fixed` — the historical scalar comparison across K.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use icgmm_gmm::fixed::FixedGmm;
-use icgmm_gmm::{Gaussian2, Gmm, Mat2};
+use icgmm_gmm::{Gaussian2, Gmm, GmmScorer, Mat2};
 use std::hint::black_box;
 
 fn build_gmm(k: usize) -> Gmm {
@@ -11,13 +24,78 @@ fn build_gmm(k: usize) -> Gmm {
         .map(|i| {
             let t = i as f64 / k as f64;
             Gaussian2::new(
-                [t * 10.0 - 5.0, (t * 6.28).sin()],
+                [t * 10.0 - 5.0, (t * std::f64::consts::TAU).sin()],
                 Mat2::new(0.05 + t * 0.1, 0.01, 0.08),
             )
             .expect("valid component")
         })
         .collect();
     Gmm::new(vec![1.0 / k as f64; k], comps).expect("valid mixture")
+}
+
+/// The seed's original `Gmm::log_density`: heap-allocates a K-element
+/// `Vec`, recomputes `ln π_k` per component, walks `Vec<Gaussian2>`.
+fn seed_scalar_density(gmm: &Gmm, x: [f64; 2]) -> f64 {
+    let logs: Vec<f64> = gmm
+        .weights()
+        .iter()
+        .zip(gmm.components())
+        .map(|(w, c)| {
+            if *w == 0.0 {
+                f64::NEG_INFINITY
+            } else {
+                w.ln() + c.log_pdf(x)
+            }
+        })
+        .collect();
+    let m = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !m.is_finite() {
+        return 0.0;
+    }
+    let s: f64 = logs.iter().map(|v| (v - m).exp()).sum();
+    (m + s.ln()).exp()
+}
+
+fn probe_points(n: usize) -> Vec<[f64; 2]> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64;
+            [t * 12.0 - 6.0, (t * 12.9898).sin() * 2.0]
+        })
+        .collect()
+}
+
+fn bench_scalar_vs_batched(c: &mut Criterion) {
+    const K: usize = 256;
+    const BATCH: usize = 4_096;
+    let gmm = build_gmm(K);
+    let scorer = GmmScorer::from_gmm(&gmm);
+    let points = probe_points(BATCH);
+    let mut out = vec![0.0; BATCH];
+
+    let mut group = c.benchmark_group("gmm_inference");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("seed_scalar_k256", |b| {
+        b.iter(|| {
+            for x in &points {
+                black_box(seed_scalar_density(&gmm, black_box(*x)));
+            }
+        })
+    });
+    group.bench_function("scalar_k256", |b| {
+        b.iter(|| {
+            for x in &points {
+                black_box(gmm.density(black_box(*x)));
+            }
+        })
+    });
+    group.bench_function("batched_k256", |b| {
+        b.iter(|| scorer.score_batch(black_box(&points), black_box(&mut out)))
+    });
+    group.bench_function("parallel_k256", |b| {
+        b.iter(|| scorer.score_batch_parallel(black_box(&points), black_box(&mut out), 0))
+    });
+    group.finish();
 }
 
 fn bench_gmm_inference(c: &mut Criterion) {
@@ -38,6 +116,6 @@ fn bench_gmm_inference(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_gmm_inference
+    targets = bench_scalar_vs_batched, bench_gmm_inference
 }
 criterion_main!(benches);

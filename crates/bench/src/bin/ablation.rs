@@ -59,10 +59,7 @@ fn main() {
     }
     let (lru_miss, lru_avg) = run_pair(base_cfg, &trace, PolicyMode::Lru);
     rows.push(vec!["lru".into(), f(lru_miss, 2), f(lru_avg, 2)]);
-    println!(
-        "{}",
-        format_table(&["quantile", "miss %", "avg µs"], &rows)
-    );
+    println!("{}", format_table(&["quantile", "miss %", "avg µs"], &rows));
 
     // 2. K sweep on memtier.
     banner("ablation 2 — GMM component count K (memtier, gmm-both)");
@@ -75,12 +72,7 @@ fn main() {
         };
         let (miss, avg) = run_pair(cfg, &trace, PolicyMode::GmmCachingEviction);
         let lat = icgmm_hw::GmmEngineModel::with_k(k).latency_us();
-        rows.push(vec![
-            k.to_string(),
-            f(miss, 2),
-            f(avg, 2),
-            f(lat, 2),
-        ]);
+        rows.push(vec![k.to_string(), f(miss, 2), f(avg, 2), f(lat, 2)]);
         eprintln!("[ablation] K={k} done");
     }
     println!(
@@ -154,11 +146,7 @@ fn main() {
         };
         let (lru_miss, _) = run_pair(cfg, &trace, PolicyMode::Lru);
         let (gmm_miss, _) = run_pair(cfg, &trace, PolicyMode::GmmCachingEviction);
-        rows.push(vec![
-            format!("{mib} MiB"),
-            f(lru_miss, 2),
-            f(gmm_miss, 2),
-        ]);
+        rows.push(vec![format!("{mib} MiB"), f(lru_miss, 2), f(gmm_miss, 2)]);
         eprintln!("[ablation] cache {mib} MiB done");
     }
     println!(

@@ -47,7 +47,11 @@ fn central_range(records: &[icgmm_trace::TraceRecord]) -> Vec<icgmm_trace::Trace
 fn main() {
     let scale = Scale::from_args();
     banner("Fig. 2 — spatial (left) and temporal (right) access distributions");
-    let kinds = [WorkloadKind::Dlrm, WorkloadKind::Parsec, WorkloadKind::Sysbench];
+    let kinds = [
+        WorkloadKind::Dlrm,
+        WorkloadKind::Parsec,
+        WorkloadKind::Sysbench,
+    ];
     let suite = scale.suite();
     let cfg = PreprocessConfig::default();
 

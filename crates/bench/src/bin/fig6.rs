@@ -18,8 +18,8 @@ fn main() {
     let modes = PolicyMode::fig6_modes();
     let mut rows = Vec::new();
     for spec in scale.suite() {
-        let results = run_benchmark_with(&spec, scale.config(&spec), &modes)
-            .expect("benchmark run failed");
+        let results =
+            run_benchmark_with(&spec, scale.config(&spec), &modes).expect("benchmark run failed");
         let name = spec.kind.to_string();
         let get = |m: PolicyMode| find(&results, &name, m).expect("mode present").miss_pct;
         let best = best_gmm(&results, &name).expect("gmm modes present");
@@ -32,7 +32,11 @@ fn main() {
             f(get(PolicyMode::GmmCachingEviction), 2),
             format!("{} ({})", f(best.miss_pct, 2), best.mode),
             f(get(PolicyMode::Lru) - best.miss_pct, 2),
-            format!("{} -> {}", f(paper.lru_miss_pct, 2), f(paper.gmm_miss_pct, 2)),
+            format!(
+                "{} -> {}",
+                f(paper.lru_miss_pct, 2),
+                f(paper.gmm_miss_pct, 2)
+            ),
             paper_best_strategy(spec.kind).to_string(),
         ]);
         eprintln!("[fig6] {name} done");

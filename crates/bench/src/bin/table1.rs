@@ -18,8 +18,8 @@ fn main() {
     let modes = PolicyMode::fig6_modes();
     let mut rows = Vec::new();
     for spec in scale.suite() {
-        let results = run_benchmark_with(&spec, scale.config(&spec), &modes)
-            .expect("benchmark run failed");
+        let results =
+            run_benchmark_with(&spec, scale.config(&spec), &modes).expect("benchmark run failed");
         let name = spec.kind.to_string();
         let lru = find(&results, &name, PolicyMode::Lru).expect("lru present");
         // Paper presentation: pick the best GMM strategy per benchmark
@@ -44,7 +44,13 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["benchmark", "lru (µs)", "gmm (µs)", "reduction (%)", "paper"],
+            &[
+                "benchmark",
+                "lru (µs)",
+                "gmm (µs)",
+                "reduction (%)",
+                "paper"
+            ],
             &rows,
         )
     );

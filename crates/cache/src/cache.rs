@@ -264,7 +264,9 @@ mod tests {
         c.access(&read(0), 2, None, &mut admit, &mut lru);
         let out = c.access(&read(4), 3, None, &mut admit, &mut lru);
         match out {
-            AccessOutcome::MissInserted { evicted: Some(e), .. } => {
+            AccessOutcome::MissInserted {
+                evicted: Some(e), ..
+            } => {
                 assert_eq!(e.page.raw(), 2);
                 assert!(!e.dirty);
             }
@@ -283,7 +285,9 @@ mod tests {
         c.access(&read(2), 2, None, &mut admit, &mut lru); // page 0 is LRU
         let out = c.access(&read(4), 3, None, &mut admit, &mut lru);
         match out {
-            AccessOutcome::MissInserted { evicted: Some(e), .. } => {
+            AccessOutcome::MissInserted {
+                evicted: Some(e), ..
+            } => {
                 assert_eq!(e.page.raw(), 0);
                 assert!(e.dirty, "written page must be dirty on eviction");
             }

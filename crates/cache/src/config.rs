@@ -70,11 +70,11 @@ impl CacheConfig {
         if self.ways == 0 {
             return err("ways must be >= 1");
         }
-        if self.capacity_bytes == 0 || self.capacity_bytes % self.block_bytes != 0 {
+        if self.capacity_bytes == 0 || !self.capacity_bytes.is_multiple_of(self.block_bytes) {
             return err("capacity must be a non-zero multiple of block_bytes");
         }
         let blocks = self.capacity_bytes / self.block_bytes;
-        if blocks % self.ways as u64 != 0 {
+        if !blocks.is_multiple_of(self.ways as u64) {
             return err("block count must be divisible by ways");
         }
         if blocks / self.ways as u64 == 0 {

@@ -126,21 +126,30 @@ mod tests {
         assert_eq!(
             m.request_us(
                 Op::Read,
-                &AccessOutcome::MissInserted { way: 0, evicted: None }
+                &AccessOutcome::MissInserted {
+                    way: 0,
+                    evicted: None
+                }
             ),
             75.0
         );
         assert_eq!(
             m.request_us(
                 Op::Read,
-                &AccessOutcome::MissInserted { way: 0, evicted: ev(true) }
+                &AccessOutcome::MissInserted {
+                    way: 0,
+                    evicted: ev(true)
+                }
             ),
             975.0
         );
         assert_eq!(
             m.request_us(
                 Op::Read,
-                &AccessOutcome::MissInserted { way: 0, evicted: ev(false) }
+                &AccessOutcome::MissInserted {
+                    way: 0,
+                    evicted: ev(false)
+                }
             ),
             75.0
         );
@@ -156,7 +165,10 @@ mod tests {
     #[test]
     fn overlap_hides_policy_latency() {
         let mut m = LatencyModel::paper_tlc();
-        let miss = AccessOutcome::MissInserted { way: 0, evicted: None };
+        let miss = AccessOutcome::MissInserted {
+            way: 0,
+            evicted: None,
+        };
         assert_eq!(m.request_us(Op::Read, &miss), 75.0);
         m.overlap_policy_with_ssd = false;
         assert_eq!(m.request_us(Op::Read, &miss), 78.0);
@@ -170,7 +182,10 @@ mod tests {
             ssd_read_us: 1.0,
             ..LatencyModel::paper_tlc()
         };
-        let miss = AccessOutcome::MissInserted { way: 0, evicted: None };
+        let miss = AccessOutcome::MissInserted {
+            way: 0,
+            evicted: None,
+        };
         assert_eq!(m.request_us(Op::Read, &miss), 3.0);
     }
 

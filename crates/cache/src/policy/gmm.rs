@@ -72,11 +72,16 @@ impl EvictionPolicy for GmmScorePolicy {
     }
 
     fn choose_victim(&mut self, set: usize, ways: usize, _ctx: &AccessCtx) -> usize {
+        // Victim selection runs on every conflict miss: scan the set's
+        // score/recency slots as two contiguous strips rather than
+        // re-deriving the slot index per way.
+        let base = set * self.ways;
+        let scores = &self.score[base..base + ways];
+        let lasts = &self.last[base..base + ways];
         let mut victim = 0;
         let mut best = (f64::INFINITY, u64::MAX);
-        for w in 0..ways {
-            let s = self.slot(set, w);
-            let key = (self.score[s], self.last[s]);
+        for (w, key) in scores.iter().zip(lasts).enumerate() {
+            let key = (*key.0, *key.1);
             if key.0 < best.0 || (key.0 == best.0 && key.1 < best.1) {
                 best = key;
                 victim = w;

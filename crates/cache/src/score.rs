@@ -17,6 +17,29 @@ pub trait ScoreSource {
 
     /// Score of the most recently observed request's page.
     fn score_current(&mut self) -> f64;
+
+    /// Observes and scores a whole window of requests at once, writing one
+    /// score per record into `out`.
+    ///
+    /// The contract matches the streaming path exactly: `out[i]` must equal
+    /// what `observe(records[i]); score_current()` would have produced at
+    /// that position, so windowed and streaming replays are interchangeable.
+    /// The default implementation is that loop; batch-capable sources (the
+    /// GMM policy engine) override it to collect the window's feature pairs
+    /// and push them through their batched kernel in one call — the
+    /// software analogue of the hardware streaming a miss window through
+    /// the scoring pipeline back-to-back.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `records.len() != out.len()`.
+    fn score_window(&mut self, records: &[TraceRecord], out: &mut [f64]) {
+        assert_eq!(records.len(), out.len(), "one score slot per record");
+        for (r, o) in records.iter().zip(out.iter_mut()) {
+            self.observe(r);
+            *o = self.score_current();
+        }
+    }
 }
 
 /// A constant score for every page (testing, and the degenerate baseline).
@@ -78,5 +101,26 @@ mod tests {
         assert_eq!(s.score_current(), 2.0);
         s.observe(&TraceRecord::read(5 << 12));
         assert!((s.score_current() - 5.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_score_window_matches_streaming() {
+        let records: Vec<TraceRecord> = (0..10u64).map(|p| TraceRecord::read(p << 12)).collect();
+        let mut streaming = FnScore::new(|page, seq| page as f64 * 100.0 + seq as f64);
+        let mut windowed = FnScore::new(|page, seq| page as f64 * 100.0 + seq as f64);
+        let mut out = vec![0.0; records.len()];
+        windowed.score_window(&records, &mut out);
+        for (r, o) in records.iter().zip(&out) {
+            streaming.observe(r);
+            assert_eq!(*o, streaming.score_current());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one score slot per record")]
+    fn score_window_rejects_length_mismatch() {
+        let mut s = ConstantScore(0.0);
+        let mut out = vec![0.0; 2];
+        s.score_window(&[TraceRecord::read(0)], &mut out);
     }
 }

@@ -50,7 +50,16 @@ pub fn simulate(
     latency: &LatencyModel,
     series_window: Option<u64>,
 ) -> SimReport {
-    simulate_with_warmup(&[], records, cache, admission, eviction, score, latency, series_window)
+    simulate_with_warmup(
+        &[],
+        records,
+        cache,
+        admission,
+        eviction,
+        score,
+        latency,
+        series_window,
+    )
 }
 
 /// [`simulate`] preceded by a warm-up phase.

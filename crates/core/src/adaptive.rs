@@ -277,8 +277,12 @@ pub fn run_adaptive(
         if measured && (i - start + 1) % adaptive.refit_every == 0 && i + 1 < end {
             chunk_miss_rates.push(chunk_stats.miss_rate());
             chunk_stats = CacheStats::default();
-            let (model, cdf) =
-                fit_window(&cfg, &records[..=i], adaptive.window, adaptive.refit_max_iters)?;
+            let (model, cdf) = fit_window(
+                &cfg,
+                &records[..=i],
+                adaptive.window,
+                adaptive.refit_max_iters,
+            )?;
             // Swap in the refit parameters but keep the Algorithm 1 clock
             // running (the timestamp stream must not restart mid-trace).
             let mut fresh =
@@ -350,8 +354,7 @@ mod tests {
             window: 12_000,
             refit_max_iters: 5,
         };
-        let report =
-            run_adaptive(&sys, &trace, PolicyMode::GmmCachingEviction, &adaptive).unwrap();
+        let report = run_adaptive(&sys, &trace, PolicyMode::GmmCachingEviction, &adaptive).unwrap();
         assert_eq!(report.stats.accesses(), 28_000); // 70% measured
         assert!(report.refits >= 2, "refits {}", report.refits);
         assert_eq!(report.chunk_miss_rates.len(), report.refits + 1);

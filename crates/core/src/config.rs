@@ -165,8 +165,10 @@ mod tests {
 
     #[test]
     fn validation_flags_each_field() {
-        let mut c = IcgmmConfig::default();
-        c.max_train_cells = 0;
+        let mut c = IcgmmConfig {
+            max_train_cells: 0,
+            ..Default::default()
+        };
         assert!(matches!(c.validate(), Err(IcgmmError::Config(_))));
         c = IcgmmConfig::default();
         c.threshold.quantile = 1.5;

@@ -3,7 +3,7 @@
 
 use icgmm_cache::ScoreSource;
 use icgmm_gmm::fixed::FixedGmm;
-use icgmm_gmm::{Gmm, GmmError, StandardScaler};
+use icgmm_gmm::{Gmm, GmmError, GmmScorer, StandardScaler, Vec2};
 use icgmm_trace::{PreprocessConfig, TimestampTransformer, TraceRecord};
 use serde::{Deserialize, Serialize};
 
@@ -23,14 +23,21 @@ pub struct TrainedModel {
 }
 
 /// Online policy engine driving the cache simulator.
+///
+/// Scoring goes through the mixture's flat [`GmmScorer`] kernel: the
+/// streaming path (`score_current`) uses its allocation-free scalar
+/// log-sum-exp, and the windowed path (`score_window`) batches a whole
+/// miss window through `score_batch` — bit-identical results, one kernel.
 #[derive(Clone, Debug)]
 pub struct GmmPolicyEngine {
     scaler: StandardScaler,
-    gmm: Gmm,
+    scorer: GmmScorer,
     fixed: Option<FixedGmm>,
     transformer: TimestampTransformer,
     current: [f64; 2],
     scores_computed: u64,
+    /// Reusable standardized-feature buffer for `score_window`.
+    window_z: Vec<Vec2>,
 }
 
 impl GmmPolicyEngine {
@@ -54,11 +61,12 @@ impl GmmPolicyEngine {
         };
         Ok(GmmPolicyEngine {
             scaler: model.scaler,
-            gmm: model.gmm.clone(),
+            scorer: model.gmm.scorer().clone(),
             fixed,
             transformer: TimestampTransformer::from_config(preprocess),
             current: [0.0, 0.0],
             scores_computed: 0,
+            window_z: Vec::new(),
         })
     }
 
@@ -69,7 +77,7 @@ impl GmmPolicyEngine {
         self.scores_computed += 1;
         match &self.fixed {
             Some(fx) => fx.score(z),
-            None => self.gmm.score(z),
+            None => self.scorer.score(z),
         }
     }
 
@@ -105,7 +113,28 @@ impl ScoreSource for GmmPolicyEngine {
         self.scores_computed += 1;
         match &self.fixed {
             Some(fx) => fx.score(z),
-            None => self.gmm.score(z),
+            None => self.scorer.score(z),
+        }
+    }
+
+    /// Batched override: advance the Algorithm 1 clock over the window,
+    /// standardize every `(page, timestamp)` pair into a reused buffer,
+    /// and score them in one `score_batch` call instead of per-miss
+    /// round-trips. Results are bit-identical to the streaming path
+    /// (asserted in this module's tests).
+    fn score_window(&mut self, records: &[TraceRecord], out: &mut [f64]) {
+        assert_eq!(records.len(), out.len(), "one score slot per record");
+        self.window_z.clear();
+        self.window_z.reserve(records.len());
+        for record in records {
+            let ts = self.transformer.next();
+            self.current = [record.page().raw() as f64, ts as f64];
+            self.window_z.push(self.scaler.transform(self.current));
+        }
+        self.scores_computed += records.len() as u64;
+        match &self.fixed {
+            Some(fx) => fx.score_batch(&self.window_z, out),
+            None => self.scorer.score_batch(&self.window_z, out),
         }
     }
 }
@@ -122,10 +151,7 @@ mod tests {
             vec![Gaussian2::new([0.0, 0.0], Mat2::scaled_identity(1.0)).unwrap()],
         )
         .unwrap();
-        let scaler = StandardScaler::fit(
-            &[[900.0, 0.0], [1100.0, 100.0]],
-            &[1.0, 1.0],
-        );
+        let scaler = StandardScaler::fit(&[[900.0, 0.0], [1100.0, 100.0]], &[1.0, 1.0]);
         TrainedModel {
             scaler,
             gmm,
@@ -184,6 +210,32 @@ mod tests {
         e.observe(&TraceRecord::read(0));
         assert_eq!(e.current[1], 0.0);
         assert_eq!(e.scores_computed(), 0);
+    }
+
+    #[test]
+    fn windowed_scoring_is_bit_identical_to_streaming() {
+        for fixed_point in [false, true] {
+            let m = model();
+            let mut streaming = GmmPolicyEngine::new(&m, &cfg(), fixed_point).unwrap();
+            let mut windowed = GmmPolicyEngine::new(&m, &cfg(), fixed_point).unwrap();
+            let records: Vec<TraceRecord> = (0..200u64)
+                .map(|i| TraceRecord::read(((900 + i * 7) % 2000) << 12))
+                .collect();
+            let mut out = vec![0.0; records.len()];
+            windowed.score_window(&records, &mut out);
+            for (r, o) in records.iter().zip(&out) {
+                streaming.observe(r);
+                let s = streaming.score_current();
+                assert_eq!(o.to_bits(), s.to_bits(), "fixed_point={fixed_point}");
+            }
+            assert_eq!(windowed.scores_computed(), streaming.scores_computed());
+            // The Algorithm 1 clock advanced identically: the next
+            // observation scores the same on both engines.
+            let next = TraceRecord::read(1000 << 12);
+            streaming.observe(&next);
+            windowed.observe(&next);
+            assert_eq!(streaming.score_current(), windowed.score_current());
+        }
     }
 
     #[test]

@@ -99,8 +99,8 @@ pub fn run_suite(
         return Ok(all);
     }
 
-    let slots: Mutex<Vec<Option<Result<Vec<ExperimentResult>, IcgmmError>>>> =
-        Mutex::new((0..specs.len()).map(|_| None).collect());
+    type Slot = Option<Result<Vec<ExperimentResult>, IcgmmError>>;
+    let slots: Mutex<Vec<Slot>> = Mutex::new((0..specs.len()).map(|_| None).collect());
     crossbeam::thread::scope(|scope| {
         for (i, spec) in specs.iter().enumerate() {
             let slots = &slots;

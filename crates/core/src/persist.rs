@@ -119,17 +119,18 @@ pub fn load_model<R: Read>(r: R) -> Result<TrainedModel, ModelFileError> {
         line,
         what: what.to_string(),
     };
-    let floats = |line: usize, s: &str, prefix: &str, n: usize| -> Result<Vec<f64>, ModelFileError> {
-        let rest = s
-            .strip_prefix(prefix)
-            .ok_or_else(|| bad(line, &format!("expected {prefix:?} line")))?;
-        let vals: Result<Vec<f64>, _> = rest.split_whitespace().map(str::parse).collect();
-        let vals = vals.map_err(|_| bad(line, "unparseable number"))?;
-        if vals.len() != n {
-            return Err(bad(line, &format!("expected {n} numbers")));
-        }
-        Ok(vals)
-    };
+    let floats =
+        |line: usize, s: &str, prefix: &str, n: usize| -> Result<Vec<f64>, ModelFileError> {
+            let rest = s
+                .strip_prefix(prefix)
+                .ok_or_else(|| bad(line, &format!("expected {prefix:?} line")))?;
+            let vals: Result<Vec<f64>, _> = rest.split_whitespace().map(str::parse).collect();
+            let vals = vals.map_err(|_| bad(line, "unparseable number"))?;
+            if vals.len() != n {
+                return Err(bad(line, &format!("expected {n} numbers")));
+            }
+            Ok(vals)
+        };
 
     let (i, header) = next("header")?;
     if header.trim() != "icgmm-model v1" {
@@ -137,8 +138,8 @@ pub fn load_model<R: Read>(r: R) -> Result<TrainedModel, ModelFileError> {
     }
     let (i, line) = next("scaler")?;
     let sv = floats(i, &line, "scaler", 4)?;
-    let scaler = StandardScaler::from_parts([sv[0], sv[1]], [sv[2], sv[3]])
-        .map_err(|e| bad(i, &e))?;
+    let scaler =
+        StandardScaler::from_parts([sv[0], sv[1]], [sv[2], sv[3]]).map_err(|e| bad(i, &e))?;
     let (i, line) = next("threshold")?;
     let threshold = floats(i, &line, "threshold", 1)?[0];
     let (i, line) = next("k")?;
@@ -203,7 +204,10 @@ mod tests {
         // Scores agree bit-for-bit.
         for x in [[900.0, 40.0], [1200.0, 60.0]] {
             let z = model.scaler.transform(x);
-            assert_eq!(model.gmm.score(z), loaded.gmm.score(loaded.scaler.transform(x)));
+            assert_eq!(
+                model.gmm.score(z),
+                loaded.gmm.score(loaded.scaler.transform(x))
+            );
         }
     }
 
@@ -231,7 +235,9 @@ mod tests {
         let model = sample_model();
         let mut buf = Vec::new();
         save_model(&model, &mut buf).unwrap();
-        let text = String::from_utf8(buf).unwrap().replace("threshold", "threshold x");
+        let text = String::from_utf8(buf)
+            .unwrap()
+            .replace("threshold", "threshold x");
         assert!(load_model(text.as_bytes()).is_err());
     }
 

@@ -133,8 +133,7 @@ impl Icgmm {
         // Uniform subsample of cells (weights ride along, so weighted EM on
         // the subsample estimates the same mixture).
         let mut rng = StdRng::seed_from_u64(self.cfg.em.seed ^ 0x5EED_CE11);
-        let sampled: Vec<&icgmm_trace::WeightedSample> = if cells.len() > self.cfg.max_train_cells
-        {
+        let sampled: Vec<&icgmm_trace::WeightedSample> = if cells.len() > self.cfg.max_train_cells {
             let mut idx: Vec<usize> = (0..cells.len()).collect();
             idx.shuffle(&mut rng);
             idx.truncate(self.cfg.max_train_cells);
@@ -234,11 +233,14 @@ impl Icgmm {
             let score = engine
                 .as_mut()
                 .map(|e| e as &mut dyn icgmm_cache::ScoreSource);
-            let mut run = |adm: &mut dyn icgmm_cache::AdmissionPolicy,
-                           ev: &mut dyn icgmm_cache::EvictionPolicy,
-                           score: Option<&mut dyn icgmm_cache::ScoreSource>| {
-                simulate_with_warmup(warmup, measured, &mut cache, adm, ev, score, latency, None)
-            };
+            let mut run =
+                |adm: &mut dyn icgmm_cache::AdmissionPolicy,
+                 ev: &mut dyn icgmm_cache::EvictionPolicy,
+                 score: Option<&mut dyn icgmm_cache::ScoreSource>| {
+                    simulate_with_warmup(
+                        warmup, measured, &mut cache, adm, ev, score, latency, None,
+                    )
+                };
             match mode {
                 PolicyMode::Lru => run(&mut AlwaysAdmit, &mut LruPolicy::new(sets, ways), None),
                 PolicyMode::Fifo => run(&mut AlwaysAdmit, &mut FifoPolicy::new(sets, ways), None),
@@ -305,8 +307,8 @@ impl Icgmm {
             .map(|e| e as &mut dyn icgmm_cache::ScoreSource);
         let cache_cfg = self.cfg.cache;
         let go = |adm: &mut dyn icgmm_cache::AdmissionPolicy,
-                      ev: &mut dyn icgmm_cache::EvictionPolicy,
-                      score: Option<&mut dyn icgmm_cache::ScoreSource>|
+                  ev: &mut dyn icgmm_cache::EvictionPolicy,
+                  score: Option<&mut dyn icgmm_cache::ScoreSource>|
          -> Result<DataflowReport, IcgmmError> {
             Ok(icgmm_hw::run_dataflow_with_warmup(
                 warmup, measured, cache_cfg, adm, ev, score, config,
@@ -430,7 +432,11 @@ mod tests {
         let trace = WorkloadKind::Memtier.default_workload().generate(50_000, 3);
         sys.fit(&trace).unwrap();
         let belady = sys.run(&trace, PolicyMode::Belady).unwrap();
-        for mode in [PolicyMode::Lru, PolicyMode::Fifo, PolicyMode::GmmEvictionOnly] {
+        for mode in [
+            PolicyMode::Lru,
+            PolicyMode::Fifo,
+            PolicyMode::GmmEvictionOnly,
+        ] {
             let rep = sys.run(&trace, mode).unwrap();
             assert!(
                 belady.miss_rate_pct() <= rep.miss_rate_pct() + 1e-9,

@@ -4,6 +4,9 @@
 //! initialization, covariance regularization, empty-component re-seeding,
 //! and a crossbeam-parallel E-step (the paper trains offline on millions of
 //! trace cells; the parallel E-step keeps K = 256 practical on a laptop).
+//! The per-sample responsibilities come from the same structure-of-arrays
+//! kernel ([`crate::scorer::GmmScorer`]) that serves online inference, so
+//! the E-step walks flat parameter arrays and allocates nothing per sample.
 //!
 //! Convergence follows the paper: after each iteration the change in the
 //! (weighted mean) log-likelihood is compared against a threshold.
@@ -12,6 +15,7 @@ use crate::error::GmmError;
 use crate::gaussian::{Gaussian2, Mat2, Vec2};
 use crate::init::{init_params, InitMethod};
 use crate::model::Gmm;
+use crate::scorer::GmmScorer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -42,7 +46,7 @@ impl Default for EmConfig {
             max_iters: 60,
             tol: 1e-4,
             reg_covar: 1e-6,
-            seed: 0xD0C5_EED,
+            seed: 0x0D0C_5EED,
             init: InitMethod::default(),
             threads: 0,
         }
@@ -135,97 +139,44 @@ impl SuffStats {
     }
 }
 
-/// Flat, cache-friendly component parameters used in the hot loop.
-struct FlatParams {
-    /// `ln π_k + log_norm_k` per component.
-    coef: Vec<f64>,
-    inv_xx: Vec<f64>,
-    inv_xy: Vec<f64>,
-    inv_yy: Vec<f64>,
-    mx: Vec<f64>,
-    my: Vec<f64>,
-}
-
-impl FlatParams {
-    fn from(weights: &[f64], means: &[Vec2], covs: &[Mat2]) -> Result<Self, GmmError> {
-        let k = weights.len();
-        let mut fp = FlatParams {
-            coef: Vec::with_capacity(k),
-            inv_xx: Vec::with_capacity(k),
-            inv_xy: Vec::with_capacity(k),
-            inv_yy: Vec::with_capacity(k),
-            mx: Vec::with_capacity(k),
-            my: Vec::with_capacity(k),
-        };
-        for i in 0..k {
-            let inv = covs[i]
-                .inverse()
-                .ok_or(GmmError::SingularCovariance { component: i })?;
-            let log_norm = -crate::gaussian::LN_2PI - 0.5 * covs[i].det().ln();
-            let lw = if weights[i] > 0.0 {
-                weights[i].ln()
-            } else {
-                f64::NEG_INFINITY
-            };
-            fp.coef.push(lw + log_norm);
-            fp.inv_xx.push(inv.xx);
-            fp.inv_xy.push(inv.xy);
-            fp.inv_yy.push(inv.yy);
-            fp.mx.push(means[i][0]);
-            fp.my.push(means[i][1]);
+/// E-step over a slice, accumulating sufficient statistics into `stats`.
+///
+/// The per-component joint log-densities come from the shared SoA kernel
+/// ([`GmmScorer::log_terms_into`]); `logs` is a per-worker scratch buffer
+/// of length K, so the inner loop performs no allocation.
+fn accumulate(
+    scorer: &GmmScorer,
+    xs: &[Vec2],
+    ws: &[f64],
+    offset: usize,
+    stats: &mut SuffStats,
+    logs: &mut [f64],
+) {
+    for (i, x) in xs.iter().enumerate() {
+        let w = if ws.is_empty() { 1.0 } else { ws[offset + i] };
+        let m = scorer.log_terms_into(*x, logs);
+        if !m.is_finite() {
+            continue;
         }
-        Ok(fp)
-    }
-
-    /// E-step over a slice, accumulating into `stats`. `logs` is a per-call
-    /// scratch buffer of length K.
-    fn accumulate(
-        &self,
-        xs: &[Vec2],
-        ws: &[f64],
-        offset: usize,
-        stats: &mut SuffStats,
-        logs: &mut [f64],
-    ) {
-        let k = self.coef.len();
-        for (i, x) in xs.iter().enumerate() {
-            let w = if ws.is_empty() { 1.0 } else { ws[offset + i] };
-            let mut m = f64::NEG_INFINITY;
-            for j in 0..k {
-                let dx = x[0] - self.mx[j];
-                let dy = x[1] - self.my[j];
-                let q = self.inv_xx[j] * dx * dx
-                    + 2.0 * self.inv_xy[j] * dx * dy
-                    + self.inv_yy[j] * dy * dy;
-                let l = self.coef[j] - 0.5 * q;
-                logs[j] = l;
-                if l > m {
-                    m = l;
-                }
-            }
-            if !m.is_finite() {
+        let mut sum = 0.0;
+        for l in logs.iter_mut() {
+            *l = (*l - m).exp();
+            sum += *l;
+        }
+        let lse = m + sum.ln();
+        stats.loglik += w * lse;
+        let inv_sum = 1.0 / sum;
+        for (j, lj) in logs.iter().enumerate() {
+            let r = lj * inv_sum * w;
+            if r == 0.0 {
                 continue;
             }
-            let mut sum = 0.0;
-            for l in logs.iter_mut() {
-                *l = (*l - m).exp();
-                sum += *l;
-            }
-            let lse = m + sum.ln();
-            stats.loglik += w * lse;
-            let inv_sum = 1.0 / sum;
-            for j in 0..k {
-                let r = logs[j] * inv_sum * w;
-                if r == 0.0 {
-                    continue;
-                }
-                stats.nk[j] += r;
-                stats.sx[j][0] += r * x[0];
-                stats.sx[j][1] += r * x[1];
-                stats.sq[j][0] += r * x[0] * x[0];
-                stats.sq[j][1] += r * x[0] * x[1];
-                stats.sq[j][2] += r * x[1] * x[1];
-            }
+            stats.nk[j] += r;
+            stats.sx[j][0] += r * x[0];
+            stats.sx[j][1] += r * x[1];
+            stats.sq[j][0] += r * x[0] * x[0];
+            stats.sq[j][1] += r * x[0] * x[1];
+            stats.sq[j][2] += r * x[1] * x[1];
         }
     }
 }
@@ -271,8 +222,14 @@ impl EmTrainer {
         }
         let k = self.cfg.k.min(xs.len());
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
-        let (mut weights, mut means, mut covs) =
-            init_params(xs, ws, k, self.cfg.init, self.cfg.reg_covar.max(1e-9), &mut rng);
+        let (mut weights, mut means, mut covs) = init_params(
+            xs,
+            ws,
+            k,
+            self.cfg.init,
+            self.cfg.reg_covar.max(1e-9),
+            &mut rng,
+        );
 
         let threads = if self.cfg.threads == 0 {
             std::thread::available_parallelism()
@@ -290,8 +247,8 @@ impl EmTrainer {
 
         for _ in 0..self.cfg.max_iters {
             iterations += 1;
-            let fp = FlatParams::from(&weights, &means, &covs)?;
-            let stats = e_step(&fp, xs, ws, k, threads);
+            let scorer = GmmScorer::from_params(&weights, &means, &covs)?;
+            let stats = e_step(&scorer, xs, ws, k, threads);
 
             // M-step.
             let global = crate::init::global_cov(xs, ws);
@@ -356,12 +313,12 @@ impl EmTrainer {
 use rand::Rng;
 
 /// Runs the E-step, splitting samples across `threads` workers.
-fn e_step(fp: &FlatParams, xs: &[Vec2], ws: &[f64], k: usize, threads: usize) -> SuffStats {
+fn e_step(scorer: &GmmScorer, xs: &[Vec2], ws: &[f64], k: usize, threads: usize) -> SuffStats {
     let threads = threads.max(1);
     if threads == 1 || xs.len() < 4_096 {
         let mut stats = SuffStats::zeros(k);
         let mut logs = vec![0.0f64; k];
-        fp.accumulate(xs, ws, 0, &mut stats, &mut logs);
+        accumulate(scorer, xs, ws, 0, &mut stats, &mut logs);
         return stats;
     }
     let chunk = xs.len().div_ceil(threads);
@@ -378,7 +335,7 @@ fn e_step(fp: &FlatParams, xs: &[Vec2], ws: &[f64], k: usize, threads: usize) ->
             handles.push(scope.spawn(move |_| {
                 let mut stats = SuffStats::zeros(k);
                 let mut logs = vec![0.0f64; k];
-                fp.accumulate(slice, ws, lo, &mut stats, &mut logs);
+                accumulate(scorer, slice, ws, lo, &mut stats, &mut logs);
                 stats
             }));
         }
@@ -417,11 +374,35 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(EmConfig::default().validate().is_ok());
-        assert!(EmConfig { k: 0, ..Default::default() }.validate().is_err());
-        assert!(EmConfig { max_iters: 0, ..Default::default() }.validate().is_err());
-        assert!(EmConfig { tol: 0.0, ..Default::default() }.validate().is_err());
-        assert!(EmConfig { reg_covar: -1.0, ..Default::default() }.validate().is_err());
-        assert!(EmTrainer::new(EmConfig { k: 0, ..Default::default() }).is_err());
+        assert!(EmConfig {
+            k: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(EmConfig {
+            max_iters: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(EmConfig {
+            tol: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(EmConfig {
+            reg_covar: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(EmTrainer::new(EmConfig {
+            k: 0,
+            ..Default::default()
+        })
+        .is_err());
     }
 
     #[test]
@@ -441,8 +422,14 @@ mod tests {
         w.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert!((w[0] - 0.25).abs() < 0.03, "weights {w:?}");
         // Means near ±4.
-        let found_left = gmm.components().iter().any(|c| (c.mean()[0] + 4.0).abs() < 0.3);
-        let found_right = gmm.components().iter().any(|c| (c.mean()[0] - 4.0).abs() < 0.3);
+        let found_left = gmm
+            .components()
+            .iter()
+            .any(|c| (c.mean()[0] + 4.0).abs() < 0.3);
+        let found_right = gmm
+            .components()
+            .iter()
+            .any(|c| (c.mean()[0] - 4.0).abs() < 0.3);
         assert!(found_left && found_right);
     }
 
@@ -497,10 +484,7 @@ mod tests {
         let trainer = EmTrainer::new(EmConfig::default()).unwrap();
         assert_eq!(trainer.fit(&[], &[]).unwrap_err(), GmmError::EmptyInput);
         let xs = [[1.0, 1.0]];
-        assert_eq!(
-            trainer.fit(&xs, &[0.0]).unwrap_err(),
-            GmmError::EmptyInput
-        );
+        assert_eq!(trainer.fit(&xs, &[0.0]).unwrap_err(), GmmError::EmptyInput);
     }
 
     #[test]

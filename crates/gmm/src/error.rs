@@ -25,7 +25,10 @@ impl fmt::Display for GmmError {
         match self {
             GmmError::InvalidParam(s) => write!(f, "invalid parameter: {s}"),
             GmmError::SingularCovariance { component } => {
-                write!(f, "covariance of component {component} is not positive definite")
+                write!(
+                    f,
+                    "covariance of component {component} is not positive definite"
+                )
             }
             GmmError::EmptyInput => f.write_str("training data is empty"),
             GmmError::InvalidWeights(s) => write!(f, "invalid mixture weights: {s}"),

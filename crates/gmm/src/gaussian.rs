@@ -158,6 +158,12 @@ impl Gaussian2 {
 }
 
 /// Numerically stable `ln Σ exp(vals)` (log-sum-exp).
+///
+/// The production paths now stream this computation inside
+/// [`crate::scorer::GmmScorer`] without materializing `vals`; this
+/// buffer-based form is kept as the reference implementation the scorer
+/// tests compare against.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn log_sum_exp(vals: &[f64]) -> f64 {
     let m = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     if !m.is_finite() {

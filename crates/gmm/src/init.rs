@@ -79,7 +79,11 @@ pub(crate) fn init_params<R: Rng + ?Sized>(
                 (sq[c][2] / nk[c] - m[1] * m[1]).max(0.0) + reg_covar,
             );
             out_means.push(m);
-            covs.push(if cov.is_spd() { cov } else { spd_fallback(global, reg_covar) });
+            covs.push(if cov.is_spd() {
+                cov
+            } else {
+                spd_fallback(global, reg_covar)
+            });
             weights.push(nk[c] / total);
         } else {
             // Empty cluster: park it on a random data point with the global
@@ -169,10 +173,7 @@ fn kmeanspp_seed<R: Rng + ?Sized>(xs: &[Vec2], ws: &[f64], k: usize, rng: &mut R
     let w_at = |i: usize| if ws.is_empty() { 1.0 } else { ws[i] };
     let mut means = Vec::with_capacity(k);
     means.push(xs[weighted_index(xs.len(), ws, rng)]);
-    let mut d2: Vec<f64> = xs
-        .iter()
-        .map(|x| dist2(*x, means[0]))
-        .collect();
+    let mut d2: Vec<f64> = xs.iter().map(|x| dist2(*x, means[0])).collect();
     while means.len() < k {
         let total: f64 = d2.iter().enumerate().map(|(i, d)| d * w_at(i)).sum();
         let next = if total <= 0.0 {

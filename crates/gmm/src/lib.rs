@@ -9,8 +9,10 @@
 //!
 //! * [`Gaussian2`]/[`Mat2`] — exact 2-D Gaussian components;
 //! * [`Gmm`] — the mixture: density/score, responsibilities, sampling;
+//! * [`GmmScorer`] — the allocation-free structure-of-arrays scoring
+//!   kernel behind every hot path (scalar, batched and parallel);
 //! * [`EmTrainer`]/[`EmConfig`] — weighted EM with k-means++ init and a
-//!   crossbeam-parallel E-step;
+//!   crossbeam-parallel E-step (responsibilities via the SoA kernel);
 //! * [`StandardScaler`] — the affine feature map stored with the model;
 //! * [`calibrate_threshold`] — quantile-based admission threshold;
 //! * [`fixed`] — the fixed-point (FPGA-style) inference datapath.
@@ -51,6 +53,7 @@ mod scaler;
 mod threshold;
 
 pub mod fixed;
+pub mod scorer;
 
 pub use em::{EmConfig, EmReport, EmTrainer};
 pub use error::GmmError;
@@ -58,6 +61,7 @@ pub use gaussian::{Gaussian2, Mat2, Vec2};
 pub use init::InitMethod;
 pub use model::Gmm;
 pub use scaler::StandardScaler;
+pub use scorer::GmmScorer;
 pub use threshold::{calibrate_threshold, weighted_quantile, ThresholdConfig};
 
 use rand::Rng;

@@ -1,9 +1,11 @@
 //! The Gaussian mixture model (paper Eq. 3).
 
 use crate::error::GmmError;
-use crate::gaussian::{log_sum_exp, Gaussian2, Vec2};
+use crate::gaussian::{Gaussian2, Vec2};
+use crate::scorer::GmmScorer;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// A mixture of `K` two-dimensional Gaussians with weights `π`
 /// (`0 ≤ π_k ≤ 1`, `Σ π_k = 1`).
@@ -24,10 +26,23 @@ use serde::{Deserialize, Serialize};
 /// assert!(g.score([-2.0, 0.0]) > g.score([0.0, 5.0]));
 /// # Ok::<(), icgmm_gmm::GmmError>(())
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Gmm {
     weights: Vec<f64>,
     components: Vec<Gaussian2>,
+    /// Lazily built SoA inference kernel (caches `ln π_k + log_norm_k`,
+    /// so the hot paths never recompute logarithms or allocate).
+    /// Derived state: excluded from equality and serialization.
+    #[serde(skip)]
+    scorer: OnceLock<GmmScorer>,
+}
+
+impl PartialEq for Gmm {
+    fn eq(&self, other: &Self) -> bool {
+        // The cached scorer is derived from (weights, components); two
+        // mixtures are equal iff their parameters are.
+        self.weights == other.weights && self.components == other.components
+    }
 }
 
 impl Gmm {
@@ -37,7 +52,9 @@ impl Gmm {
     ///
     /// Returns [`GmmError::InvalidWeights`] when lengths differ, the list is
     /// empty, any weight is negative/non-finite, or weights do not sum to 1
-    /// (tolerance 1e-6; they are then renormalized exactly).
+    /// (tolerance 1e-6; sums off by more than 1e-12 are renormalized,
+    /// already-normalized weights pass through bit-unchanged so that
+    /// construction is idempotent).
     pub fn new(weights: Vec<f64>, components: Vec<Gaussian2>) -> Result<Self, GmmError> {
         if weights.len() != components.len() {
             return Err(GmmError::InvalidWeights(format!(
@@ -58,10 +75,22 @@ impl Gmm {
         if (sum - 1.0).abs() > 1e-6 {
             return Err(GmmError::InvalidWeights(format!("weights sum to {sum}")));
         }
-        let weights = weights.iter().map(|w| w / sum).collect();
+        // Renormalize only when the sum is meaningfully off 1.0.
+        // Already-normalized weights (an EM fit, or a mixture's own
+        // weights fed back through the save→load round-trip) sit within a
+        // few ulp of 1.0, where re-dividing would only churn low bits —
+        // skipping them makes construction idempotent and keeps model
+        // persistence bit-exact.
+        let mut weights = weights;
+        if (sum - 1.0).abs() > 1e-12 {
+            for w in &mut weights {
+                *w /= sum;
+            }
+        }
         Ok(Gmm {
             weights,
             components,
+            scorer: OnceLock::new(),
         })
     }
 
@@ -80,21 +109,17 @@ impl Gmm {
         &self.components
     }
 
-    /// Log mixture density `ln G(x)` via log-sum-exp.
+    /// The flat structure-of-arrays inference kernel, built on first use
+    /// and cached for the lifetime of the mixture (see [`GmmScorer`]).
+    pub fn scorer(&self) -> &GmmScorer {
+        self.scorer
+            .get_or_init(|| GmmScorer::from_components(&self.weights, &self.components))
+    }
+
+    /// Log mixture density `ln G(x)` via the allocation-free streaming
+    /// max-trick log-sum-exp of the cached [`GmmScorer`].
     pub fn log_density(&self, x: Vec2) -> f64 {
-        let logs: Vec<f64> = self
-            .weights
-            .iter()
-            .zip(&self.components)
-            .map(|(w, c)| {
-                if *w == 0.0 {
-                    f64::NEG_INFINITY
-                } else {
-                    w.ln() + c.log_pdf(x)
-                }
-            })
-            .collect();
-        log_sum_exp(&logs)
+        self.scorer().log_density(x)
     }
 
     /// Mixture density `G(x)` — the paper's access-frequency score (Eq. 3).
@@ -107,26 +132,25 @@ impl Gmm {
         self.density(x)
     }
 
+    /// Batched scores through the cached [`GmmScorer`] — bit-identical to
+    /// calling [`Gmm::score`] per point, several times faster per point.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs.len() != out.len()`.
+    pub fn score_batch(&self, xs: &[Vec2], out: &mut [f64]) {
+        self.scorer().score_batch(xs, out)
+    }
+
     /// Posterior responsibilities `p(k | x)` (the E-step quantity).
     pub fn responsibilities(&self, x: Vec2) -> Vec<f64> {
-        let logs: Vec<f64> = self
-            .weights
-            .iter()
-            .zip(&self.components)
-            .map(|(w, c)| {
-                if *w == 0.0 {
-                    f64::NEG_INFINITY
-                } else {
-                    w.ln() + c.log_pdf(x)
-                }
-            })
-            .collect();
-        let lse = log_sum_exp(&logs);
+        let mut out = vec![0.0; self.k()];
+        let lse = self.scorer().responsibilities_into(x, &mut out);
         if !lse.is_finite() {
             // x is impossibly far from every component: fall back to π.
             return self.weights.clone();
         }
-        logs.iter().map(|l| (l - lse).exp()).collect()
+        out
     }
 
     /// Draws one sample from the mixture (tests and synthetic-data use).
@@ -243,10 +267,7 @@ mod tests {
         let g = two_bump();
         let mut rng = StdRng::seed_from_u64(5);
         let n = 20_000;
-        let left = (0..n)
-            .filter(|_| g.sample(&mut rng)[0] < 0.0)
-            .count() as f64
-            / n as f64;
+        let left = (0..n).filter(|_| g.sample(&mut rng)[0] < 0.0).count() as f64 / n as f64;
         assert!((left - 0.7).abs() < 0.02, "left fraction {left}");
     }
 

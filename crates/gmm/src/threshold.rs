@@ -63,16 +63,14 @@ pub fn weighted_quantile(values: &[f64], weights: &[f64], q: f64) -> f64 {
 /// # Panics
 ///
 /// Propagates the panics of [`weighted_quantile`].
-pub fn calibrate_threshold(
-    gmm: &Gmm,
-    xs: &[[f64; 2]],
-    ws: &[f64],
-    cfg: &ThresholdConfig,
-) -> f64 {
+pub fn calibrate_threshold(gmm: &Gmm, xs: &[[f64; 2]], ws: &[f64], cfg: &ThresholdConfig) -> f64 {
     if cfg.quantile <= 0.0 {
         return 0.0; // admit everything
     }
-    let scores: Vec<f64> = xs.iter().map(|x| gmm.score(*x)).collect();
+    // Calibration scores every training cell (up to millions): use the
+    // parallel batched kernel instead of point-at-a-time scoring.
+    let mut scores = vec![0.0; xs.len()];
+    gmm.scorer().score_batch_parallel(xs, &mut scores, 0);
     weighted_quantile(&scores, ws, cfg.quantile.min(1.0))
 }
 

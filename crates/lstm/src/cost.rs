@@ -86,7 +86,8 @@ impl LstmCostModel {
             * 4;
         // I/O & double-buffering overhead tiles (FIFOs, weight prefetch).
         let overhead_tiles = 32u64;
-        let bram = param_bytes.div_ceil(BRAM_BYTES) + act_bytes.div_ceil(BRAM_BYTES) + overhead_tiles;
+        let bram =
+            param_bytes.div_ceil(BRAM_BYTES) + act_bytes.div_ceil(BRAM_BYTES) + overhead_tiles;
 
         let macs = arch.macs_per_inference() as f64;
         let peak_macs_per_us = f64::from(self.dsp_budget) * self.clock_mhz;
@@ -128,8 +129,16 @@ mod tests {
             cost.bram_36k
         );
         assert_eq!(cost.dsp, 145);
-        assert!((f64::from(cost.lut) - 85_029.0).abs() < 8_500.0, "lut {}", cost.lut);
-        assert!((f64::from(cost.ff) - 103_561.0).abs() < 10_400.0, "ff {}", cost.ff);
+        assert!(
+            (f64::from(cost.lut) - 85_029.0).abs() < 8_500.0,
+            "lut {}",
+            cost.lut
+        );
+        assert!(
+            (f64::from(cost.ff) - 103_561.0).abs() < 10_400.0,
+            "ff {}",
+            cost.ff
+        );
     }
 
     #[test]

@@ -272,7 +272,10 @@ mod tests {
         let l_up = loss(&net);
         net.head_b -= eps;
         let fd = (l_up - l0) / eps;
-        assert!((fd - dhb).abs() < 3e-2 * fd.abs().max(1.0), "dhb fd {fd} vs {dhb}");
+        assert!(
+            (fd - dhb).abs() < 3e-2 * fd.abs().max(1.0),
+            "dhb fd {fd} vs {dhb}"
+        );
 
         // A couple of first-layer Wx entries.
         for (r, c) in [(0usize, 0usize), (5, 1)] {

@@ -81,13 +81,12 @@ impl Matrix {
     pub fn matvec_acc(&self, x: &[f32], out: &mut [f32]) {
         assert_eq!(x.len(), self.cols, "matvec: x length");
         assert_eq!(out.len(), self.rows, "matvec: out length");
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+        for (row, o) in self.data.chunks_exact(self.cols).zip(out.iter_mut()) {
             let mut acc = 0.0f32;
             for (a, b) in row.iter().zip(x) {
                 acc += a * b;
             }
-            out[r] += acc;
+            *o += acc;
         }
     }
 
@@ -99,9 +98,7 @@ impl Matrix {
     pub fn t_matvec_acc(&self, y: &[f32], out: &mut [f32]) {
         assert_eq!(y.len(), self.rows, "t_matvec: y length");
         assert_eq!(out.len(), self.cols, "t_matvec: out length");
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let yr = y[r];
+        for (row, yr) in self.data.chunks_exact(self.cols).zip(y.iter()) {
             for (o, a) in out.iter_mut().zip(row) {
                 *o += yr * a;
             }
@@ -116,9 +113,7 @@ impl Matrix {
     pub fn outer_acc(&mut self, y: &[f32], x: &[f32]) {
         assert_eq!(y.len(), self.rows, "outer: y length");
         assert_eq!(x.len(), self.cols, "outer: x length");
-        for r in 0..self.rows {
-            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
-            let yr = y[r];
+        for (row, yr) in self.data.chunks_exact_mut(self.cols).zip(y.iter()) {
             for (m, a) in row.iter_mut().zip(x) {
                 *m += yr * a;
             }
@@ -213,8 +208,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let m = Matrix::randn(50, 50, 0.1, &mut rng);
         let mean: f32 = m.data().iter().sum::<f32>() / m.len() as f32;
-        let var: f32 =
-            m.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.len() as f32;
+        let var: f32 = m
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / m.len() as f32;
         assert!(mean.abs() < 0.01, "mean {mean}");
         assert!((var.sqrt() - 0.1).abs() < 0.02, "std {}", var.sqrt());
     }

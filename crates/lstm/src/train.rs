@@ -6,7 +6,7 @@
 //! benchmark harness show exactly that behaviour next to the GMM's EM
 //! convergence.
 
-use crate::network::{LstmNetwork, LstmArch};
+use crate::network::{LstmArch, LstmNetwork};
 use rand::rngs::StdRng;
 use rand::{seq::SliceRandom, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -221,7 +221,11 @@ mod tests {
                 seed: 1,
             },
         );
-        assert!(report.losses.iter().all(|l| l.is_finite()), "{:?}", report.losses);
+        assert!(
+            report.losses.iter().all(|l| l.is_finite()),
+            "{:?}",
+            report.losses
+        );
     }
 
     #[test]

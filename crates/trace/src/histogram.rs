@@ -158,7 +158,9 @@ impl TemporalHeatmap {
         }
         let span = max_page - min_page + 1;
         let bucket_pages = span.div_ceil(rows as u64).max(1);
-        let total_windows = (records.len() as u64).div_ceil(u64::from(cfg.len_window)).max(1);
+        let total_windows = (records.len() as u64)
+            .div_ceil(u64::from(cfg.len_window))
+            .max(1);
         let window_per_col = total_windows.div_ceil(cols as u64).max(1);
 
         let mut counts = vec![0u64; rows * cols];
@@ -184,7 +186,10 @@ impl TemporalHeatmap {
     ///
     /// Panics when out of range.
     pub fn at(&self, row: usize, col: usize) -> u64 {
-        assert!(row < self.rows && col < self.cols, "heatmap index out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "heatmap index out of range"
+        );
         self.counts[row * self.cols + col]
     }
 

@@ -91,7 +91,10 @@ pub fn read_text<R: Read>(r: R) -> Result<Trace, ParseTraceError> {
             _ => return Err(malformed()),
         };
         let addr_s = addr_s.trim();
-        let paddr = if let Some(hex) = addr_s.strip_prefix("0x").or_else(|| addr_s.strip_prefix("0X")) {
+        let paddr = if let Some(hex) = addr_s
+            .strip_prefix("0x")
+            .or_else(|| addr_s.strip_prefix("0X"))
+        {
             u64::from_str_radix(hex, 16).map_err(|_| malformed())?
         } else {
             addr_s.parse::<u64>().map_err(|_| malformed())?

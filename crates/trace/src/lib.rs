@@ -46,8 +46,8 @@ pub mod io;
 pub mod synth;
 
 pub use preprocess::{
-    extract_features, extract_weighted_cells, extract_weighted_cells_range, trim,
-    PreprocessConfig, TimestampTransformer, WeightedSample,
+    extract_features, extract_weighted_cells, extract_weighted_cells_range, trim, PreprocessConfig,
+    TimestampTransformer, WeightedSample,
 };
 pub use record::{Op, PageIndex, TraceRecord, HOST_ACCESS_BYTES, PAGE_SHIFT, PAGE_SIZE};
 pub use trace::{Trace, TraceStats};

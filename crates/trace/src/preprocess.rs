@@ -139,6 +139,7 @@ impl TimestampTransformer {
 
     /// Advances the transformer by one request and returns that request's
     /// timestamp (Algorithm 1, lines 3–11).
+    #[allow(clippy::should_implement_trait)] // not an Iterator: never ends
     pub fn next(&mut self) -> u64 {
         if self.index >= self.len_window {
             self.timestamp += 1;
@@ -253,9 +254,11 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configs() {
-        let mut c = PreprocessConfig::default();
-        c.warmup_frac = 0.8;
-        c.tail_frac = 0.3;
+        let mut c = PreprocessConfig {
+            warmup_frac: 0.8,
+            tail_frac: 0.3,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
         c = PreprocessConfig {
             len_window: 0,

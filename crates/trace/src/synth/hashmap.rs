@@ -99,7 +99,7 @@ impl Workload for HashmapWorkload {
 
         while t.len() < n {
             ops += 1;
-            if self.rehash_every > 0 && ops % self.rehash_every == 0 {
+            if self.rehash_every > 0 && ops.is_multiple_of(self.rehash_every) {
                 // Incremental rehash: sequentially scan bucket pages and
                 // relocate their entries into a cold target region — reads
                 // of warm buckets plus write-once dirty pages that pollute
@@ -111,8 +111,8 @@ impl Workload for HashmapWorkload {
                     let bucket_page =
                         self.bucket_base_page + (rehash_cursor + i) % self.bucket_pages();
                     t.push(TraceRecord::read(line_addr(bucket_page, i)));
-                    let reloc_page = self.relocation_base()
-                        + (rehash_cursor + i) % self.relocation_pages.max(1);
+                    let reloc_page =
+                        self.relocation_base() + (rehash_cursor + i) % self.relocation_pages.max(1);
                     t.push(TraceRecord::write(line_addr(reloc_page, i)));
                 }
                 rehash_cursor = rehash_cursor.wrapping_add(self.rehash_scan_pages);

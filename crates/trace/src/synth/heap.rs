@@ -62,14 +62,12 @@ impl HeapWorkload {
     /// Address of heap slot `idx` (element-aligned).
     fn slot_addr(&self, idx: u64) -> u64 {
         let per_page = (crate::record::PAGE_SIZE / self.elem_bytes).max(1);
-        (self.slot_page(idx) << crate::record::PAGE_SHIFT)
-            + (idx % per_page) * self.elem_bytes
+        (self.slot_page(idx) << crate::record::PAGE_SHIFT) + (idx % per_page) * self.elem_bytes
     }
 
     /// Current occupancy given the operation counter.
     fn occupancy(&self, ops: usize) -> u64 {
-        let phase = (ops % self.wave_period_ops.max(1)) as f64
-            / self.wave_period_ops.max(1) as f64;
+        let phase = (ops % self.wave_period_ops.max(1)) as f64 / self.wave_period_ops.max(1) as f64;
         let f = self.fill_mid + self.fill_wave * (std::f64::consts::TAU * phase).sin();
         ((self.elements as f64) * f.clamp(0.05, 0.99)) as u64
     }
@@ -103,7 +101,8 @@ impl Workload for HeapWorkload {
                 let mut levels = 0.0f64;
                 while t.len() < n
                     && idx > 0
-                    && rng.gen::<f64>() < self.sift_up_mean_levels / (self.sift_up_mean_levels + levels + 1.0)
+                    && rng.gen::<f64>()
+                        < self.sift_up_mean_levels / (self.sift_up_mean_levels + levels + 1.0)
                 {
                     let parent = (idx - 1) / 2;
                     push(&mut t, self.slot_addr(parent), false); // compare

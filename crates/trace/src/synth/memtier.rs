@@ -95,7 +95,11 @@ impl Workload for MemtierWorkload {
                 // admission-less cache lets it evict something useful.
                 let key = rng.gen_range(0..self.keys);
                 let values_per_page = (PAGE_SIZE / self.value_bytes).max(1);
-                push_read(&mut t, &mut rng, self.heap_base_page + key / values_per_page);
+                push_read(
+                    &mut t,
+                    &mut rng,
+                    self.heap_base_page + key / values_per_page,
+                );
                 if t.len() >= n {
                     break;
                 }

@@ -27,7 +27,7 @@ pub use parsec::ParsecWorkload;
 pub use stream::StreamWorkload;
 pub use sysbench::SysbenchWorkload;
 
-use crate::record::{PAGE_SHIFT, TraceRecord};
+use crate::record::{TraceRecord, PAGE_SHIFT};
 use crate::trace::Trace;
 use rand::Rng;
 use serde::{Deserialize, Serialize};

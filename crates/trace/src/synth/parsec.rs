@@ -58,7 +58,7 @@ impl ParsecWorkload {
     fn cluster_mean(&self, c: usize, phase: usize) -> f64 {
         let base = self.region_base_page + c as u64 * self.cluster_spacing_pages;
         // Drift back and forth so the footprint stays bounded.
-        let dir = if phase % 2 == 0 { 1.0 } else { -1.0 };
+        let dir = if phase.is_multiple_of(2) { 1.0 } else { -1.0 };
         base as f64 + dir * self.drift_pages * ((phase % 4) as f64 / 2.0)
     }
 
@@ -78,8 +78,8 @@ impl Workload for ParsecWorkload {
     fn generate(&self, n: usize, seed: u64) -> Trace {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut t = Trace::with_capacity(n);
-        let region_pages = self.clusters as u64 * self.cluster_spacing_pages
-            + 8 * self.cluster_sigma_pages as u64;
+        let region_pages =
+            self.clusters as u64 * self.cluster_spacing_pages + 8 * self.cluster_sigma_pages as u64;
         let bg_base = self.region_base_page + region_pages + 1_000_000;
 
         while t.len() < n {

@@ -52,7 +52,9 @@ impl Zipf {
     /// Returns an error when `n == 0`, or `s` is not finite and positive.
     pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
         if n == 0 {
-            return Err(ZipfError { what: "n must be >= 1" });
+            return Err(ZipfError {
+                what: "n must be >= 1",
+            });
         }
         if !(s.is_finite() && s > 0.0) {
             return Err(ZipfError {

@@ -60,7 +60,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         format_table(
             &["policy", "miss %", "avg µs", "refits"],
             &[
-                vec!["lru".into(), f(lru.miss_rate_pct(), 2), f(lru.avg_us(), 2), "-".into()],
+                vec![
+                    "lru".into(),
+                    f(lru.miss_rate_pct(), 2),
+                    f(lru.avg_us(), 2),
+                    "-".into()
+                ],
                 vec![
                     "gmm (frozen at deploy)".into(),
                     f(frozen.miss_rate_pct(), 2),

@@ -16,7 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cache_engine = CacheEngineModel::paper_default();
     let gmm_engine = GmmEngineModel::paper_k256();
     let ssd = SsdProfile::tlc();
-    println!("cache hit        : {:?} = {:.2} µs", cache_engine.hit_cycles(), cache_engine.hit_us());
+    println!(
+        "cache hit        : {:?} = {:.2} µs",
+        cache_engine.hit_cycles(),
+        cache_engine.hit_us()
+    );
     println!(
         "GMM inference    : {:?} = {:.2} µs (K={}, II={}, depth={})",
         gmm_engine.latency_cycles(),
@@ -25,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         gmm_engine.ii,
         gmm_engine.pipeline_depth
     );
-    println!("SSD read/program : {} µs / {} µs ({})", ssd.read_us, ssd.write_us, ssd.name);
+    println!(
+        "SSD read/program : {} µs / {} µs ({})",
+        ssd.read_us, ssd.write_us, ssd.name
+    );
 
     let res = GmmResourceModel::paper_k256().estimate();
     println!(

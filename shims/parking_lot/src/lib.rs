@@ -1,0 +1,51 @@
+//! Offline shim for `parking_lot`.
+//!
+//! Provides the non-poisoning `Mutex` API the workspace uses (`lock`
+//! returning a guard directly, `into_inner`) on top of `std::sync::Mutex`.
+//! Poisoning is erased by unwrapping into the inner value — consistent
+//! with parking_lot semantics, where a panicked holder simply releases the
+//! lock.
+
+use std::sync::{Mutex as StdMutex, MutexGuard as StdGuard, PoisonError};
+
+/// A mutual-exclusion primitive with parking_lot's non-poisoning API.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+/// RAII guard; the lock is released on drop.
+pub type MutexGuard<'a, T> = StdGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(vec![0u32; 3]);
+        m.lock()[1] = 7;
+        assert_eq!(m.into_inner(), vec![0, 7, 0]);
+    }
+}

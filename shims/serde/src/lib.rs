@@ -1,0 +1,16 @@
+//! Offline shim for `serde`.
+//!
+//! The container cannot reach crates.io, so this crate provides just the
+//! surface the workspace touches: the `Serialize`/`Deserialize` marker
+//! traits and the derive macros (re-exported from the sibling no-op
+//! `serde_derive` shim). No actual serialization is performed anywhere in
+//! the repo — persistence uses a hand-rolled text format in
+//! `icgmm::persist` — so marker impls are sufficient.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,49 @@
+//! Offline shim for `serde_derive`.
+//!
+//! This container has no network access to crates.io, so the workspace
+//! vendors a minimal stand-in: the derive macros parse nothing and emit
+//! empty marker impls. The `serde(...)` helper attribute is accepted (and
+//! ignored) so sources stay compatible with the real crate.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum` keyword, skipping
+/// attributes and doc comments, so the emitted impl names the right type.
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input.clone() {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return Some(s);
+            }
+            if s == "struct" || s == "enum" {
+                saw_kw = true;
+            }
+        }
+    }
+    None
+}
+
+/// Generics are out of scope for this shim: every derived type in the
+/// workspace is concrete, so the impl is emitted for the bare name.
+fn marker_impl(trait_path: &str, input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        Some(name) => format!("impl {trait_path} for {name} {{}}")
+            .parse()
+            .expect("shim impl tokenizes"),
+        None => TokenStream::new(),
+    }
+}
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Serialize", input)
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Deserialize<'static>", input)
+}

@@ -147,7 +147,9 @@ fn training_is_deterministic_given_seeds() {
 fn trained_model_transfers_between_systems() {
     // A model trained in one system can be installed in another (the
     // "one-time loading from HBM" deployment story).
-    let trace = WorkloadKind::Sysbench.default_workload().generate(40_000, 9);
+    let trace = WorkloadKind::Sysbench
+        .default_workload()
+        .generate(40_000, 9);
     let mut trainer = Icgmm::new(test_config()).expect("valid config");
     trainer.fit(&trace).expect("training succeeds");
     let model = trainer.model().expect("trained").clone();
@@ -165,7 +167,9 @@ fn trained_model_transfers_between_systems() {
 
 #[test]
 fn smaller_cache_monotonically_hurts_lru() {
-    let trace = WorkloadKind::Memtier.default_workload().generate(60_000, 10);
+    let trace = WorkloadKind::Memtier
+        .default_workload()
+        .generate(60_000, 10);
     let run_with_capacity = |mib: u64| {
         let cfg = IcgmmConfig {
             cache: CacheConfig {
@@ -175,7 +179,9 @@ fn smaller_cache_monotonically_hurts_lru() {
             ..test_config()
         };
         let sys = Icgmm::new(cfg).expect("valid config");
-        sys.run(&trace, PolicyMode::Lru).expect("run succeeds").miss_rate_pct()
+        sys.run(&trace, PolicyMode::Lru)
+            .expect("run succeeds")
+            .miss_rate_pct()
     };
     let big = run_with_capacity(64);
     let small = run_with_capacity(4);

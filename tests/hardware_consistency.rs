@@ -64,7 +64,9 @@ fn resource_models_reproduce_table2_rows() {
 
 #[test]
 fn dataflow_model_matches_analytic_model_end_to_end() {
-    let trace = WorkloadKind::Memtier.default_workload().generate(60_000, 31);
+    let trace = WorkloadKind::Memtier
+        .default_workload()
+        .generate(60_000, 31);
     let mut sys = Icgmm::new(test_config()).expect("valid config");
     sys.fit(&trace).expect("training succeeds");
 
@@ -107,8 +109,8 @@ fn disabling_overlap_costs_exactly_the_policy_latency_per_miss() {
     let with = run(true);
     let without = run(false);
     let misses = with.stats.misses() as f64;
-    let measured_gap = (without.avg_request_us - with.avg_request_us)
-        * with.stats.accesses() as f64;
+    let measured_gap =
+        (without.avg_request_us - with.avg_request_us) * with.stats.accesses() as f64;
     let expected_gap = misses * GmmEngineModel::paper_k256().latency_us();
     assert!(
         (measured_gap - expected_gap).abs() < expected_gap * 0.12 + 1.0,

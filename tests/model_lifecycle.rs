@@ -28,7 +28,9 @@ fn test_config() -> IcgmmConfig {
 
 #[test]
 fn saved_model_reproduces_simulation_exactly() {
-    let trace = WorkloadKind::Memtier.default_workload().generate(50_000, 41);
+    let trace = WorkloadKind::Memtier
+        .default_workload()
+        .generate(50_000, 41);
     let mut sys = Icgmm::new(test_config()).expect("valid config");
     sys.fit(&trace).expect("training succeeds");
 

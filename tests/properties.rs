@@ -7,9 +7,65 @@ use icgmm_cache::{
     LfuPolicy, LruPolicy, SetAssocCache, ThresholdAdmit,
 };
 use icgmm_gmm::fixed::{ExpLut, Fixed, FixedGmm};
-use icgmm_gmm::{EmConfig, EmTrainer, Gaussian2, Gmm, Mat2, StandardScaler};
+use icgmm_gmm::{EmConfig, EmTrainer, Gaussian2, Gmm, GmmScorer, Mat2, StandardScaler};
 use icgmm_trace::{Op, PageIndex, TimestampTransformer, TraceRecord};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A randomized mixture for the scorer-fidelity properties: means spread
+/// over the feature space, log-uniform covariance scales down to
+/// near-singular (variances ~1e-6, correlation up to ±0.999), and — when
+/// K allows — one zero-weight component.
+fn random_mixture(k: usize, seed: u64) -> Gmm {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let comps: Vec<Gaussian2> = (0..k)
+        .map(|_| {
+            let sx = 10f64.powf(rng.gen_range(-6.0..0.6));
+            let sy = 10f64.powf(rng.gen_range(-6.0..0.6));
+            let rho = rng.gen_range(-0.999..0.999);
+            let cov = Mat2::new(sx, rho * (sx * sy).sqrt(), sy);
+            Gaussian2::new(
+                [rng.gen_range(-20.0..20.0), rng.gen_range(-20.0..20.0)],
+                cov,
+            )
+            .expect("positive-definite by construction")
+        })
+        .collect();
+    let mut weights: Vec<f64> = (0..k).map(|_| rng.gen_range(0.001..1.0)).collect();
+    if k > 1 {
+        weights[k / 2] = 0.0;
+    }
+    let total: f64 = weights.iter().sum();
+    for w in &mut weights {
+        *w /= total;
+    }
+    Gmm::new(weights, comps).expect("valid mixture")
+}
+
+/// The seed's original scalar scoring path — per-call `Vec`, per-component
+/// `ln π_k`, array-of-structs walk — as the independent numerical
+/// reference for the SoA kernel.
+fn reference_log_density(gmm: &Gmm, x: [f64; 2]) -> f64 {
+    let logs: Vec<f64> = gmm
+        .weights()
+        .iter()
+        .zip(gmm.components())
+        .map(|(w, c)| {
+            if *w == 0.0 {
+                f64::NEG_INFINITY
+            } else {
+                w.ln() + c.log_pdf(x)
+            }
+        })
+        .collect();
+    let m = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !m.is_finite() {
+        return m;
+    }
+    let s: f64 = logs.iter().map(|v| (v - m).exp()).sum();
+    m + s.ln()
+}
 
 fn small_cfg() -> CacheConfig {
     CacheConfig {
@@ -290,6 +346,89 @@ proptest! {
             // accessed page must be resident (it was just touched/inserted).
             let last = records.last().unwrap().page();
             prop_assert!(cache.contains(last), "last page evicted immediately");
+        }
+    }
+
+    /// The SoA batch kernel matches the scalar path bit-for-bit and the
+    /// seed's original implementation to ≤1e-12 relative error, across
+    /// K ∈ {1, 3, 256}, near-singular covariances and zero-weight
+    /// components.
+    #[test]
+    fn score_batch_matches_scalar_density(
+        k_idx in 0usize..3,
+        seed in any::<u64>(),
+        points in prop::collection::vec((-40.0f64..40.0, -40.0f64..40.0), 1..40),
+    ) {
+        let k = [1usize, 3, 256][k_idx];
+        let gmm = random_mixture(k, seed);
+        let scorer = GmmScorer::from_gmm(&gmm);
+        let xs: Vec<[f64; 2]> = points.iter().map(|&(a, b)| [a, b]).collect();
+        let mut batch = vec![0.0; xs.len()];
+        scorer.score_batch(&xs, &mut batch);
+        let mut parallel = vec![0.0; xs.len()];
+        scorer.score_batch_parallel(&xs, &mut parallel, 2);
+        for (i, x) in xs.iter().enumerate() {
+            // Batched == scalar == parallel, bit-for-bit.
+            let scalar = gmm.density(*x);
+            prop_assert_eq!(batch[i].to_bits(), scalar.to_bits(),
+                "batch vs scalar at {:?}", x);
+            prop_assert_eq!(parallel[i].to_bits(), batch[i].to_bits(),
+                "parallel vs batch at {:?}", x);
+            // Fidelity against the seed implementation, in the log domain
+            // (|Δ ln G| bounds the relative density error).
+            let want = reference_log_density(&gmm, *x);
+            let got = scorer.log_density(*x);
+            if want < -700.0 {
+                // The reference underflows to (sub)denormal density; the
+                // kernel must agree the point is impossibly cold.
+                prop_assert!(got < -690.0, "got {} want {}", got, want);
+            } else {
+                let tol = 1e-12 * want.abs().max(1.0);
+                prop_assert!((got - want).abs() <= tol,
+                    "K={} x={:?}: got {} want {} (diff {:e})",
+                    k, x, got, want, (got - want).abs());
+            }
+        }
+    }
+
+    /// The fixed-point hardware mirror stays in lock-step with the batched
+    /// f64 path: batched fixed == scalar fixed bit-for-bit, and within the
+    /// established quantization envelope of the f64 kernel.
+    #[test]
+    fn batched_path_agrees_with_hardware_mirror(
+        seed in any::<u64>(),
+        points in prop::collection::vec((-8.0f64..8.0, -8.0f64..8.0), 1..30),
+    ) {
+        // Moderate covariances: the quantized datapath's documented domain.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let comps: Vec<Gaussian2> = (0..8)
+            .map(|_| {
+                let sx = rng.gen_range(0.3..2.0);
+                let sy = rng.gen_range(0.3..2.0);
+                let rho = rng.gen_range(-0.5..0.5);
+                Gaussian2::new(
+                    [rng.gen_range(-4.0..4.0), rng.gen_range(-4.0..4.0)],
+                    Mat2::new(sx, rho * (sx * sy).sqrt(), sy),
+                )
+                .unwrap()
+            })
+            .collect();
+        let gmm = Gmm::new(vec![0.125; 8], comps).unwrap();
+        let fx = FixedGmm::from_gmm(&gmm).unwrap();
+        let scorer = GmmScorer::from_gmm(&gmm);
+        let xs: Vec<[f64; 2]> = points.iter().map(|&(a, b)| [a, b]).collect();
+        let mut f64_batch = vec![0.0; xs.len()];
+        let mut fx_batch = vec![0.0; xs.len()];
+        scorer.score_batch(&xs, &mut f64_batch);
+        fx.score_batch(&xs, &mut fx_batch);
+        for (i, x) in xs.iter().enumerate() {
+            prop_assert_eq!(fx_batch[i].to_bits(), fx.score(*x).to_bits());
+            let f = f64_batch[i];
+            let q = fx_batch[i];
+            prop_assert!(
+                (f - q).abs() < f.max(1e-6) * 0.02 + 1e-6,
+                "at {:?}: f64 {} vs fixed {}", x, f, q
+            );
         }
     }
 

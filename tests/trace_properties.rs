@@ -5,17 +5,11 @@
 use icgmm_trace::histogram::{SpatialHistogram, TemporalHeatmap};
 use icgmm_trace::io::{read_text, write_text};
 use icgmm_trace::synth::WorkloadKind;
-use icgmm_trace::{
-    extract_weighted_cells, trim, Op, PreprocessConfig, Trace, TraceRecord, Zipf,
-};
+use icgmm_trace::{extract_weighted_cells, trim, Op, PreprocessConfig, Trace, TraceRecord, Zipf};
 use proptest::prelude::*;
 
 fn arb_trace() -> impl Strategy<Value = Trace> {
-    prop::collection::vec(
-        (any::<bool>(), 0u64..(1 << 40)),
-        0..300,
-    )
-    .prop_map(|entries| {
+    prop::collection::vec((any::<bool>(), 0u64..(1 << 40)), 0..300).prop_map(|entries| {
         entries
             .into_iter()
             .map(|(w, addr)| {
