@@ -1,0 +1,203 @@
+//! Criterion bench: end-to-end simulator replay, streaming vs the
+//! speculative miss-window batcher — the tracked pair behind CI's perf
+//! gate (`perf_gate` requires batched ≥ 2× streaming at K = 256,
+//! W = 4096, same runner, same run).
+//!
+//! The workload is an 8 k-request all-miss window (sequential scan through
+//! a page space far larger than the cache): every request triggers a
+//! policy-engine inference, so the pair isolates exactly what the batcher
+//! accelerates — per-miss scalar scoring round-trips vs one batched
+//! `score_window` call per speculation window. A Zipf variant with real
+//! hit/miss interleaving tracks the mixed regime, and a divergence-heavy
+//! variant (GMM-score eviction, whose victims the shadow cannot predict)
+//! bounds the worst case.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use icgmm::{GmmPolicyEngine, TrainedModel};
+use icgmm_cache::{
+    simulate_streaming, CacheConfig, GmmScorePolicy, LatencyModel, LruPolicy, ScoreSource,
+    SetAssocCache, ThresholdAdmit, WindowedSimulator,
+};
+use icgmm_gmm::{Gaussian2, Gmm, Mat2, StandardScaler};
+use icgmm_trace::{PreprocessConfig, TraceRecord, Zipf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const K: usize = 256;
+const WINDOW: usize = 4096;
+const REQUESTS: usize = 8192;
+
+fn build_model(k: usize) -> TrainedModel {
+    let comps: Vec<Gaussian2> = (0..k)
+        .map(|i| {
+            let t = i as f64 / k as f64;
+            Gaussian2::new(
+                [t * 10.0 - 5.0, (t * std::f64::consts::TAU).sin()],
+                Mat2::new(0.05 + t * 0.1, 0.01, 0.08),
+            )
+            .expect("valid component")
+        })
+        .collect();
+    TrainedModel {
+        scaler: StandardScaler::fit(&[[0.0, 0.0], [REQUESTS as f64, 256.0]], &[1.0, 1.0]),
+        gmm: Gmm::new(vec![1.0 / k as f64; k], comps).expect("valid mixture"),
+        threshold: f64::NEG_INFINITY, // admit everything: no bypass noise
+    }
+}
+
+fn engine(k: usize) -> GmmPolicyEngine {
+    let pre = PreprocessConfig {
+        len_window: 32,
+        len_access_shot: 10_000,
+        ..Default::default()
+    };
+    GmmPolicyEngine::new(&build_model(k), &pre, false).expect("engine builds")
+}
+
+fn cache_cfg() -> CacheConfig {
+    // 512 blocks / 8-way: small enough that per-iteration construction is
+    // noise, large enough for realistic set pressure.
+    CacheConfig {
+        capacity_bytes: 512 * 4096,
+        block_bytes: 4096,
+        ways: 8,
+    }
+}
+
+/// Sequential scan: 8 k distinct pages, 100 % miss — the pure miss-window.
+fn scan_trace() -> Vec<TraceRecord> {
+    (0..REQUESTS as u64)
+        .map(|p| TraceRecord::read(p << 12))
+        .collect()
+}
+
+/// Zipf-skewed reuse: realistic hit/miss interleaving.
+fn zipf_trace() -> Vec<TraceRecord> {
+    let zipf = Zipf::new(4096, 0.9).expect("valid zipf");
+    let mut rng = StdRng::seed_from_u64(1234);
+    (0..REQUESTS)
+        .map(|_| TraceRecord::read((zipf.sample(&mut rng) - 1) << 12))
+        .collect()
+}
+
+fn bench_sim_batch(c: &mut Criterion) {
+    let eng = engine(K);
+    let scan = scan_trace();
+    let zipf = zipf_trace();
+    let lat = LatencyModel::paper_tlc();
+    let cfg = cache_cfg();
+
+    let mut group = c.benchmark_group("sim_batch");
+    group.sample_size(12);
+    group.throughput(Throughput::Elements(REQUESTS as u64));
+
+    group.bench_function("streaming_k256_w4096", |b| {
+        let mut e = eng.clone();
+        b.iter(|| {
+            e.reset();
+            let mut cache = SetAssocCache::new(cfg).expect("valid geometry");
+            let mut lru = LruPolicy::new(cfg.num_sets(), cfg.ways);
+            let mut adm = ThresholdAdmit::new(f64::NEG_INFINITY);
+            black_box(simulate_streaming(
+                black_box(&scan),
+                &mut cache,
+                &mut adm,
+                &mut lru,
+                Some(&mut e as &mut dyn ScoreSource),
+                &lat,
+                None,
+            ))
+        })
+    });
+
+    group.bench_function("batched_k256_w4096", |b| {
+        let mut e = eng.clone();
+        let mut wsim = WindowedSimulator::new(WINDOW);
+        b.iter(|| {
+            e.reset();
+            let mut cache = SetAssocCache::new(cfg).expect("valid geometry");
+            let mut lru = LruPolicy::new(cfg.num_sets(), cfg.ways);
+            let mut adm = ThresholdAdmit::new(f64::NEG_INFINITY);
+            black_box(wsim.run(
+                &[],
+                black_box(&scan),
+                &mut cache,
+                &mut adm,
+                &mut lru,
+                Some(&mut e as &mut dyn ScoreSource),
+                &lat,
+                None,
+            ))
+        })
+    });
+
+    group.bench_function("streaming_zipf_k256", |b| {
+        let mut e = eng.clone();
+        b.iter(|| {
+            e.reset();
+            let mut cache = SetAssocCache::new(cfg).expect("valid geometry");
+            let mut lru = LruPolicy::new(cfg.num_sets(), cfg.ways);
+            let mut adm = ThresholdAdmit::new(f64::NEG_INFINITY);
+            black_box(simulate_streaming(
+                black_box(&zipf),
+                &mut cache,
+                &mut adm,
+                &mut lru,
+                Some(&mut e as &mut dyn ScoreSource),
+                &lat,
+                None,
+            ))
+        })
+    });
+
+    group.bench_function("batched_zipf_k256_w4096", |b| {
+        let mut e = eng.clone();
+        let mut wsim = WindowedSimulator::new(WINDOW);
+        b.iter(|| {
+            e.reset();
+            let mut cache = SetAssocCache::new(cfg).expect("valid geometry");
+            let mut lru = LruPolicy::new(cfg.num_sets(), cfg.ways);
+            let mut adm = ThresholdAdmit::new(f64::NEG_INFINITY);
+            black_box(wsim.run(
+                &[],
+                black_box(&zipf),
+                &mut cache,
+                &mut adm,
+                &mut lru,
+                Some(&mut e as &mut dyn ScoreSource),
+                &lat,
+                None,
+            ))
+        })
+    });
+
+    // Worst case: GMM-score eviction makes victim prediction impossible,
+    // so the adaptive depth collapses toward the floor. This must stay in
+    // the same ballpark as streaming, never far behind it.
+    group.bench_function("batched_divergent_k256_w4096", |b| {
+        let mut e = eng.clone();
+        let mut wsim = WindowedSimulator::new(WINDOW);
+        b.iter(|| {
+            e.reset();
+            let mut cache = SetAssocCache::new(cfg).expect("valid geometry");
+            let mut gmm_ev = GmmScorePolicy::new(cfg.num_sets(), cfg.ways);
+            let mut adm = ThresholdAdmit::new(f64::NEG_INFINITY);
+            black_box(wsim.run(
+                &[],
+                black_box(&zipf),
+                &mut cache,
+                &mut adm,
+                &mut gmm_ev,
+                Some(&mut e as &mut dyn ScoreSource),
+                &lat,
+                None,
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_batch);
+criterion_main!(benches);

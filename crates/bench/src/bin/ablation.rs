@@ -5,7 +5,10 @@
 //! 3. `len_access_shot` (Algorithm 1 periodicity),
 //! 4. SSD device class (TLC vs Z-NAND vs QLC),
 //! 5. cache size sweep,
-//! 6. fixed-point vs f64 inference.
+//! 6. fixed-point vs f64 inference,
+//! 7. eviction hit-bonus (recency blended back into stored scores),
+//! 8. speculation window W of the miss-window batcher (results invariant,
+//!    wall-time tracks batching).
 //!
 //! One benchmark per ablation keeps the run minutes-scale; `--quick`
 //! shrinks it further.
@@ -195,4 +198,50 @@ fn main() {
     println!("bonus = 0 is the paper's stored-score design; positive values test");
     println!("whether mixing recency back in helps (it should matter little when");
     println!("the GMM already separates hot from cold).");
+
+    // 8. Speculation window W of the miss-window batcher: the simulated
+    //    metrics must be invariant (the batcher is bit-identical to
+    //    streaming at any W) while the replay wall-time tracks how much of
+    //    the scoring rides the batched kernel.
+    banner("ablation 8 — speculation window W (memtier, gmm-both)");
+    let (_, base_cfg, trace) = spec_for(scale, WorkloadKind::Memtier);
+    let mut sys = Icgmm::new(base_cfg).expect("valid config");
+    sys.fit(&trace).expect("training succeeds");
+    let mut rows = Vec::new();
+    for w in [1usize, 16, 256, 4096] {
+        let mut cfg = base_cfg;
+        cfg.sim_window = w;
+        let sys_w = Icgmm::new(cfg).expect("valid config");
+        let mut sys_w = sys_w;
+        sys_w.set_model(sys.model().expect("fitted").clone());
+        let t0 = std::time::Instant::now();
+        let rep = sys_w
+            .run(&trace, PolicyMode::GmmCachingEviction)
+            .expect("run succeeds");
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let spec = rep.spec.expect("gmm mode speculates");
+        rows.push(vec![
+            w.to_string(),
+            f(rep.miss_rate_pct(), 4),
+            f(wall_ms, 1),
+            f(spec.batched_fraction() * 100.0, 1),
+            spec.divergences().to_string(),
+        ]);
+        eprintln!("[ablation] W={w} done");
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "W",
+                "miss % (invariant)",
+                "replay ms",
+                "batched %",
+                "divergences"
+            ],
+            &rows
+        )
+    );
+    println!("miss % must be identical on every row — the speculative batcher is");
+    println!("bit-identical to streaming replay; only the wall-time may move.");
 }

@@ -39,7 +39,11 @@ fn main() {
             ),
             paper_best_strategy(spec.kind).to_string(),
         ]);
-        eprintln!("[fig6] {name} done");
+        eprintln!(
+            "[fig6] {name} done (miss-window batcher: {:.1}% of scores batched, {} divergences)",
+            best.batched_score_fraction * 100.0,
+            best.spec_divergences
+        );
     }
     println!(
         "{}",

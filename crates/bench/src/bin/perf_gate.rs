@@ -1,0 +1,158 @@
+//! CI perf-regression gate over the criterion shim's JSON-lines output.
+//!
+//! Reads a `BENCH_*.json` file (one JSON object per benchmark, written by
+//! the shim when `CRITERION_JSON` is set) and fails unless the speculative
+//! batched simulator is at least `--min-ratio` (default 2.0) times faster
+//! than the streaming simulator *in the same run*. Comparing two
+//! benchmarks of one run on one runner makes the gate a relative check,
+//! immune to the heterogeneous-runner problem that absolute thresholds
+//! have.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_gate BENCH_sim.json \
+//!     [--baseline sim_batch/streaming_k256_w4096] \
+//!     [--candidate sim_batch/batched_k256_w4096] \
+//!     [--min-ratio 2.0]
+//! ```
+//!
+//! Exit codes: 0 pass, 1 gate failed or entries missing, 2 usage error.
+
+use std::process::ExitCode;
+
+const DEFAULT_BASELINE: &str = "sim_batch/streaming_k256_w4096";
+const DEFAULT_CANDIDATE: &str = "sim_batch/batched_k256_w4096";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut baseline = DEFAULT_BASELINE.to_string();
+    let mut candidate = DEFAULT_CANDIDATE.to_string();
+    let mut min_ratio = 2.0f64;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => match it.next() {
+                Some(v) => baseline = v.clone(),
+                None => return usage("--baseline needs a value"),
+            },
+            "--candidate" => match it.next() {
+                Some(v) => candidate = v.clone(),
+                None => return usage("--candidate needs a value"),
+            },
+            "--min-ratio" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => min_ratio = v,
+                None => return usage("--min-ratio needs a number"),
+            },
+            other if path.is_none() && !other.starts_with('-') => {
+                path = Some(other.to_string());
+            }
+            other => return usage(&format!("unexpected argument {other}")),
+        }
+    }
+    let Some(path) = path else {
+        return usage("missing JSON file path");
+    };
+
+    let content = match std::fs::read_to_string(&path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("perf_gate: cannot read {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    let base = median_ns(&content, &baseline);
+    let cand = median_ns(&content, &candidate);
+    let (Some(base), Some(cand)) = (base, cand) else {
+        eprintln!(
+            "perf_gate: missing entries in {path} (baseline {:?}: {}, candidate {:?}: {})",
+            baseline,
+            base.map_or("absent".into(), |v| format!("{v} ns")),
+            candidate,
+            cand.map_or("absent".into(), |v| format!("{v} ns")),
+        );
+        return ExitCode::from(1);
+    };
+
+    if cand <= 0.0 {
+        eprintln!("perf_gate: candidate median {cand} ns is not positive");
+        return ExitCode::from(1);
+    }
+    let ratio = base / cand;
+    println!(
+        "perf_gate: {baseline} = {base:.0} ns, {candidate} = {cand:.0} ns, speedup {ratio:.2}x (required >= {min_ratio:.2}x)"
+    );
+    if ratio >= min_ratio {
+        println!("perf_gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("perf_gate: FAIL — batched path regressed below the gate");
+        ExitCode::from(1)
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("perf_gate: {msg}");
+    eprintln!("usage: perf_gate <bench.json> [--baseline ID] [--candidate ID] [--min-ratio X]");
+    ExitCode::from(2)
+}
+
+/// Extracts `median_ns` of the *last* record with the given id (the last
+/// line wins if a file accumulated several runs).
+fn median_ns(content: &str, id: &str) -> Option<f64> {
+    let mut found = None;
+    for line in content.lines() {
+        let Some(lid) = field_str(line, "id") else {
+            continue;
+        };
+        if lid == id {
+            if let Some(v) = field_num(line, "median_ns") {
+                found = Some(v);
+            }
+        }
+    }
+    found
+}
+
+/// Pulls a `"key":"value"` string field out of one JSON line. Handles the
+/// escapes the criterion shim emits (`\"`, `\\`, `\uXXXX`).
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'u' => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Pulls a `"key":number` field out of one JSON line.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}

@@ -39,7 +39,11 @@ fn main() {
                 f(paper.reduction_pct, 2)
             ),
         ]);
-        eprintln!("[table1] {name} done");
+        eprintln!(
+            "[table1] {name} done (miss-window batcher: {:.1}% of scores batched, {} divergences)",
+            best.batched_score_fraction * 100.0,
+            best.spec_divergences
+        );
     }
     println!(
         "{}",

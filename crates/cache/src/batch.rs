@@ -1,0 +1,994 @@
+//! Speculative miss-window batching: the simulator-side consumer of
+//! [`ScoreSource::score_window`].
+//!
+//! The streaming simulator scores every miss one at a time because the
+//! admission decision needs the score synchronously. The hardware does not
+//! work that way: the scoring pipeline streams a whole miss window
+//! back-to-back under the Algorithm 1 clock, and PR 1's batched scoring
+//! kernel is 4–5× cheaper per point than the scalar path. This module
+//! closes the gap with *speculation*:
+//!
+//! 1. **Classify.** The next `W` requests are classified into predicted
+//!    hits and predicted misses against a *shadow* of the cache tag state
+//!    (snapshotted when speculation starts, then kept in lock-step
+//!    incrementally: clean windows speculate exactly, divergent ones are
+//!    repaired through an undo log in `O(window)` — never an `O(cache)`
+//!    copy per window), advanced speculatively with an admit-all,
+//!    invalid-way-first, LRU-victim model.
+//! 2. **Prefetch.** Each maximal run of predicted misses is pushed through
+//!    [`ScoreSource::score_window`] in one batched call; predicted hits in
+//!    between are observed individually (the Algorithm 1 clock counts every
+//!    request, hits included, so observation order must match the trace
+//!    exactly — this is why a window with interleaved hits batches per
+//!    miss-run rather than in a single call).
+//! 3. **Replay.** The window is replayed through the *real* cache and
+//!    policies, consuming prefetched scores at actual misses. Scores
+//!    depend only on observation position, never on the hit/miss outcome,
+//!    so every prefetched score is bit-identical to what the streaming
+//!    path would have computed at the same position.
+//! 4. **Diverge & recover.** Every mismatch between a replayed outcome
+//!    and the speculation is detected and counted — none is silent:
+//!    * an **admission bypass** where an insert was speculated is
+//!      *tolerated*: the window continues at full depth (this is the
+//!      common divergence under the paper's threshold filter, and the one
+//!      worth keeping cheap), leaving the speculated page in the shadow
+//!      as a **phantom**. Every decision the phantom could skew is still
+//!      verified record-by-record at replay, and the first cut it causes
+//!      heals it (`apply_real` writes ground truth back);
+//!    * every other mismatch — a predicted hit that missed, a predicted
+//!      miss that hit, an unpredicted eviction victim — **cuts** the
+//!      window: the undo log rolls the shadow back along its own timeline
+//!      to the divergent record, the real outcomes replayed since are
+//!      re-applied, and speculation restarts from the divergent point. A
+//!      predicted hit that actually misses falls back to a synchronous
+//!      [`ScoreSource::score_current`] (its observation just happened, so
+//!      the clock is exactly right — bit-identical to streaming).
+//!
+//! # Why this stays exact
+//!
+//! Replay never trusts a prediction: every record's hit/miss status comes
+//! from the *real* cache lookup, every admission/eviction decision runs
+//! through the *real* policies, and every score consumed is positionally
+//! exact (scores depend only on observation order, which speculation
+//! never changes). Predictions only decide what gets *prefetched* — a
+//! stale predicted hit that misses takes the synchronous fallback (one
+//! [`SpecStats::sync_scores`] per [`SpecStats::pred_hit_missed`], always
+//! equal), a stale predicted miss that hits wastes one prefetched score.
+//! The shadow is thus a performance artifact, not a correctness one:
+//! phantoms degrade prediction quality, never results.
+//!
+//! # Adaptive depth and the mode probe
+//!
+//! A cut discards the rest of the window's classification, so a
+//! divergence storm (e.g. GMM-score eviction, whose victims an LRU shadow
+//! cannot predict) would waste `O(W)` lookahead per cut. The simulator
+//! therefore halves its effective window after a divergent window and
+//! doubles it after a clean one (clamped to `[`[`MIN_SPEC_WINDOW`]`, W]`),
+//! so divergence-heavy phases degrade gracefully toward streaming while
+//! predictable phases ride the full configured depth.
+//!
+//! Batching also cannot pay for itself when there is almost nothing to
+//! batch: a window whose replay misses fewer than 1-in-
+//! [`STREAM_MISS_FRACTION_DIV`] records flips the simulator into plain
+//! streaming for [`STREAM_SPAN_WINDOWS`] windows' worth of requests,
+//! after which it re-snapshots the shadow and probes speculation again.
+//! Hit-dominated phases thus run at streaming speed (no lookahead at
+//! all), miss-heavy phases ride the batched kernel, and the probe cost is
+//! one classification pass per span.
+//!
+//! The result is bit-identical to [`crate::simulate_streaming_with_warmup`]
+//! — enforced by the property tests in `tests/batch_equivalence.rs` across
+//! all policy pairs — while miss-heavy windows ride the batched kernel.
+
+use crate::cache::{AccessOutcome, BlockState, SetAssocCache};
+use crate::latency::LatencyModel;
+use crate::policy::{AdmissionPolicy, EvictionPolicy};
+use crate::score::ScoreSource;
+use crate::sim::{simulate_streaming_with_warmup, Accounting, SimReport};
+use icgmm_trace::{PageIndex, TraceRecord};
+use serde::{Deserialize, Serialize};
+
+/// Default speculation window, in requests.
+///
+/// Large enough that a miss-heavy window amortizes one shadow sync and one
+/// batched scoring call over thousands of requests; small enough that a
+/// divergence (which discards the rest of the window's speculation) stays
+/// cheap.
+pub const DEFAULT_SPEC_WINDOW: usize = 4096;
+
+/// Floor of the adaptive window shrink (see the module docs): after a
+/// divergence the effective window halves, but never below this (or below
+/// the configured window, if smaller). Kept small: in a divergence storm
+/// batching is lost regardless, so the floor mostly bounds how much
+/// lookahead classification each cut can waste.
+pub const MIN_SPEC_WINDOW: usize = 16;
+
+/// Hit-dominance threshold of the mode probe: a speculative window whose
+/// replay misses fewer than 1-in-8 records flips the simulator into plain
+/// streaming (scoring so few misses cannot repay per-request lookahead),
+/// for [`STREAM_SPAN_WINDOWS`] × window records before probing again.
+pub const STREAM_MISS_FRACTION_DIV: usize = 8;
+
+/// How many windows' worth of *observed evidence* each streaming span
+/// covers before the simulator re-snapshots the shadow and probes
+/// speculation again (the span is proportional to the window that
+/// triggered it, so thin evidence cannot disable batching for long).
+pub const STREAM_SPAN_WINDOWS: usize = 8;
+
+/// Minimum records a window must have replayed (cleanly) before its miss
+/// fraction is trusted as a mode-probe signal; windows shorter than this
+/// (post-divergence shrink remnants, phase-boundary tails) never flip the
+/// simulator into streaming.
+pub const MIN_PROBE_EVIDENCE: usize = 256;
+
+/// Speculation telemetry for one [`WindowedSimulator::run`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecStats {
+    /// Speculation windows launched (including restarts after divergence).
+    pub windows: u64,
+    /// Batched [`ScoreSource::score_window`] calls issued.
+    pub batch_calls: u64,
+    /// Scores prefetched through the batched calls.
+    pub batched_scores: u64,
+    /// Synchronous [`ScoreSource::score_current`] fallbacks — always
+    /// paired one-to-one with [`SpecStats::pred_hit_missed`]: the only
+    /// stale predicted hits are pages a tolerated bypass left wrongly
+    /// resident in the shadow (see the exactness invariant, module docs).
+    pub sync_scores: u64,
+    /// Predicted hit, replay missed (falls back to a synchronous score
+    /// with the clock exactly at the record — bit-identical).
+    pub pred_hit_missed: u64,
+    /// Predicted miss, replay hit — a stale prediction downstream of a
+    /// divergence; its prefetched score goes unused.
+    pub pred_miss_hit: u64,
+    /// Speculated an insertion, the admission policy bypassed — tolerated
+    /// without cutting the window (the speculated page stays in the
+    /// shadow as a *phantom* until a real outcome heals it; see the
+    /// module docs).
+    pub admission_divergences: u64,
+    /// Insertion confirmed but the real eviction victim differed from the
+    /// shadow's prediction.
+    pub victim_divergences: u64,
+    /// Times the adaptive depth halved after a divergent window.
+    pub window_shrinks: u64,
+    /// Records processed in plain streaming mode (hit-dominated phases,
+    /// where lookahead cannot pay for itself — see the mode probe).
+    pub streamed_records: u64,
+    /// Scores computed synchronously inside streaming spans.
+    pub streamed_scores: u64,
+}
+
+impl SpecStats {
+    /// Total divergence events.
+    pub fn divergences(&self) -> u64 {
+        self.pred_hit_missed
+            + self.pred_miss_hit
+            + self.admission_divergences
+            + self.victim_divergences
+    }
+
+    /// Fraction of scores that were produced by batched calls.
+    pub fn batched_fraction(&self) -> f64 {
+        let total = self.batched_scores + self.sync_scores + self.streamed_scores;
+        if total == 0 {
+            0.0
+        } else {
+            self.batched_scores as f64 / total as f64
+        }
+    }
+}
+
+/// Per-record speculation outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Pred {
+    /// The shadow found the page resident.
+    Hit,
+    /// The shadow missed; an admit was speculated, evicting `evicts` (the
+    /// page the shadow displaced, `None` when an invalid way absorbed the
+    /// insert).
+    Miss { evicts: Option<PageIndex> },
+}
+
+/// One reversible shadow mutation, tagged with the window-record index
+/// that caused it. Rolling the log back past a divergence restores the
+/// shadow to the exact pre-speculation state in `O(window)` — the full
+/// tag array is copied once per [`WindowedSimulator::run`], never per
+/// window, so divergence repair stays cheap even on multi-MiB caches.
+#[derive(Clone, Copy, Debug)]
+struct UndoEntry {
+    idx: usize,
+    slot: usize,
+    block: BlockState,
+    last: u64,
+}
+
+/// The speculative miss-window batching simulator.
+///
+/// Reusable across runs: internal buffers (shadow tag state, predictions,
+/// prefetched scores) are recycled, so a sweep driver can allocate one
+/// `WindowedSimulator` and call [`WindowedSimulator::run`] per
+/// configuration point.
+#[derive(Clone, Debug)]
+pub struct WindowedSimulator {
+    window: usize,
+    shadow: Vec<BlockState>,
+    shadow_last: Vec<u64>,
+    touch: u64,
+    pred: Vec<Pred>,
+    scores: Vec<f64>,
+    undo: Vec<UndoEntry>,
+    outcome_buf: Vec<AccessOutcome>,
+    spec: SpecStats,
+}
+
+impl Default for WindowedSimulator {
+    fn default() -> Self {
+        WindowedSimulator::new(DEFAULT_SPEC_WINDOW)
+    }
+}
+
+impl WindowedSimulator {
+    /// Creates a simulator speculating `window` requests ahead.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "speculation window must be >= 1");
+        WindowedSimulator {
+            window,
+            shadow: Vec::new(),
+            shadow_last: Vec::new(),
+            touch: 0,
+            pred: Vec::new(),
+            scores: Vec::new(),
+            undo: Vec::new(),
+            outcome_buf: Vec::new(),
+            spec: SpecStats::default(),
+        }
+    }
+
+    /// The speculation depth `W`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Telemetry of the most recent [`WindowedSimulator::run`].
+    pub fn spec_stats(&self) -> &SpecStats {
+        &self.spec
+    }
+
+    /// Batched counterpart of [`crate::simulate_streaming_with_warmup`]:
+    /// same arguments, bit-identical [`SimReport`].
+    ///
+    /// Without a score source there is nothing to batch, so the call
+    /// delegates to the streaming loop unchanged (score-free baselines pay
+    /// zero speculation overhead).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run(
+        &mut self,
+        warmup: &[TraceRecord],
+        measured: &[TraceRecord],
+        cache: &mut SetAssocCache,
+        admission: &mut dyn AdmissionPolicy,
+        eviction: &mut dyn EvictionPolicy,
+        score: Option<&mut dyn ScoreSource>,
+        latency: &LatencyModel,
+        series_window: Option<u64>,
+    ) -> SimReport {
+        self.spec = SpecStats::default();
+        let Some(score) = score else {
+            return simulate_streaming_with_warmup(
+                warmup,
+                measured,
+                cache,
+                admission,
+                eviction,
+                None,
+                latency,
+                series_window,
+            );
+        };
+
+        let n_blocks = cache.config().num_blocks();
+        self.shadow_last.clear();
+        self.shadow_last.resize(n_blocks, 0);
+        self.touch = 0;
+
+        let mut acct = Accounting::new(warmup.len(), latency, series_window);
+
+        let n = warmup.len() + measured.len();
+        let min_depth = MIN_SPEC_WINDOW.min(self.window);
+        let mut depth = self.window;
+        let mut pos = 0usize;
+        // Streaming records left before the next speculation probe, and
+        // whether the shadow must be re-snapshotted (on entry, and after
+        // every streaming span — the shadow did not see those requests).
+        let mut stream_pending = 0usize;
+        let mut need_sync = true;
+        while pos < n {
+            // Windows never straddle the warm-up/measured boundary so each
+            // batched `score_window` call sees one contiguous slice.
+            let (phase, phase_start) = if pos < warmup.len() {
+                (warmup, 0)
+            } else {
+                (measured, warmup.len())
+            };
+            let local = pos - phase_start;
+            if stream_pending > 0 {
+                let take = stream_pending.min(phase.len() - local);
+                self.stream_chunk(
+                    &phase[local..local + take],
+                    pos as u64,
+                    cache,
+                    admission,
+                    eviction,
+                    score,
+                    &mut acct,
+                );
+                pos += take;
+                stream_pending -= take;
+                if stream_pending == 0 {
+                    need_sync = true;
+                }
+                continue;
+            }
+            if need_sync {
+                self.shadow.clear();
+                self.shadow.extend_from_slice(cache.blocks());
+                need_sync = false;
+            }
+            let end = (local + depth).min(phase.len());
+            let (consumed, diverged, misses) = self.run_window(
+                &phase[local..end],
+                pos as u64,
+                cache,
+                admission,
+                eviction,
+                score,
+                &mut acct,
+            );
+            debug_assert!(consumed > 0, "window must make progress");
+            pos += consumed;
+            // Adaptive depth: a cut wasted the rest of the window's
+            // classification, so back off; a clean window earns it back.
+            if diverged {
+                if depth > min_depth {
+                    depth = (depth / 2).max(min_depth);
+                    self.spec.window_shrinks += 1;
+                }
+            } else {
+                depth = (depth * 2).min(self.window);
+            }
+            // Mode probe: a hit-dominated window pays per-request
+            // lookahead to batch almost nothing — switch to plain
+            // streaming for a span, then probe again. Only a clean,
+            // reasonably deep window counts as evidence, and the span is
+            // proportional to it, so one post-shrink 16-record remnant
+            // cannot turn batching off for tens of thousands of requests.
+            if !diverged
+                && consumed >= MIN_PROBE_EVIDENCE.min(self.window)
+                && misses as usize * STREAM_MISS_FRACTION_DIV < consumed
+            {
+                stream_pending = STREAM_SPAN_WINDOWS * consumed;
+            }
+        }
+
+        acct.into_report(measured.len(), eviction, admission)
+    }
+
+    /// Streams `chunk` through the real cache with synchronous scoring —
+    /// the plain replay loop, used for hit-dominated spans where
+    /// speculation cannot pay for itself. Bit-identical by construction.
+    #[allow(clippy::too_many_arguments)]
+    fn stream_chunk(
+        &mut self,
+        chunk: &[TraceRecord],
+        base: u64,
+        cache: &mut SetAssocCache,
+        admission: &mut dyn AdmissionPolicy,
+        eviction: &mut dyn EvictionPolicy,
+        score: &mut dyn ScoreSource,
+        acct: &mut Accounting<'_>,
+    ) {
+        for (i, r) in chunk.iter().enumerate() {
+            score.observe(r);
+            let sv = if cache.lookup(r.page()).is_none() {
+                self.spec.streamed_scores += 1;
+                Some(score.score_current())
+            } else {
+                None
+            };
+            let outcome = cache.access(r, base + i as u64, sv, admission, eviction);
+            acct.record(base + i as u64, r, &outcome);
+        }
+        self.spec.streamed_records += chunk.len() as u64;
+    }
+
+    /// Speculates, prefetches and replays one window starting at absolute
+    /// request index `base`. Returns how many records were fully replayed
+    /// (the whole window, or the prefix up to and including a divergence),
+    /// whether the window diverged, and how many replayed records missed
+    /// (the mode probe's signal).
+    #[allow(clippy::too_many_arguments)]
+    fn run_window(
+        &mut self,
+        win: &[TraceRecord],
+        base: u64,
+        cache: &mut SetAssocCache,
+        admission: &mut dyn AdmissionPolicy,
+        eviction: &mut dyn EvictionPolicy,
+        score: &mut dyn ScoreSource,
+        acct: &mut Accounting<'_>,
+    ) -> (usize, bool, u64) {
+        self.spec.windows += 1;
+        let mut misses = 0u64;
+
+        // Phase 1 — classify against the shadow (an exact tag mirror on
+        // window entry), logging every speculative mutation for rollback.
+        self.undo.clear();
+        self.pred.clear();
+        for (idx, r) in win.iter().enumerate() {
+            let p = self.classify(idx, r, cache);
+            self.pred.push(p);
+        }
+
+        // Phases 2+3 — prefetch per predicted-miss run, replay, verify.
+        let mut k = 0usize;
+        while k < win.len() {
+            let miss_run = matches!(self.pred[k], Pred::Miss { .. });
+            let mut j = k + 1;
+            while j < win.len() && matches!(self.pred[j], Pred::Miss { .. }) == miss_run {
+                j += 1;
+            }
+            if miss_run {
+                if self.scores.len() < j {
+                    self.scores.resize(j, 0.0);
+                }
+                score.score_window(&win[k..j], &mut self.scores[k..j]);
+                self.spec.batch_calls += 1;
+                self.spec.batched_scores += (j - k) as u64;
+                let mut first_div: Option<usize> = None;
+                for (off, r) in win[k..j].iter().enumerate() {
+                    let t = k + off;
+                    let hit = cache.lookup(r.page()).is_some();
+                    misses += u64::from(!hit);
+                    let sv = (!hit).then(|| self.scores[t]);
+                    let outcome = cache.access(r, base + t as u64, sv, admission, eviction);
+                    acct.record(base + t as u64, r, &outcome);
+                    match first_div {
+                        None => {
+                            let cut = if matches!(outcome, AccessOutcome::MissBypassed) {
+                                // Admission divergence: the speculated
+                                // insert did not happen, leaving a
+                                // *phantom* resident in the shadow.
+                                // Tolerating it (rather than cutting)
+                                // keeps the window — and its batching —
+                                // alive under bypass-heavy admission
+                                // filters; every decision the phantom
+                                // could skew is still verified at replay,
+                                // and the first cut it causes clears it
+                                // (`apply_real` writes the real state).
+                                self.spec.admission_divergences += 1;
+                                false
+                            } else {
+                                self.check_miss_divergence(t, &outcome)
+                            };
+                            if cut {
+                                first_div = Some(t);
+                                self.outcome_buf.clear();
+                                self.outcome_buf.push(outcome);
+                            }
+                        }
+                        Some(_) => {
+                            // Stale prediction in the tail of a divergent
+                            // run: the run still replays correctly
+                            // (observations and scores are position-
+                            // exact), the prefetched score just goes
+                            // unused. Admission/victim mismatches past
+                            // the first event are downstream consequences
+                            // and are not re-counted.
+                            if outcome.is_hit() {
+                                self.spec.pred_miss_hit += 1;
+                            }
+                            self.outcome_buf.push(outcome);
+                        }
+                    }
+                }
+                if let Some(t0) = first_div {
+                    // Cut after the already-observed run: roll the shadow
+                    // back to the divergent record, replay the run tail's
+                    // *real* transitions onto it, and let the next window
+                    // re-speculate from that exact state.
+                    self.roll_back(t0);
+                    let outcomes = std::mem::take(&mut self.outcome_buf);
+                    for (r, oc) in win[t0..j].iter().zip(outcomes.iter()) {
+                        self.apply_real(r, oc, cache);
+                    }
+                    self.outcome_buf = outcomes;
+                    return (j, true, misses);
+                }
+            } else {
+                for (off, r) in win[k..j].iter().enumerate() {
+                    let t = k + off;
+                    score.observe(r);
+                    let hit = cache.lookup(r.page()).is_some();
+                    misses += u64::from(!hit);
+                    let sv = if hit {
+                        None
+                    } else {
+                        // Divergence: predicted hit actually missed. The
+                        // observation above just happened, so the clock is
+                        // exactly at this record — the synchronous score
+                        // is bit-identical to the streaming path's.
+                        self.spec.sync_scores += 1;
+                        Some(score.score_current())
+                    };
+                    let outcome = cache.access(r, base + t as u64, sv, admission, eviction);
+                    acct.record(base + t as u64, r, &outcome);
+                    if !hit {
+                        self.spec.pred_hit_missed += 1;
+                        // Nothing beyond `t` has been observed yet: undo
+                        // the speculation from `t` on, evict the phantom
+                        // reality just disproved (otherwise a hot page
+                        // the admission filter keeps bypassing would
+                        // mispredict as a hit on every re-access,
+                        // forever), apply the real transition, cut, and
+                        // re-speculate from `t + 1`.
+                        self.roll_back(t);
+                        self.shadow_evict(r.page(), cache);
+                        self.apply_real(r, &outcome, cache);
+                        return (t + 1, true, misses);
+                    }
+                }
+            }
+            k = j;
+        }
+        (win.len(), false, misses)
+    }
+
+    /// Classifies window record `idx` against the shadow, applying the
+    /// speculated transition (admit-all, invalid-way-first, shadow-LRU
+    /// victim) and logging it for rollback.
+    fn classify(&mut self, idx: usize, r: &TraceRecord, cache: &SetAssocCache) -> Pred {
+        let cfg = cache.config();
+        let page = r.page();
+        let set = cfg.set_of(page);
+        let tag = cfg.tag_of(page);
+        let ways = cfg.ways;
+        let slot0 = set * ways;
+        self.touch += 1;
+        for w in 0..ways {
+            let b = self.shadow[slot0 + w];
+            if b.valid && b.tag == tag {
+                self.log_and_touch(idx, slot0 + w);
+                return Pred::Hit;
+            }
+        }
+        let invalid = (0..ways).find(|&w| !self.shadow[slot0 + w].valid);
+        let (way, evicts) = match invalid {
+            Some(w) => (w, None),
+            None => {
+                let w = (0..ways)
+                    .min_by_key(|&w| self.shadow_last[slot0 + w])
+                    .expect("set has at least one way");
+                (w, Some(cfg.page_of(set, self.shadow[slot0 + w].tag)))
+            }
+        };
+        self.log_and_touch(idx, slot0 + way);
+        self.shadow[slot0 + way] = BlockState {
+            tag,
+            valid: true,
+            dirty: false,
+        };
+        Pred::Miss { evicts }
+    }
+
+    /// Logs the pre-mutation state of `slot` under window record `idx`,
+    /// then stamps its recency.
+    fn log_and_touch(&mut self, idx: usize, slot: usize) {
+        self.undo.push(UndoEntry {
+            idx,
+            slot,
+            block: self.shadow[slot],
+            last: self.shadow_last[slot],
+        });
+        self.shadow_last[slot] = self.touch;
+    }
+
+    /// Undoes every speculative shadow mutation made for window records
+    /// `>= from_idx`, in reverse order.
+    fn roll_back(&mut self, from_idx: usize) {
+        while let Some(e) = self.undo.last() {
+            if e.idx < from_idx {
+                break;
+            }
+            let e = self.undo.pop().expect("just peeked");
+            self.shadow[e.slot] = e.block;
+            self.shadow_last[e.slot] = e.last;
+        }
+    }
+
+    /// Drops `page` from the shadow (reality proved it absent). Ground-
+    /// truth repair for a phantom left by a tolerated bypass; runs after
+    /// a rollback, so no undo logging.
+    fn shadow_evict(&mut self, page: PageIndex, cache: &SetAssocCache) {
+        let cfg = cache.config();
+        let set = cfg.set_of(page);
+        let tag = cfg.tag_of(page);
+        let slot0 = set * cfg.ways;
+        for w in 0..cfg.ways {
+            let b = &mut self.shadow[slot0 + w];
+            if b.valid && b.tag == tag {
+                b.valid = false;
+                return;
+            }
+        }
+    }
+
+    /// Applies a *real* replay outcome to the shadow (used after a
+    /// rollback to bring it back into lock-step with the cache).
+    fn apply_real(&mut self, r: &TraceRecord, outcome: &AccessOutcome, cache: &SetAssocCache) {
+        let cfg = cache.config();
+        let page = r.page();
+        let set = cfg.set_of(page);
+        let slot0 = set * cfg.ways;
+        self.touch += 1;
+        match outcome {
+            AccessOutcome::Hit { way } => {
+                // Write the block too (not just recency): the shadow may
+                // hold a phantom from a tolerated bypass here, and real
+                // outcomes are the ground truth that heals it.
+                self.shadow[slot0 + way] = BlockState {
+                    tag: cfg.tag_of(page),
+                    valid: true,
+                    dirty: false,
+                };
+                self.shadow_last[slot0 + way] = self.touch;
+            }
+            AccessOutcome::MissInserted { way, .. } => {
+                self.shadow[slot0 + way] = BlockState {
+                    tag: cfg.tag_of(page),
+                    valid: true,
+                    dirty: false,
+                };
+                self.shadow_last[slot0 + way] = self.touch;
+            }
+            AccessOutcome::MissBypassed => {}
+        }
+    }
+
+    /// Compares a replayed outcome against the speculation for record `t`
+    /// of the current window. Returns `true` (and counts the kind) on a
+    /// cutting divergence. Bypasses are handled by the replay loop.
+    fn check_miss_divergence(&mut self, t: usize, outcome: &AccessOutcome) -> bool {
+        let Pred::Miss { evicts, .. } = self.pred[t] else {
+            unreachable!("miss-run replay only covers predicted misses");
+        };
+        match outcome {
+            AccessOutcome::Hit { .. } => {
+                self.spec.pred_miss_hit += 1;
+                true
+            }
+            AccessOutcome::MissBypassed => {
+                unreachable!("bypass divergence is handled by the replay loop")
+            }
+            AccessOutcome::MissInserted { evicted, .. } => {
+                if evicted.map(|e| e.page) != evicts {
+                    self.spec.victim_divergences += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// [`simulate_batched_with_warmup`] without a warm-up phase.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_batched(
+    records: &[TraceRecord],
+    cache: &mut SetAssocCache,
+    admission: &mut dyn AdmissionPolicy,
+    eviction: &mut dyn EvictionPolicy,
+    score: Option<&mut dyn ScoreSource>,
+    latency: &LatencyModel,
+    series_window: Option<u64>,
+) -> SimReport {
+    simulate_batched_with_warmup(
+        &[],
+        records,
+        cache,
+        admission,
+        eviction,
+        score,
+        latency,
+        series_window,
+    )
+}
+
+/// One-shot speculative batched simulation at [`DEFAULT_SPEC_WINDOW`].
+///
+/// Bit-identical to [`crate::simulate_streaming_with_warmup`]; this is the
+/// path [`crate::simulate_with_warmup`] routes scored runs through.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_batched_with_warmup(
+    warmup: &[TraceRecord],
+    measured: &[TraceRecord],
+    cache: &mut SetAssocCache,
+    admission: &mut dyn AdmissionPolicy,
+    eviction: &mut dyn EvictionPolicy,
+    score: Option<&mut dyn ScoreSource>,
+    latency: &LatencyModel,
+    series_window: Option<u64>,
+) -> SimReport {
+    WindowedSimulator::default().run(
+        warmup,
+        measured,
+        cache,
+        admission,
+        eviction,
+        score,
+        latency,
+        series_window,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use crate::policy::{AlwaysAdmit, FifoPolicy, LruPolicy, ThresholdAdmit};
+    use crate::score::{ConstantScore, FnScore};
+    use crate::sim::simulate_streaming;
+
+    fn small_cache() -> SetAssocCache {
+        SetAssocCache::new(CacheConfig {
+            capacity_bytes: 16 * 4096,
+            block_bytes: 4096,
+            ways: 2,
+        })
+        .unwrap()
+    }
+
+    fn mixed_trace(n: usize) -> Vec<TraceRecord> {
+        let mut v = Vec::with_capacity(n);
+        let mut cold = 500u64;
+        for i in 0..n {
+            if i % 3 == 0 {
+                v.push(TraceRecord::read(((i / 3) as u64 % 8) << 12));
+            } else if i % 7 == 0 {
+                v.push(TraceRecord::write((cold % 64) << 12));
+            } else {
+                v.push(TraceRecord::read(cold << 12));
+                cold += 1;
+            }
+        }
+        v
+    }
+
+    #[test]
+    #[should_panic(expected = "speculation window must be >= 1")]
+    fn zero_window_panics() {
+        let _ = WindowedSimulator::new(0);
+    }
+
+    #[test]
+    fn matches_streaming_with_score_source_across_windows() {
+        let trace = mixed_trace(3_000);
+        let lat = LatencyModel::paper_tlc();
+        for w in [1usize, 3, 64, 4096] {
+            let mut c1 = small_cache();
+            let mut lru1 = LruPolicy::new(8, 2);
+            let mut s1 = FnScore::new(|page, seq| ((page * 37 + seq) % 100) as f64 / 100.0);
+            let mut a1 = ThresholdAdmit::new(0.5);
+            let streaming = simulate_streaming(
+                &trace,
+                &mut c1,
+                &mut a1,
+                &mut lru1,
+                Some(&mut s1),
+                &lat,
+                Some(128),
+            );
+
+            let mut c2 = small_cache();
+            let mut lru2 = LruPolicy::new(8, 2);
+            let mut s2 = FnScore::new(|page, seq| ((page * 37 + seq) % 100) as f64 / 100.0);
+            let mut a2 = ThresholdAdmit::new(0.5);
+            let mut sim = WindowedSimulator::new(w);
+            let batched = sim.run(
+                &[],
+                &trace,
+                &mut c2,
+                &mut a2,
+                &mut lru2,
+                Some(&mut s2),
+                &lat,
+                Some(128),
+            );
+            assert_eq!(streaming, batched, "window {w}");
+            assert!(sim.spec_stats().windows > 0);
+        }
+    }
+
+    #[test]
+    fn warmup_boundary_never_straddles_a_window() {
+        let trace = mixed_trace(2_000);
+        let (warm, meas) = trace.split_at(700);
+        let lat = LatencyModel::paper_tlc();
+
+        let mut c1 = small_cache();
+        let mut lru1 = LruPolicy::new(8, 2);
+        let mut s1 = ConstantScore(1.0);
+        let streaming = simulate_streaming_with_warmup(
+            warm,
+            meas,
+            &mut c1,
+            &mut AlwaysAdmit,
+            &mut lru1,
+            Some(&mut s1),
+            &lat,
+            None,
+        );
+
+        let mut c2 = small_cache();
+        let mut lru2 = LruPolicy::new(8, 2);
+        let mut s2 = ConstantScore(1.0);
+        let batched = simulate_batched_with_warmup(
+            warm,
+            meas,
+            &mut c2,
+            &mut AlwaysAdmit,
+            &mut lru2,
+            Some(&mut s2),
+            &lat,
+            None,
+        );
+        assert_eq!(streaming, batched);
+    }
+
+    #[test]
+    fn score_free_runs_delegate_to_streaming() {
+        let trace = mixed_trace(1_000);
+        let lat = LatencyModel::paper_tlc();
+        let mut c1 = small_cache();
+        let mut f1 = FifoPolicy::new(8, 2);
+        let streaming =
+            simulate_streaming(&trace, &mut c1, &mut AlwaysAdmit, &mut f1, None, &lat, None);
+        let mut c2 = small_cache();
+        let mut f2 = FifoPolicy::new(8, 2);
+        let mut sim = WindowedSimulator::default();
+        let batched = sim.run(
+            &[],
+            &trace,
+            &mut c2,
+            &mut AlwaysAdmit,
+            &mut f2,
+            None,
+            &lat,
+            None,
+        );
+        assert_eq!(streaming, batched);
+        assert_eq!(sim.spec_stats(), &SpecStats::default());
+    }
+
+    #[test]
+    fn bypass_heavy_trace_counts_admission_divergences() {
+        // Every cold miss scores 0.0 < threshold, so each speculated insert
+        // is bypassed by the real admission policy: the speculation must
+        // diverge, cut and recover, and still be bit-identical.
+        let trace = mixed_trace(2_000);
+        let lat = LatencyModel::paper_tlc();
+        let mut c1 = small_cache();
+        let mut lru1 = LruPolicy::new(8, 2);
+        let mut s1 = FnScore::new(|page, _| if page < 8 { 1.0 } else { 0.0 });
+        let mut a1 = ThresholdAdmit::new(0.5);
+        let streaming = simulate_streaming(
+            &trace,
+            &mut c1,
+            &mut a1,
+            &mut lru1,
+            Some(&mut s1),
+            &lat,
+            None,
+        );
+
+        let mut c2 = small_cache();
+        let mut lru2 = LruPolicy::new(8, 2);
+        let mut s2 = FnScore::new(|page, _| if page < 8 { 1.0 } else { 0.0 });
+        let mut a2 = ThresholdAdmit::new(0.5);
+        let mut sim = WindowedSimulator::new(256);
+        let batched = sim.run(
+            &[],
+            &trace,
+            &mut c2,
+            &mut a2,
+            &mut lru2,
+            Some(&mut s2),
+            &lat,
+            None,
+        );
+        assert_eq!(streaming, batched);
+        let spec = sim.spec_stats();
+        assert!(spec.admission_divergences > 0, "{spec:?}");
+        assert!(spec.divergences() > 0);
+    }
+
+    #[test]
+    fn hit_heavy_trace_flips_to_streaming_mode() {
+        // 8 hot pages fit the cache: after the cold start everything
+        // hits, so the mode probe must drop speculation and stream —
+        // still bit-identically.
+        let trace: Vec<TraceRecord> = (0..6_000u64)
+            .map(|i| TraceRecord::read((i % 8) << 12))
+            .collect();
+        let lat = LatencyModel::paper_tlc();
+
+        let mut c1 = small_cache();
+        let mut lru1 = LruPolicy::new(8, 2);
+        let mut s1 = FnScore::new(|page, seq| ((page * 37 + seq) % 100) as f64 / 100.0);
+        let streaming = simulate_streaming(
+            &trace,
+            &mut c1,
+            &mut ThresholdAdmit::new(0.5),
+            &mut lru1,
+            Some(&mut s1),
+            &lat,
+            None,
+        );
+
+        let mut c2 = small_cache();
+        let mut lru2 = LruPolicy::new(8, 2);
+        let mut s2 = FnScore::new(|page, seq| ((page * 37 + seq) % 100) as f64 / 100.0);
+        let mut sim = WindowedSimulator::new(256);
+        let batched = sim.run(
+            &[],
+            &trace,
+            &mut c2,
+            &mut ThresholdAdmit::new(0.5),
+            &mut lru2,
+            Some(&mut s2),
+            &lat,
+            None,
+        );
+        assert_eq!(streaming, batched);
+        let spec = sim.spec_stats();
+        assert!(
+            spec.streamed_records > 4_000,
+            "hit-heavy phases must stream: {spec:?}"
+        );
+    }
+
+    #[test]
+    fn miss_heavy_trace_batches_nearly_everything() {
+        // Cyclic scan through 64 pages in a 16-page cache with LRU: every
+        // access misses, speculation never diverges, one batched call per
+        // window.
+        let trace: Vec<TraceRecord> = (0..4_096u64)
+            .map(|i| TraceRecord::read((i % 64) << 12))
+            .collect();
+        let lat = LatencyModel::paper_tlc();
+        let mut c = small_cache();
+        let mut lru = LruPolicy::new(8, 2);
+        let mut s = ConstantScore(1.0);
+        let mut sim = WindowedSimulator::new(1024);
+        let rep = sim.run(
+            &[],
+            &trace,
+            &mut c,
+            &mut ThresholdAdmit::new(0.5),
+            &mut lru,
+            Some(&mut s),
+            &lat,
+            None,
+        );
+        assert!(rep.stats.miss_rate() > 0.99);
+        let spec = sim.spec_stats();
+        assert_eq!(spec.divergences(), 0, "{spec:?}");
+        assert_eq!(spec.sync_scores, 0);
+        assert_eq!(spec.batch_calls, 4); // 4096 / 1024
+        assert!((spec.batched_fraction() - 1.0).abs() < 1e-12);
+    }
+}

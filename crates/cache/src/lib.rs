@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod cache;
 mod config;
 mod latency;
@@ -49,6 +50,10 @@ mod stats;
 
 pub mod policy;
 
+pub use batch::{
+    simulate_batched, simulate_batched_with_warmup, SpecStats, WindowedSimulator,
+    DEFAULT_SPEC_WINDOW, MIN_SPEC_WINDOW,
+};
 pub use cache::{AccessOutcome, BlockState, Eviction, SetAssocCache};
 pub use config::{CacheConfig, CacheConfigError};
 pub use latency::LatencyModel;
@@ -57,5 +62,7 @@ pub use policy::{
     GmmScorePolicy, LfuPolicy, LruPolicy, RandomPolicy, ThresholdAdmit,
 };
 pub use score::{ConstantScore, FnScore, ScoreSource};
-pub use sim::{simulate, simulate_with_warmup, SimReport};
+pub use sim::{
+    simulate, simulate_streaming, simulate_streaming_with_warmup, simulate_with_warmup, SimReport,
+};
 pub use stats::{CacheStats, MissSeries};

@@ -40,6 +40,19 @@ pub trait ScoreSource {
             *o = self.score_current();
         }
     }
+
+    /// Whether this source's [`ScoreSource::score_window`] is genuinely
+    /// batched — materially cheaper per score than `observe` +
+    /// `score_current`. The default entry points ([`crate::simulate`],
+    /// [`crate::simulate_with_warmup`]) consult this to decide whether
+    /// miss-window speculation is worth its per-request overhead; sources
+    /// inheriting the default (streaming) `score_window` have nothing to
+    /// gain and should keep the default `false`. Calling
+    /// [`crate::WindowedSimulator`] directly always speculates, whatever
+    /// this returns.
+    fn prefers_batching(&self) -> bool {
+        false
+    }
 }
 
 /// A constant score for every page (testing, and the degenerate baseline).
@@ -122,5 +135,45 @@ mod tests {
         let mut s = ConstantScore(0.0);
         let mut out = vec![0.0; 2];
         s.score_window(&[TraceRecord::read(0)], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "one score slot per record")]
+    fn constant_score_window_rejects_short_output() {
+        // The doc contract promises a panic on *any* mismatch, including
+        // out shorter than records, for sources inheriting the default.
+        let mut s = ConstantScore(0.3);
+        let mut out = vec![0.0; 1];
+        s.score_window(&[TraceRecord::read(0), TraceRecord::read(0x1000)], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "one score slot per record")]
+    fn fn_score_window_rejects_length_mismatch() {
+        let mut s = FnScore::new(|page, _| page as f64);
+        let mut out = vec![0.0; 3];
+        s.score_window(&[TraceRecord::read(0)], &mut out);
+    }
+
+    #[test]
+    fn constant_score_window_fills_every_slot_and_observes() {
+        let records: Vec<TraceRecord> = (0..5u64).map(|p| TraceRecord::read(p << 12)).collect();
+        let mut s = ConstantScore(0.42);
+        let mut out = vec![-1.0; records.len()];
+        s.score_window(&records, &mut out);
+        assert!(out.iter().all(|&v| v == 0.42));
+    }
+
+    #[test]
+    fn fn_score_window_advances_seq_like_streaming() {
+        // The default implementation must leave the source in the same
+        // state as the streaming loop: the next streaming call continues
+        // the sequence where the window left off.
+        let records: Vec<TraceRecord> = (0..4u64).map(|p| TraceRecord::read(p << 12)).collect();
+        let mut s = FnScore::new(|page, seq| page as f64 + seq as f64 * 1000.0);
+        let mut out = vec![0.0; records.len()];
+        s.score_window(&records, &mut out);
+        s.observe(&TraceRecord::read(9 << 12));
+        assert_eq!(s.score_current(), 9.0 + 4.0 * 1000.0);
     }
 }

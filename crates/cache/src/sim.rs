@@ -1,6 +1,37 @@
 //! Trace-driven cache simulation: the glue that turns a trace, a policy
 //! pair, an optional score source and a latency model into miss rates and
 //! average access latency (the quantities of the paper's Fig. 6/Table 1).
+//!
+//! # Streaming vs speculative batched replay
+//!
+//! Two interchangeable replay engines produce bit-identical [`SimReport`]s:
+//!
+//! * [`simulate_streaming`] / [`simulate_streaming_with_warmup`] — the
+//!   reference loop: observe each request, score each miss synchronously,
+//!   access the cache. Simple, but every miss pays a scalar policy-engine
+//!   inference.
+//! * The speculative batcher ([`crate::WindowedSimulator`]) — classifies
+//!   the next `W` requests against a shadow of the tag state, prefetches
+//!   predicted-miss scores through [`ScoreSource::score_window`] in
+//!   batched calls, then replays through the real cache. Any divergence
+//!   between speculation and reality (mispredicted hit/miss, admission
+//!   bypass, different eviction victim) is detected during replay, counted
+//!   in [`crate::SpecStats`], and repaired by re-speculating from the
+//!   divergent point — mispredicted misses fall back to the synchronous
+//!   [`ScoreSource::score_current`], so results never drift.
+//!
+//! [`simulate`] and [`simulate_with_warmup`] are the default entry
+//! points: runs whose score source reports
+//! [`ScoreSource::prefers_batching`] (the GMM policy engine at
+//! paper-scale K — not sources inheriting the default streaming
+//! `score_window`) route through the batcher at
+//! [`crate::DEFAULT_SPEC_WINDOW`] (tune the cap via
+//! [`crate::WindowedSimulator::new`] — larger `W` amortizes more batching;
+//! the *effective* depth adapts on its own, halving after divergent
+//! windows and recovering after clean ones); score-free runs and
+//! streaming-kernel sources use the streaming loop directly. Equivalence
+//! across all policy pairs is enforced by property tests
+//! (`tests/batch_equivalence.rs`).
 
 use crate::cache::SetAssocCache;
 use crate::latency::LatencyModel;
@@ -41,6 +72,10 @@ impl SimReport {
 /// `None` to run score-free baselines (LRU/FIFO/…).
 ///
 /// `series_window`, when set, collects a per-window miss-rate series.
+///
+/// Sources whose [`ScoreSource::prefers_batching`] returns `true` ride
+/// the speculative miss-window batcher (see the module docs); all others
+/// take the streaming loop. The report is bit-identical either way.
 pub fn simulate(
     records: &[TraceRecord],
     cache: &mut SetAssocCache,
@@ -69,8 +104,77 @@ pub fn simulate(
 /// requests (the program was running). `warmup` is replayed through the
 /// full access path with statistics discarded; `measured` follows with
 /// statistics recorded. Sequence numbers are continuous across phases.
+///
+/// Runs whose score source [`ScoreSource::prefers_batching`] ride the
+/// speculative miss-window batcher at the default window; score-free runs
+/// and sources without a batched kernel use the streaming loop (identical
+/// results either way — the routing is purely an economics decision).
 #[allow(clippy::too_many_arguments)]
 pub fn simulate_with_warmup(
+    warmup: &[TraceRecord],
+    measured: &[TraceRecord],
+    cache: &mut SetAssocCache,
+    admission: &mut dyn AdmissionPolicy,
+    eviction: &mut dyn EvictionPolicy,
+    score: Option<&mut dyn ScoreSource>,
+    latency: &LatencyModel,
+    series_window: Option<u64>,
+) -> SimReport {
+    if score.as_ref().is_some_and(|s| s.prefers_batching()) {
+        crate::batch::simulate_batched_with_warmup(
+            warmup,
+            measured,
+            cache,
+            admission,
+            eviction,
+            score,
+            latency,
+            series_window,
+        )
+    } else {
+        simulate_streaming_with_warmup(
+            warmup,
+            measured,
+            cache,
+            admission,
+            eviction,
+            score,
+            latency,
+            series_window,
+        )
+    }
+}
+
+/// [`simulate_streaming_with_warmup`] without a warm-up phase.
+pub fn simulate_streaming(
+    records: &[TraceRecord],
+    cache: &mut SetAssocCache,
+    admission: &mut dyn AdmissionPolicy,
+    eviction: &mut dyn EvictionPolicy,
+    score: Option<&mut dyn ScoreSource>,
+    latency: &LatencyModel,
+    series_window: Option<u64>,
+) -> SimReport {
+    simulate_streaming_with_warmup(
+        &[],
+        records,
+        cache,
+        admission,
+        eviction,
+        score,
+        latency,
+        series_window,
+    )
+}
+
+/// The reference streaming replay loop: one request at a time, misses
+/// scored synchronously.
+///
+/// Kept public as the ground truth the speculative batcher is property-
+/// tested against, and for measuring the batcher's end-to-end speedup
+/// (the `sim_batch` criterion group).
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_streaming_with_warmup(
     warmup: &[TraceRecord],
     measured: &[TraceRecord],
     cache: &mut SetAssocCache,
@@ -80,9 +184,7 @@ pub fn simulate_with_warmup(
     latency: &LatencyModel,
     series_window: Option<u64>,
 ) -> SimReport {
-    let mut stats = CacheStats::default();
-    let mut series = series_window.map(MissSeries::new);
-    let mut total_us = 0.0f64;
+    let mut acct = Accounting::new(warmup.len(), latency, series_window);
 
     for (i, r) in warmup.iter().chain(measured).enumerate() {
         if let Some(s) = score.as_deref_mut() {
@@ -96,28 +198,71 @@ pub fn simulate_with_warmup(
             None
         };
         let outcome = cache.access(r, i as u64, score_val, admission, eviction);
-        if i < warmup.len() {
-            continue; // warm-up: full side effects, no accounting
+        acct.record(i as u64, r, &outcome);
+    }
+
+    acct.into_report(measured.len(), eviction, admission)
+}
+
+/// Measurement bookkeeping shared by the streaming loop and every replay
+/// arm of the speculative batcher — one implementation, so the two paths
+/// cannot drift apart in what they account.
+pub(crate) struct Accounting<'a> {
+    warmup_len: usize,
+    stats: CacheStats,
+    series: Option<MissSeries>,
+    total_us: f64,
+    latency: &'a LatencyModel,
+}
+
+impl<'a> Accounting<'a> {
+    pub(crate) fn new(
+        warmup_len: usize,
+        latency: &'a LatencyModel,
+        series_window: Option<u64>,
+    ) -> Self {
+        Accounting {
+            warmup_len,
+            stats: CacheStats::default(),
+            series: series_window.map(MissSeries::new),
+            total_us: 0.0,
+            latency,
         }
-        stats.record(r.op, &outcome);
-        total_us += latency.request_us(r.op, &outcome);
-        if let Some(ms) = series.as_mut() {
+    }
+
+    /// Accounts one replayed request (`i` is the absolute request index;
+    /// warm-up requests have full side effects but no accounting).
+    pub(crate) fn record(&mut self, i: u64, r: &TraceRecord, outcome: &crate::AccessOutcome) {
+        if (i as usize) < self.warmup_len {
+            return;
+        }
+        self.stats.record(r.op, outcome);
+        self.total_us += self.latency.request_us(r.op, outcome);
+        if let Some(ms) = self.series.as_mut() {
             ms.record(!outcome.is_hit());
         }
     }
 
-    let avg_us = if measured.is_empty() {
-        0.0
-    } else {
-        total_us / measured.len() as f64
-    };
-    SimReport {
-        stats,
-        total_us,
-        avg_us,
-        miss_series: series,
-        eviction: eviction.name().to_string(),
-        admission: admission.name().to_string(),
+    /// Finalizes the run into a [`SimReport`].
+    pub(crate) fn into_report(
+        self,
+        measured_len: usize,
+        eviction: &dyn EvictionPolicy,
+        admission: &dyn AdmissionPolicy,
+    ) -> SimReport {
+        let avg_us = if measured_len == 0 {
+            0.0
+        } else {
+            self.total_us / measured_len as f64
+        };
+        SimReport {
+            stats: self.stats,
+            total_us: self.total_us,
+            avg_us,
+            miss_series: self.series,
+            eviction: eviction.name().to_string(),
+            admission: admission.name().to_string(),
+        }
     }
 }
 

@@ -100,6 +100,13 @@ pub struct IcgmmConfig {
     /// (`0.0`, the default); positive values blend recency back in and are
     /// swept by the ablation bench.
     pub eviction_hit_bonus: f64,
+    /// Speculation depth `W` of the miss-window batcher: GMM-mode runs
+    /// lookahead-classify this many requests, prefetch predicted-miss
+    /// scores through the batched kernel, and replay (results are
+    /// bit-identical to streaming at any value). Larger windows amortize
+    /// more batching; smaller ones bound the re-speculation cost after a
+    /// divergence.
+    pub sim_window: usize,
 }
 
 impl Default for IcgmmConfig {
@@ -114,6 +121,7 @@ impl Default for IcgmmConfig {
             fixed_point_inference: false,
             admit_writes_always: true,
             eviction_hit_bonus: 0.0,
+            sim_window: icgmm_cache::DEFAULT_SPEC_WINDOW,
         }
     }
 }
@@ -144,6 +152,9 @@ impl IcgmmConfig {
             return Err(IcgmmError::Config(
                 "eviction_hit_bonus must be finite and >= 0".into(),
             ));
+        }
+        if self.sim_window == 0 {
+            return Err(IcgmmError::Config("sim_window must be >= 1".into()));
         }
         Ok(())
     }
@@ -179,6 +190,17 @@ mod tests {
         c = IcgmmConfig::default();
         c.cache.ways = 0;
         assert!(c.validate().is_err());
+        c = IcgmmConfig::default();
+        c.sim_window = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn default_sim_window_is_the_cache_crate_default() {
+        assert_eq!(
+            IcgmmConfig::default().sim_window,
+            icgmm_cache::DEFAULT_SPEC_WINDOW
+        );
     }
 
     #[test]

@@ -122,8 +122,22 @@ impl ScoreSource for GmmPolicyEngine {
     /// and score them in one `score_batch` call instead of per-miss
     /// round-trips. Results are bit-identical to the streaming path
     /// (asserted in this module's tests).
+    ///
+    /// Windows shorter than a few points take the allocation-free scalar
+    /// kernel instead — the batched kernel's per-call setup would dominate
+    /// there, and the speculative batcher emits many short windows on
+    /// hit-heavy traces. Scalar and batched scoring are bit-identical
+    /// (property-tested in the gmm crate), so the routing is invisible.
     fn score_window(&mut self, records: &[TraceRecord], out: &mut [f64]) {
         assert_eq!(records.len(), out.len(), "one score slot per record");
+        const SCALAR_MAX: usize = 4;
+        if records.len() <= SCALAR_MAX {
+            for (record, o) in records.iter().zip(out.iter_mut()) {
+                self.observe(record);
+                *o = self.score_current();
+            }
+            return;
+        }
         self.window_z.clear();
         self.window_z.reserve(records.len());
         for record in records {
@@ -132,10 +146,24 @@ impl ScoreSource for GmmPolicyEngine {
             self.window_z.push(self.scaler.transform(self.current));
         }
         self.scores_computed += records.len() as u64;
+        debug_assert_eq!(
+            self.window_z.len(),
+            out.len(),
+            "standardized window must line up with the output slice"
+        );
         match &self.fixed {
             Some(fx) => fx.score_batch(&self.window_z, out),
             None => self.scorer.score_batch(&self.window_z, out),
         }
+    }
+
+    /// The batched kernel wins per point at any K, but the simulator's
+    /// miss-window speculation costs a few tens of ns per *request*; only
+    /// at substantial component counts is the absolute per-miss saving
+    /// large enough to pay for it. Below that, the default entry points
+    /// keep the streaming path (identical results, less machinery).
+    fn prefers_batching(&self) -> bool {
+        self.scorer.k() >= 64
     }
 }
 

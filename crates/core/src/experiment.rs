@@ -25,6 +25,11 @@ pub struct ExperimentResult {
     pub dirty_evictions: u64,
     /// Total evaluated requests.
     pub requests: u64,
+    /// Miss-window speculation divergences (0 for score-free modes).
+    pub spec_divergences: u64,
+    /// Fraction of policy-engine scores served by the batched kernel
+    /// (0 for score-free modes).
+    pub batched_score_fraction: f64,
 }
 
 impl ExperimentResult {
@@ -37,6 +42,8 @@ impl ExperimentResult {
             bypasses: run.sim.stats.bypasses(),
             dirty_evictions: run.sim.stats.dirty_evictions,
             requests: run.sim.stats.accesses(),
+            spec_divergences: run.spec.map(|s| s.divergences()).unwrap_or(0),
+            batched_score_fraction: run.spec.map(|s| s.batched_fraction()).unwrap_or(0.0),
         }
     }
 }
@@ -204,6 +211,8 @@ mod tests {
                 bypasses: 0,
                 dirty_evictions: 0,
                 requests: 100,
+                spec_divergences: 0,
+                batched_score_fraction: 0.0,
             },
             ExperimentResult {
                 benchmark: "x".into(),
@@ -213,6 +222,8 @@ mod tests {
                 bypasses: 5,
                 dirty_evictions: 0,
                 requests: 100,
+                spec_divergences: 0,
+                batched_score_fraction: 0.0,
             },
             ExperimentResult {
                 benchmark: "x".into(),
@@ -222,6 +233,8 @@ mod tests {
                 bypasses: 9,
                 dirty_evictions: 0,
                 requests: 100,
+                spec_divergences: 0,
+                batched_score_fraction: 0.0,
             },
         ];
         assert_eq!(find(&results, "x", PolicyMode::Lru).unwrap().miss_pct, 5.0);

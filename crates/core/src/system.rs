@@ -5,8 +5,8 @@ use crate::config::{IcgmmConfig, PolicyMode};
 use crate::engine::{GmmPolicyEngine, TrainedModel};
 use crate::error::IcgmmError;
 use icgmm_cache::{
-    simulate_with_warmup, AlwaysAdmit, BeladyPolicy, FifoPolicy, GmmScorePolicy, LatencyModel,
-    LfuPolicy, LruPolicy, RandomPolicy, SetAssocCache, SimReport, ThresholdAdmit,
+    AlwaysAdmit, BeladyPolicy, FifoPolicy, GmmScorePolicy, LatencyModel, LfuPolicy, LruPolicy,
+    RandomPolicy, SetAssocCache, SimReport, SpecStats, ThresholdAdmit, WindowedSimulator,
 };
 use icgmm_gmm::{calibrate_threshold, EmReport, EmTrainer, StandardScaler};
 use icgmm_hw::{DataflowConfig, DataflowReport};
@@ -39,7 +39,15 @@ pub struct RunReport {
     /// Simulator output (miss rates, latency).
     pub sim: SimReport,
     /// Policy-engine inferences performed (0 for score-free modes).
+    ///
+    /// With the speculative batcher this counts *speculated* inferences —
+    /// the batched kernel also scores predicted misses that turn out to
+    /// hit, exactly like the hardware pipeline scoring a window that a
+    /// later admission decision partially discards.
     pub gmm_inferences: u64,
+    /// Miss-window speculation telemetry (`None` for score-free modes,
+    /// which take the streaming path).
+    pub spec: Option<SpecStats>,
 }
 
 impl RunReport {
@@ -229,7 +237,17 @@ impl Icgmm {
         };
         let threshold = self.model.as_ref().map(|m| m.threshold).unwrap_or(0.0);
 
+        // One simulator per run: engines at paper-scale K lookahead-
+        // classify `sim_window` requests and ride the batched scoring
+        // kernel; small-K engines (where scalar scoring is too cheap to
+        // out-earn the speculation overhead) and score-free modes take
+        // the streaming loop — bit-identical either way.
+        let use_batched = engine
+            .as_ref()
+            .is_some_and(icgmm_cache::ScoreSource::prefers_batching);
+        let mut wsim = WindowedSimulator::new(self.cfg.sim_window);
         let sim = {
+            let wsim = &mut wsim;
             let score = engine
                 .as_mut()
                 .map(|e| e as &mut dyn icgmm_cache::ScoreSource);
@@ -237,9 +255,13 @@ impl Icgmm {
                 |adm: &mut dyn icgmm_cache::AdmissionPolicy,
                  ev: &mut dyn icgmm_cache::EvictionPolicy,
                  score: Option<&mut dyn icgmm_cache::ScoreSource>| {
-                    simulate_with_warmup(
-                        warmup, measured, &mut cache, adm, ev, score, latency, None,
-                    )
+                    if use_batched {
+                        wsim.run(warmup, measured, &mut cache, adm, ev, score, latency, None)
+                    } else {
+                        icgmm_cache::simulate_streaming_with_warmup(
+                            warmup, measured, &mut cache, adm, ev, score, latency, None,
+                        )
+                    }
                 };
             match mode {
                 PolicyMode::Lru => run(&mut AlwaysAdmit, &mut LruPolicy::new(sets, ways), None),
@@ -278,6 +300,7 @@ impl Icgmm {
             mode,
             sim,
             gmm_inferences: engine.map(|e| e.scores_computed()).unwrap_or(0),
+            spec: use_batched.then(|| *wsim.spec_stats()),
         })
     }
 
@@ -444,6 +467,37 @@ mod tests {
                 belady.miss_rate_pct(),
                 rep.miss_rate_pct()
             );
+        }
+    }
+
+    #[test]
+    fn sim_window_does_not_change_results() {
+        // W = 1 degenerates to per-request speculation; W = default batches
+        // thousands of requests. The SimReport must be bit-identical, with
+        // speculation telemetry present for GMM modes only.
+        let mut small = small_cfg();
+        let mut wide = small_cfg();
+        // K >= 64 so the engine prefers the batched path (small-K engines
+        // route to streaming — see `GmmPolicyEngine::prefers_batching`).
+        small.em.k = 64;
+        wide.em.k = 64;
+        small.sim_window = 1;
+        wide.sim_window = 4096;
+        let trace = WorkloadKind::Memtier.default_workload().generate(40_000, 9);
+        let mut sys_small = Icgmm::new(small).unwrap();
+        let mut sys_wide = Icgmm::new(wide).unwrap();
+        sys_small.fit(&trace).unwrap();
+        sys_wide.fit(&trace).unwrap();
+        for mode in [PolicyMode::Lru, PolicyMode::GmmCachingEviction] {
+            let a = sys_small.run(&trace, mode).unwrap();
+            let b = sys_wide.run(&trace, mode).unwrap();
+            assert_eq!(a.sim, b.sim, "{mode}");
+            if mode.uses_gmm() {
+                let spec = b.spec.expect("gmm modes speculate");
+                assert!(spec.batched_scores > 0, "{spec:?}");
+            } else {
+                assert!(a.spec.is_none() && b.spec.is_none());
+            }
         }
     }
 

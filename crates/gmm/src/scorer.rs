@@ -327,7 +327,12 @@ impl GmmScorer {
     /// path.
     fn log_density_chunk(&self, xs: &[Vec2], out: &mut [f64], lbuf: &mut [f64]) {
         debug_assert!(xs.len() <= CHUNK && xs.len() == out.len());
-        debug_assert_eq!(lbuf.len(), self.k() * CHUNK);
+        debug_assert_eq!(lbuf.len() % self.k(), 0);
+        // Row stride of the term buffer: CHUNK normally, smaller when the
+        // whole batch is shorter than one chunk (the buffer is sized to
+        // the batch in that case).
+        let stride = lbuf.len() / self.k();
+        debug_assert!(xs.len() <= stride);
         let n = xs.len();
         // Deinterleave the `[x, y]` pairs once so both passes read unit-
         // stride lanes instead of shuffling strided loads per component.
@@ -342,7 +347,7 @@ impl GmmScorer {
         for j in 0..self.k() {
             let (cj, mxj, myj) = (self.coef[j], self.mx[j], self.my[j]);
             let (hxxj, hxyj, hyyj) = (self.hxx[j], self.hxy[j], self.hyy[j]);
-            let row = &mut lbuf[j * CHUNK..j * CHUNK + n];
+            let row = &mut lbuf[j * stride..j * stride + n];
             for b in 0..n {
                 let dx = px[b] - mxj;
                 let dy = py[b] - myj;
@@ -355,7 +360,7 @@ impl GmmScorer {
         }
         let mut s = [0.0f64; CHUNK];
         for j in 0..self.k() {
-            let row = &lbuf[j * CHUNK..j * CHUNK + n];
+            let row = &lbuf[j * stride..j * stride + n];
             for b in 0..n {
                 let t = row[b] - m[b];
                 s[b] += exp_unit(t.max(EXP_CLAMP));
@@ -380,10 +385,13 @@ impl GmmScorer {
     /// Panics when `xs.len() != out.len()`.
     pub fn log_density_batch(&self, xs: &[Vec2], out: &mut [f64]) {
         assert_eq!(xs.len(), out.len(), "output length must match input");
-        // One K×CHUNK term buffer per call (not per point): pass 2 reads
+        // One K×chunk term buffer per call (not per point): pass 2 reads
         // the pass-1 terms back instead of recomputing every quadratic
-        // form. Reused across all chunks of the batch.
-        let mut lbuf = vec![0.0f64; self.k() * CHUNK];
+        // form. Reused across all chunks of the batch, and sized to the
+        // batch when it is smaller than one chunk — the miss-window
+        // batcher issues many short windows on hit-heavy traces, and a
+        // full K×CHUNK zeroing per call would dwarf the scoring itself.
+        let mut lbuf = vec![0.0f64; self.k() * CHUNK.min(xs.len())];
         for (xc, oc) in xs.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
             self.log_density_chunk(xc, oc, &mut lbuf);
         }

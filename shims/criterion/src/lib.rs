@@ -11,6 +11,20 @@
 //! single benchmark stays under ~3 s) and the minimum / median / maximum
 //! per-iteration times are reported. No plots, no statistics beyond that —
 //! enough to compare kernels and track regressions in CI logs.
+//!
+//! ## Machine-readable output
+//!
+//! When the `CRITERION_JSON` environment variable names a file, every
+//! benchmark additionally appends one JSON line to it:
+//!
+//! ```json
+//! {"id":"group/bench","median_ns":123.4,"min_ns":120.0,"max_ns":130.9,
+//!  "samples":20,"iters_per_sample":4096}
+//! ```
+//!
+//! CI consumes these lines to archive per-PR perf artifacts
+//! (`BENCH_*.json`) and to run same-runner relative perf gates (the
+//! `perf_gate` binary in `icgmm-bench`), instead of scraping log text.
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
@@ -216,6 +230,53 @@ fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, tp: Option<Thro
         print!("  thrpt: {:.1} MiB/s", per_sec / (1024.0 * 1024.0));
     }
     println!();
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            append_json_line(&path, id, med, lo, hi, per_iter.len(), b.iters_per_sample);
+        }
+    }
+}
+
+/// Appends one benchmark record as a JSON line (failures are reported on
+/// stderr, never fatal — a perf run must not die on a full disk).
+fn append_json_line(
+    path: &str,
+    id: &str,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+) {
+    use std::io::Write as _;
+    let line = format!(
+        "{{\"id\":{},\"median_ns\":{median_ns:.3},\"min_ns\":{min_ns:.3},\"max_ns\":{max_ns:.3},\"samples\":{samples},\"iters_per_sample\":{iters_per_sample}}}\n",
+        json_string(id)
+    );
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = res {
+        eprintln!("criterion shim: cannot append to {path}: {e}");
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -278,5 +339,32 @@ mod tests {
     #[test]
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f64", 256).id, "f64/256");
+    }
+
+    #[test]
+    fn json_lines_are_appended_when_env_is_set() {
+        let path =
+            std::env::temp_dir().join(format!("criterion-shim-json-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("CRITERION_JSON", &path);
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("json_smoke/sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        std::env::remove_var("CRITERION_JSON");
+        let content = std::fs::read_to_string(&path).expect("json file written");
+        let line = content
+            .lines()
+            .find(|l| l.contains("\"id\":\"json_smoke/sum\""))
+            .expect("benchmark line present");
+        assert!(line.contains("\"median_ns\":"), "{line}");
+        assert!(line.contains("\"iters_per_sample\":"), "{line}");
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn json_strings_escape_specials() {
+        assert_eq!(json_string("a/b"), "\"a/b\"");
+        assert_eq!(json_string("q\"x\\y"), "\"q\\\"x\\\\y\"");
+        assert_eq!(json_string("t\tb"), "\"t\\u0009b\"");
     }
 }

@@ -80,6 +80,8 @@ pub mod strategy {
     tuple_strategy!(A, B, C);
     tuple_strategy!(A, B, C, D);
     tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
 
     /// Types with a canonical "any value" strategy.
     pub trait Arbitrary: Sized {

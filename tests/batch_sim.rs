@@ -1,0 +1,177 @@
+//! Integration tests: the speculative miss-window batcher driven by the
+//! *real* trained policy engine (f64 and fixed-point datapaths) is
+//! bit-identical to the streaming simulator, and the end-to-end system
+//! rides it by default.
+
+use icgmm::{GmmPolicyEngine, Icgmm, IcgmmConfig, PolicyMode, TrainedModel};
+use icgmm_cache::{
+    simulate_streaming_with_warmup, CacheConfig, GmmScorePolicy, LatencyModel, ScoreSource,
+    SetAssocCache, ThresholdAdmit, WindowedSimulator,
+};
+use icgmm_gmm::{EmConfig, Gaussian2, Gmm, Mat2, StandardScaler};
+use icgmm_trace::synth::WorkloadKind;
+use icgmm_trace::{PreprocessConfig, TraceRecord};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A hand-built mixture (no EM) so the test is fast and deterministic.
+fn model(k: usize) -> TrainedModel {
+    let mut comps = Vec::with_capacity(k);
+    for i in 0..k {
+        let t = i as f64 / k as f64;
+        comps.push(
+            Gaussian2::new(
+                [t * 8.0 - 4.0, (t * std::f64::consts::TAU).cos() * 2.0],
+                Mat2::new(0.3 + t, 0.05, 0.4 + t * 0.5),
+            )
+            .expect("valid component"),
+        );
+    }
+    let gmm = Gmm::new(vec![1.0 / k as f64; k], comps).expect("valid mixture");
+    let scaler = StandardScaler::fit(&[[0.0, 0.0], [4096.0, 512.0]], &[1.0, 1.0]);
+    TrainedModel {
+        scaler,
+        gmm,
+        threshold: -6.0,
+    }
+}
+
+fn engine(k: usize, fixed: bool) -> GmmPolicyEngine {
+    let cfg = PreprocessConfig {
+        len_window: 16,
+        len_access_shot: 1_000,
+        ..Default::default()
+    };
+    GmmPolicyEngine::new(&model(k), &cfg, fixed).expect("engine builds")
+}
+
+fn conflict_trace(n: usize, pages: u64, seed: u64) -> Vec<TraceRecord> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let page = if i % 4 == 0 {
+                rng.gen_range(0..pages)
+            } else {
+                (i as u64 * 13 + 7) % pages
+            };
+            if i % 11 == 0 {
+                TraceRecord::write(page << 12)
+            } else {
+                TraceRecord::read(page << 12)
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn gmm_engine_batched_replay_is_bit_identical_both_datapaths() {
+    let cfg = CacheConfig {
+        capacity_bytes: 64 * 4096,
+        block_bytes: 4096,
+        ways: 8,
+    };
+    let lat = LatencyModel::paper_tlc();
+    let trace = conflict_trace(8_000, 160, 21);
+    let (warm, meas) = trace.split_at(1_600);
+
+    for fixed in [false, true] {
+        let mut c1 = SetAssocCache::new(cfg).unwrap();
+        let mut ev1 = GmmScorePolicy::new(cfg.num_sets(), cfg.ways);
+        let mut ad1 = ThresholdAdmit::new(-6.0);
+        let mut e1 = engine(24, fixed);
+        let streaming = simulate_streaming_with_warmup(
+            warm,
+            meas,
+            &mut c1,
+            &mut ad1,
+            &mut ev1,
+            Some(&mut e1 as &mut dyn ScoreSource),
+            &lat,
+            Some(256),
+        );
+
+        let mut c2 = SetAssocCache::new(cfg).unwrap();
+        let mut ev2 = GmmScorePolicy::new(cfg.num_sets(), cfg.ways);
+        let mut ad2 = ThresholdAdmit::new(-6.0);
+        let mut e2 = engine(24, fixed);
+        let mut wsim = WindowedSimulator::new(512);
+        let batched = wsim.run(
+            warm,
+            meas,
+            &mut c2,
+            &mut ad2,
+            &mut ev2,
+            Some(&mut e2 as &mut dyn ScoreSource),
+            &lat,
+            Some(256),
+        );
+
+        assert_eq!(streaming, batched, "fixed_point={fixed}");
+        let spec = wsim.spec_stats();
+        assert!(spec.batched_scores > 0, "fixed_point={fixed}: {spec:?}");
+        // The Algorithm 1 clock advanced identically on both engines: the
+        // next observation scores bit-equal.
+        let probe = TraceRecord::read(99 << 12);
+        e1.observe(&probe);
+        e2.observe(&probe);
+        assert_eq!(
+            e1.score_current().to_bits(),
+            e2.score_current().to_bits(),
+            "fixed_point={fixed}"
+        );
+    }
+}
+
+#[test]
+fn system_default_path_matches_explicit_streaming_replay() {
+    // `Icgmm::run` (batched by default at paper-scale K) must agree with
+    // a hand-driven streaming replay of the same trained model and
+    // policies. K = 64 is the smallest component count at which the
+    // engine prefers the batched path.
+    let cfg = IcgmmConfig {
+        cache: CacheConfig {
+            capacity_bytes: 128 * 4096,
+            block_bytes: 4096,
+            ways: 8,
+        },
+        em: EmConfig {
+            k: 64,
+            max_iters: 8,
+            ..Default::default()
+        },
+        preprocess: PreprocessConfig {
+            len_window: 32,
+            len_access_shot: 1_000,
+            ..Default::default()
+        },
+        max_train_cells: 5_000,
+        ..Default::default()
+    };
+    let trace = WorkloadKind::Memtier
+        .default_workload()
+        .generate(30_000, 17);
+    let mut sys = Icgmm::new(cfg).unwrap();
+    sys.fit(&trace).unwrap();
+    let run = sys.run(&trace, PolicyMode::GmmCachingEviction).unwrap();
+
+    // Hand-driven streaming reference with an identical engine stack.
+    let (start, end) = cfg.preprocess.kept_range(trace.len());
+    let (warm, meas) = (&trace.records()[..start], &trace.records()[start..end]);
+    let mut cache = SetAssocCache::new(cfg.cache).unwrap();
+    let mut ev = GmmScorePolicy::new(cfg.cache.num_sets(), cfg.cache.ways);
+    let mut ad = ThresholdAdmit::new(sys.model().unwrap().threshold);
+    let mut eng = sys.policy_engine().unwrap();
+    let streaming = simulate_streaming_with_warmup(
+        warm,
+        meas,
+        &mut cache,
+        &mut ad,
+        &mut ev,
+        Some(&mut eng as &mut dyn ScoreSource),
+        &cfg.latency,
+        None,
+    );
+    assert_eq!(run.sim, streaming);
+    let spec = run.spec.expect("gmm mode speculates");
+    assert!(spec.batched_scores > 0, "{spec:?}");
+}
