@@ -40,9 +40,13 @@ fn main() {
             paper_best_strategy(spec.kind).to_string(),
         ]);
         eprintln!(
-            "[fig6] {name} done (miss-window batcher: {:.1}% of scores batched, {} divergences)",
+            "[fig6] {name} done (miss-window batcher: {:.1}% of scores batched, {} divergences \
+             = {} victim + {} class + {} bypass)",
             best.batched_score_fraction * 100.0,
-            best.spec_divergences
+            best.spec_divergences,
+            best.spec_victim_divergences,
+            best.spec_class_divergences,
+            best.spec_admission_bypasses
         );
     }
     println!(

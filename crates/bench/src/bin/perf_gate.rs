@@ -14,15 +14,34 @@
 //! perf_gate BENCH_sim.json \
 //!     [--baseline sim_batch/streaming_k256_w4096] \
 //!     [--candidate sim_batch/batched_k256_w4096] \
-//!     [--min-ratio 2.0]
+//!     [--min-ratio 2.0] \
+//!     [--gate BASELINE,CANDIDATE,MIN_RATIO]...
 //! ```
 //!
-//! Exit codes: 0 pass, 1 gate failed or entries missing, 2 usage error.
+//! `--gate` is repeatable: each occurrence adds one `baseline ≥ min_ratio
+//! × candidate` check, so one invocation can gate several benchmark pairs
+//! of the same run (e.g. the LRU scan at ≥ 2× *and* the gmm-score
+//! eviction pairs at ≥ 2× / ≥ 1×). The `--baseline`/`--candidate`/
+//! `--min-ratio` trio describes one more gate: the implicit default when
+//! no `--gate` is given, or an additional explicit check when any of the
+//! three is set alongside `--gate` (explicit flags are never silently
+//! dropped). All gates are evaluated (the worst offender is not masked by
+//! an earlier failure) and any failure fails the run.
+//!
+//! Exit codes: 0 all gates pass, 1 any gate failed or entries missing,
+//! 2 usage error.
 
 use std::process::ExitCode;
 
 const DEFAULT_BASELINE: &str = "sim_batch/streaming_k256_w4096";
 const DEFAULT_CANDIDATE: &str = "sim_batch/batched_k256_w4096";
+
+/// One `baseline ≥ min_ratio × candidate` check.
+struct Gate {
+    baseline: String,
+    candidate: String,
+    min_ratio: f64,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,22 +49,50 @@ fn main() -> ExitCode {
     let mut baseline = DEFAULT_BASELINE.to_string();
     let mut candidate = DEFAULT_CANDIDATE.to_string();
     let mut min_ratio = 2.0f64;
+    let mut single_flags = false;
+    let mut gates: Vec<Gate> = Vec::new();
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--baseline" => match it.next() {
-                Some(v) => baseline = v.clone(),
+                Some(v) => {
+                    baseline = v.clone();
+                    single_flags = true;
+                }
                 None => return usage("--baseline needs a value"),
             },
             "--candidate" => match it.next() {
-                Some(v) => candidate = v.clone(),
+                Some(v) => {
+                    candidate = v.clone();
+                    single_flags = true;
+                }
                 None => return usage("--candidate needs a value"),
             },
             "--min-ratio" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => min_ratio = v,
+                Some(v) => {
+                    min_ratio = v;
+                    single_flags = true;
+                }
                 None => return usage("--min-ratio needs a number"),
             },
+            "--gate" => {
+                let Some(spec) = it.next() else {
+                    return usage("--gate needs BASELINE,CANDIDATE,MIN_RATIO");
+                };
+                let parts: Vec<&str> = spec.split(',').collect();
+                let [b, c, r] = parts.as_slice() else {
+                    return usage(&format!("malformed --gate {spec:?} (need 3 fields)"));
+                };
+                let Ok(r) = r.parse::<f64>() else {
+                    return usage(&format!("malformed --gate ratio {r:?}"));
+                };
+                gates.push(Gate {
+                    baseline: b.to_string(),
+                    candidate: c.to_string(),
+                    min_ratio: r,
+                });
+            }
             other if path.is_none() && !other.starts_with('-') => {
                 path = Some(other.to_string());
             }
@@ -55,6 +102,19 @@ fn main() -> ExitCode {
     let Some(path) = path else {
         return usage("missing JSON file path");
     };
+    // The single-check flags form their own gate: by default when no
+    // --gate was given, and as one more gate when they were explicitly
+    // set alongside --gate (never silently dropped).
+    if gates.is_empty() || single_flags {
+        gates.insert(
+            0,
+            Gate {
+                baseline,
+                candidate,
+                min_ratio,
+            },
+        );
+    }
 
     let content = match std::fs::read_to_string(&path) {
         Ok(c) => c,
@@ -64,39 +124,56 @@ fn main() -> ExitCode {
         }
     };
 
-    let base = median_ns(&content, &baseline);
-    let cand = median_ns(&content, &candidate);
-    let (Some(base), Some(cand)) = (base, cand) else {
-        eprintln!(
-            "perf_gate: missing entries in {path} (baseline {:?}: {}, candidate {:?}: {})",
-            baseline,
-            base.map_or("absent".into(), |v| format!("{v} ns")),
-            candidate,
-            cand.map_or("absent".into(), |v| format!("{v} ns")),
-        );
-        return ExitCode::from(1);
-    };
-
-    if cand <= 0.0 {
-        eprintln!("perf_gate: candidate median {cand} ns is not positive");
-        return ExitCode::from(1);
+    let mut failed = false;
+    for g in &gates {
+        failed |= !check_gate(&content, &path, g);
     }
-    let ratio = base / cand;
-    println!(
-        "perf_gate: {baseline} = {base:.0} ns, {candidate} = {cand:.0} ns, speedup {ratio:.2}x (required >= {min_ratio:.2}x)"
-    );
-    if ratio >= min_ratio {
-        println!("perf_gate: PASS");
+    if !failed {
+        println!("perf_gate: PASS ({} gate(s))", gates.len());
         ExitCode::SUCCESS
     } else {
-        eprintln!("perf_gate: FAIL — batched path regressed below the gate");
+        eprintln!("perf_gate: FAIL — batched path regressed below a gate");
         ExitCode::from(1)
     }
 }
 
+/// Evaluates one gate against the JSON-lines content; `true` on pass.
+fn check_gate(content: &str, path: &str, gate: &Gate) -> bool {
+    let base = median_ns(content, &gate.baseline);
+    let cand = median_ns(content, &gate.candidate);
+    let (Some(base), Some(cand)) = (base, cand) else {
+        eprintln!(
+            "perf_gate: missing entries in {path} (baseline {:?}: {}, candidate {:?}: {})",
+            gate.baseline,
+            base.map_or("absent".into(), |v| format!("{v} ns")),
+            gate.candidate,
+            cand.map_or("absent".into(), |v| format!("{v} ns")),
+        );
+        return false;
+    };
+    if cand <= 0.0 {
+        eprintln!("perf_gate: candidate median {cand} ns is not positive");
+        return false;
+    }
+    let ratio = base / cand;
+    let verdict = if ratio >= gate.min_ratio {
+        "ok"
+    } else {
+        "FAIL"
+    };
+    println!(
+        "perf_gate: {} = {base:.0} ns, {} = {cand:.0} ns, speedup {ratio:.2}x (required >= {:.2}x) {verdict}",
+        gate.baseline, gate.candidate, gate.min_ratio
+    );
+    ratio >= gate.min_ratio
+}
+
 fn usage(msg: &str) -> ExitCode {
     eprintln!("perf_gate: {msg}");
-    eprintln!("usage: perf_gate <bench.json> [--baseline ID] [--candidate ID] [--min-ratio X]");
+    eprintln!(
+        "usage: perf_gate <bench.json> [--baseline ID] [--candidate ID] [--min-ratio X] \
+         [--gate BASELINE,CANDIDATE,RATIO]..."
+    );
     ExitCode::from(2)
 }
 

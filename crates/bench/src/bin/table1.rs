@@ -40,9 +40,13 @@ fn main() {
             ),
         ]);
         eprintln!(
-            "[table1] {name} done (miss-window batcher: {:.1}% of scores batched, {} divergences)",
+            "[table1] {name} done (miss-window batcher: {:.1}% of scores batched, {} divergences \
+             = {} victim + {} class + {} bypass)",
             best.batched_score_fraction * 100.0,
-            best.spec_divergences
+            best.spec_divergences,
+            best.spec_victim_divergences,
+            best.spec_class_divergences,
+            best.spec_admission_bypasses
         );
     }
     println!(

@@ -8,39 +8,77 @@
 //! kernel is 4–5× cheaper per point than the scalar path. This module
 //! closes the gap with *speculation*:
 //!
-//! 1. **Classify.** The next `W` requests are classified into predicted
-//!    hits and predicted misses against a *shadow* of the cache tag state
+//! 1. **Classify.** Requests are classified into predicted hits and
+//!    predicted misses against a *shadow* of the cache tag state
 //!    (snapshotted when speculation starts, then kept in lock-step
 //!    incrementally: clean windows speculate exactly, divergent ones are
 //!    repaired through an undo log in `O(window)` — never an `O(cache)`
 //!    copy per window), advanced speculatively with an admit-all,
-//!    invalid-way-first, LRU-victim model.
+//!    invalid-way-first victim model. The victim model is *policy-aware*:
+//!    the eviction policy names how it ranks victims through
+//!    [`EvictionPolicy::shadow_victim_model`], and the shadow carries the
+//!    per-slot metadata each model needs — recency for LRU, insertion
+//!    order for FIFO, hit counts for LFU, and stored scores (with the LRU
+//!    tie-break) for the paper's GMM score-table eviction.
 //! 2. **Prefetch.** Each maximal run of predicted misses is pushed through
 //!    [`ScoreSource::score_window`] in one batched call; predicted hits in
 //!    between are observed individually (the Algorithm 1 clock counts every
 //!    request, hits included, so observation order must match the trace
 //!    exactly — this is why a window with interleaved hits batches per
-//!    miss-run rather than in a single call).
-//! 3. **Replay.** The window is replayed through the *real* cache and
-//!    policies, consuming prefetched scores at actual misses. Scores
-//!    depend only on observation position, never on the hit/miss outcome,
-//!    so every prefetched score is bit-identical to what the streaming
-//!    path would have computed at the same position.
+//!    miss-run rather than in a single call). Stored-score victim
+//!    prediction closes a loop here: a victim choice may depend on the
+//!    score of a block inserted *earlier in the same run*, whose score is
+//!    exactly what the pending prefetch will produce. Classification then
+//!    **splits the run** at that record ([`SpecStats::run_splits`]), lets
+//!    the prefetch land (filling the speculated inserts' shadow scores with
+//!    the very values the real policy will store), and resumes with the
+//!    dependency resolved — so even back-to-back conflict misses under
+//!    `gmm-score` eviction speculate exactly, at a batch granularity of
+//!    roughly one set-conflict round trip.
+//!
+//!    When the previous window's replay was miss-heavy (≥ 1-in-
+//!    [`DENSE_MISS_FRACTION_DIV`] records missed), the next window is
+//!    scored **densely** instead: one batched call covers the *whole*
+//!    window upfront, predicted hits included — exactly how the hardware
+//!    pipeline streams a full window through the scoring engine. A hit's
+//!    score the streaming path would never compute costs one batched
+//!    point (~5× cheaper than a scalar score), so the trade wins whenever
+//!    misses clear the kernel cost ratio; it also hands classification
+//!    every score before it starts (no pending scores, no run splits) and
+//!    turns stale-predicted-hit fallbacks into free positional lookups.
+//!    Scores are pure functions of observation position, so the extra
+//!    points change nothing downstream; a cut in a dense window leaves an
+//!    already-observed scored overhang that the following windows consume
+//!    (they stay dense until it drains — those records must not be
+//!    re-observed).
+//! 3. **Replay.** Classification and replay are interleaved per run: as
+//!    soon as a run's type flips (or a split forces it), the pending run is
+//!    replayed through the *real* cache and policies, consuming prefetched
+//!    scores at actual misses. Scores depend only on observation position,
+//!    never on the hit/miss outcome, so every prefetched score is
+//!    bit-identical to what the streaming path would have computed at the
+//!    same position — and the replay's ground truth (every inserted
+//!    block's score, insertion time, hit count) feeds the shadow metadata
+//!    that classifies the *next* run.
 //! 4. **Diverge & recover.** Every mismatch between a replayed outcome
 //!    and the speculation is detected and counted — none is silent:
 //!    * an **admission bypass** where an insert was speculated is
 //!      *tolerated*: the window continues at full depth (this is the
 //!      common divergence under the paper's threshold filter, and the one
 //!      worth keeping cheap), leaving the speculated page in the shadow
-//!      as a **phantom**. Every decision the phantom could skew is still
-//!      verified record-by-record at replay, and the first cut it causes
-//!      heals it (`apply_real` writes ground truth back);
+//!      as a **phantom**. A phantom's stored-score metadata is dropped to
+//!      *unknown* (the slot really holds an older block whose score the
+//!      shadow can no longer vouch for), so score-ranked victim prediction
+//!      stays conservative around it. Every decision the phantom could
+//!      skew is still verified record-by-record at replay, and the first
+//!      cut it causes heals it (`apply_real` writes ground truth back);
 //!    * every other mismatch — a predicted hit that missed, a predicted
 //!      miss that hit, an unpredicted eviction victim — **cuts** the
-//!      window: the undo log rolls the shadow back along its own timeline
-//!      to the divergent record, the real outcomes replayed since are
-//!      re-applied, and speculation restarts from the divergent point. A
-//!      predicted hit that actually misses falls back to a synchronous
+//!      window: the undo log rolls the shadow (tags *and* per-slot policy
+//!      metadata) back along its own timeline to the divergent record, the
+//!      real outcomes replayed since are re-applied, and speculation
+//!      restarts from the divergent point. A predicted hit that actually
+//!      misses falls back to a synchronous
 //!      [`ScoreSource::score_current`] (its observation just happened, so
 //!      the clock is exactly right — bit-identical to streaming).
 //!
@@ -57,32 +95,57 @@
 //! The shadow is thus a performance artifact, not a correctness one:
 //! phantoms degrade prediction quality, never results.
 //!
+//! # The policy-aware shadow and what still diverges
+//!
+//! Earlier revisions predicted victims with a hardcoded LRU model, so
+//! `gmm-score` eviction — whose victims are ranked by stored score —
+//! diverged on essentially every conflict miss, the adaptive depth
+//! collapsed to its floor, and the paper's GmmEvictionOnly /
+//! GmmCachingEviction modes lost batching exactly on the miss-heavy traces
+//! where it matters. The policy-aware shadow removes that storm: the
+//! replay already learns every inserted block's score, so victims among
+//! previously-replayed blocks are fully predictable, and within-window
+//! insertions are covered by run splitting (step 2). What remains
+//! divergence-prone is attributed per cause in [`SpecStats`]:
+//! admission bypasses (tolerated, [`SpecStats::admission_divergences`]),
+//! hit/miss misclassification downstream of phantoms
+//! ([`SpecStats::class_divergences`]), and victim mismatches
+//! ([`SpecStats::victim_divergences`]) — now only from genuinely
+//! unpredictable policies (Random, Belady keep the default recency model
+//! and simply cut) or from sets whose metadata a phantom or a warm,
+//! never-observed block has poisoned.
+//!
 //! # Adaptive depth and the mode probe
 //!
-//! A cut discards the rest of the window's classification, so a
-//! divergence storm (e.g. GMM-score eviction, whose victims an LRU shadow
-//! cannot predict) would waste `O(W)` lookahead per cut. The simulator
-//! therefore halves its effective window after a divergent window and
-//! doubles it after a clean one (clamped to `[`[`MIN_SPEC_WINDOW`]`, W]`),
-//! so divergence-heavy phases degrade gracefully toward streaming while
-//! predictable phases ride the full configured depth.
+//! A cut discards the rest of the pending run's classification, so
+//! divergence-heavy phases (bypass storms under a tight admission filter,
+//! Random/Belady victims) would waste lookahead on every cut. The
+//! simulator therefore halves its effective window after a divergent
+//! window and doubles it after a clean one (clamped to
+//! [`SpecParams::min_window`, `SpecParams::window`]), so divergence-heavy
+//! phases degrade gracefully toward streaming while predictable phases
+//! ride the full configured depth.
 //!
 //! Batching also cannot pay for itself when there is almost nothing to
 //! batch: a window whose replay misses fewer than 1-in-
-//! [`STREAM_MISS_FRACTION_DIV`] records flips the simulator into plain
-//! streaming for [`STREAM_SPAN_WINDOWS`] windows' worth of requests,
-//! after which it re-snapshots the shadow and probes speculation again.
-//! Hit-dominated phases thus run at streaming speed (no lookahead at
-//! all), miss-heavy phases ride the batched kernel, and the probe cost is
-//! one classification pass per span.
+//! [`SpecParams::stream_miss_fraction_div`] records flips the simulator
+//! into plain streaming for [`STREAM_SPAN_WINDOWS`] windows' worth of
+//! requests, after which it re-snapshots the shadow and probes speculation
+//! again. Hit-dominated phases thus run at streaming speed (no lookahead
+//! at all), miss-heavy phases ride the batched kernel, and the probe cost
+//! is one classification pass per span. Streaming spans still feed the
+//! per-slot policy metadata (each outcome and consumed score is applied as
+//! ground truth), so speculation resumes with a warm victim model.
 //!
 //! The result is bit-identical to [`crate::simulate_streaming_with_warmup`]
 //! — enforced by the property tests in `tests/batch_equivalence.rs` across
-//! all policy pairs — while miss-heavy windows ride the batched kernel.
+//! all policy pairs, which additionally pin *zero* victim divergence for
+//! the predictable policies (LRU, FIFO, LFU, gmm-score) on bypass-free
+//! traces — while miss-heavy windows ride the batched kernel.
 
 use crate::cache::{AccessOutcome, BlockState, SetAssocCache};
 use crate::latency::LatencyModel;
-use crate::policy::{AdmissionPolicy, EvictionPolicy};
+use crate::policy::{AdmissionPolicy, EvictionPolicy, ShadowVictimModel};
 use crate::score::ScoreSource;
 use crate::sim::{simulate_streaming_with_warmup, Accounting, SimReport};
 use icgmm_trace::{PageIndex, TraceRecord};
@@ -96,17 +159,18 @@ use serde::{Deserialize, Serialize};
 /// cheap.
 pub const DEFAULT_SPEC_WINDOW: usize = 4096;
 
-/// Floor of the adaptive window shrink (see the module docs): after a
-/// divergence the effective window halves, but never below this (or below
-/// the configured window, if smaller). Kept small: in a divergence storm
-/// batching is lost regardless, so the floor mostly bounds how much
-/// lookahead classification each cut can waste.
+/// Default floor of the adaptive window shrink (see the module docs):
+/// after a divergence the effective window halves, but never below this
+/// (or below the configured window, if smaller). Kept small: in a
+/// divergence storm batching is lost regardless, so the floor mostly
+/// bounds how much lookahead classification each cut can waste.
 pub const MIN_SPEC_WINDOW: usize = 16;
 
-/// Hit-dominance threshold of the mode probe: a speculative window whose
-/// replay misses fewer than 1-in-8 records flips the simulator into plain
-/// streaming (scoring so few misses cannot repay per-request lookahead),
-/// for [`STREAM_SPAN_WINDOWS`] × window records before probing again.
+/// Default hit-dominance threshold of the mode probe: a speculative window
+/// whose replay misses fewer than 1-in-8 records flips the simulator into
+/// plain streaming (scoring so few misses cannot repay per-request
+/// lookahead), for [`STREAM_SPAN_WINDOWS`] × window records before probing
+/// again.
 pub const STREAM_MISS_FRACTION_DIV: usize = 8;
 
 /// How many windows' worth of *observed evidence* each streaming span
@@ -121,6 +185,68 @@ pub const STREAM_SPAN_WINDOWS: usize = 8;
 /// simulator into streaming.
 pub const MIN_PROBE_EVIDENCE: usize = 256;
 
+/// Dense-scoring threshold: a speculation window is scored *densely* (the
+/// whole window — predicted hits included — in one batched call, before
+/// classification) when the previous window's replay missed at least
+/// 1-in-this-many records. Scoring a hit the streaming path would skip
+/// costs one batched-kernel point (~5× cheaper than a scalar score), so
+/// dense mode wins whenever the miss fraction clears roughly the
+/// batched/scalar cost ratio; below it, per-miss-run sparse prefetching
+/// wins. Results are identical either way — scores are pure functions of
+/// observation position.
+pub const DENSE_MISS_FRACTION_DIV: usize = 4;
+
+/// Tuning knobs of the speculative batcher. Results are bit-identical to
+/// streaming at *any* setting — these trade lookahead cost against
+/// batching opportunity, nothing else.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecParams {
+    /// Speculation depth `W`, in requests (the cap of the adaptive
+    /// window). Must be `>= 1`.
+    pub window: usize,
+    /// Floor of the adaptive shrink: after a divergent window the
+    /// effective depth halves, but never below `min(min_window, window)`.
+    /// Must be `>= 1`.
+    pub min_window: usize,
+    /// Mode-probe hit-dominance divisor: a cleanly replayed window whose
+    /// misses × this value stay below its length flips the simulator into
+    /// plain streaming for a span (larger values stream less readily).
+    /// Must be `>= 1`.
+    pub stream_miss_fraction_div: usize,
+}
+
+impl Default for SpecParams {
+    fn default() -> Self {
+        SpecParams {
+            window: DEFAULT_SPEC_WINDOW,
+            min_window: MIN_SPEC_WINDOW,
+            stream_miss_fraction_div: STREAM_MISS_FRACTION_DIV,
+        }
+    }
+}
+
+impl SpecParams {
+    /// `SpecParams` with the default floor and probe threshold.
+    pub fn with_window(window: usize) -> Self {
+        SpecParams {
+            window,
+            ..SpecParams::default()
+        }
+    }
+
+    /// Panics with a descriptive message on an invalid parameter set (the
+    /// config-level validation in `icgmm-core` reports the same conditions
+    /// as recoverable errors before they can reach this point).
+    fn assert_valid(&self) {
+        assert!(self.window > 0, "speculation window must be >= 1");
+        assert!(self.min_window > 0, "speculation window floor must be >= 1");
+        assert!(
+            self.stream_miss_fraction_div > 0,
+            "stream_miss_fraction_div must be >= 1"
+        );
+    }
+}
+
 /// Speculation telemetry for one [`WindowedSimulator::run`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SpecStats {
@@ -130,10 +256,13 @@ pub struct SpecStats {
     pub batch_calls: u64,
     /// Scores prefetched through the batched calls.
     pub batched_scores: u64,
-    /// Synchronous [`ScoreSource::score_current`] fallbacks — always
-    /// paired one-to-one with [`SpecStats::pred_hit_missed`]: the only
-    /// stale predicted hits are pages a tolerated bypass left wrongly
-    /// resident in the shadow (see the exactness invariant, module docs).
+    /// Synchronous [`ScoreSource::score_current`] fallbacks — one per
+    /// [`SpecStats::pred_hit_missed`] *in sparsely scored windows* (the
+    /// only stale predicted hits are pages a tolerated bypass left wrongly
+    /// resident in the shadow); densely scored windows already hold the
+    /// positionally exact score and need no fallback, so `sync_scores <=
+    /// pred_hit_missed` overall (see the exactness invariant, module
+    /// docs).
     pub sync_scores: u64,
     /// Predicted hit, replay missed (falls back to a synchronous score
     /// with the clock exactly at the record — bit-identical).
@@ -147,8 +276,25 @@ pub struct SpecStats {
     /// module docs).
     pub admission_divergences: u64,
     /// Insertion confirmed but the real eviction victim differed from the
-    /// shadow's prediction.
+    /// shadow's prediction. With the policy-aware victim models this is
+    /// zero for LRU/FIFO/LFU/gmm-score on bypass-free traces (property-
+    /// tested); residual counts attribute to phantoms, warm-start blocks
+    /// the shadow never observed, or unpredictable policies
+    /// (Random/Belady).
     pub victim_divergences: u64,
+    /// Batched miss runs cut short by classification because a stored-
+    /// score victim decision depended on a score still being prefetched
+    /// (the within-window dependency of the policy-aware shadow). Each
+    /// split costs one smaller batch call, never a divergence. Densely
+    /// scored windows never split — every score is prefetched before
+    /// classification begins.
+    pub run_splits: u64,
+    /// Windows scored densely (the whole window in one batched call,
+    /// predicted hits included — see [`DENSE_MISS_FRACTION_DIV`]).
+    /// [`SpecStats::batched_scores`] counts those hit-position scores too,
+    /// mirroring the hardware pipeline streaming a full window through
+    /// the scoring engine.
+    pub dense_windows: u64,
     /// Times the adaptive depth halved after a divergent window.
     pub window_shrinks: u64,
     /// Records processed in plain streaming mode (hit-dominated phases,
@@ -161,10 +307,13 @@ pub struct SpecStats {
 impl SpecStats {
     /// Total divergence events.
     pub fn divergences(&self) -> u64 {
-        self.pred_hit_missed
-            + self.pred_miss_hit
-            + self.admission_divergences
-            + self.victim_divergences
+        self.class_divergences() + self.admission_divergences + self.victim_divergences
+    }
+
+    /// Hit/miss misclassification divergences (predicted hit that missed
+    /// plus predicted miss that hit) — the residue of tolerated phantoms.
+    pub fn class_divergences(&self) -> u64 {
+        self.pred_hit_missed + self.pred_miss_hit
     }
 
     /// Fraction of scores that were produced by batched calls.
@@ -183,23 +332,89 @@ impl SpecStats {
 enum Pred {
     /// The shadow found the page resident.
     Hit,
-    /// The shadow missed; an admit was speculated, evicting `evicts` (the
-    /// page the shadow displaced, `None` when an invalid way absorbed the
-    /// insert).
-    Miss { evicts: Option<PageIndex> },
+    /// The shadow missed; an admit was speculated into `slot` (the flat
+    /// tag-array index), evicting `evicts` (the page the shadow displaced,
+    /// `None` when an invalid way absorbed the insert).
+    Miss {
+        slot: usize,
+        evicts: Option<PageIndex>,
+    },
+}
+
+/// One record's classification attempt.
+enum Classified {
+    /// Classified (and the speculated transition applied to the shadow).
+    Pred(Pred),
+    /// Not classified: the record touches a slot whose stored score the
+    /// pending miss run has not prefetched yet. The caller must flush
+    /// (prefetch + replay) the pending run — which fills those scores
+    /// with the exact values the real policy will store — and retry.
+    /// Guaranteed to make progress: pending scores exist only while a
+    /// classified-but-unreplayed miss run does. Flushing *before* the
+    /// record is classified also keeps a crucial undo-log invariant: no
+    /// entry ever snapshots a [`ScoreState::Pending`] slot, so a rollback
+    /// can never resurrect a pending marker whose fill already landed.
+    /// `split` is `true` only when the flush cuts a miss run short (a
+    /// victim decision mid-run); a predicted hit on a pending slot would
+    /// have ended the run anyway and is not counted as a split.
+    NeedFlush {
+        /// Whether this flush split a miss run that would otherwise have
+        /// continued (telemetry: [`SpecStats::run_splits`]).
+        split: bool,
+    },
+}
+
+/// How much the shadow knows about a slot's stored score (the metadata
+/// behind [`ShadowVictimModel::StoredScore`] prediction).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+enum ScoreState {
+    /// No reliable score: a warm-start block the shadow never saw
+    /// inserted, or a phantom left by a tolerated bypass. Ranked as
+    /// `-inf` in victim prediction — conservative: the slot is claimed
+    /// first, and a wrong claim is caught (and healed) at replay.
+    #[default]
+    Unknown,
+    /// Speculated insert whose score the current miss run's prefetch will
+    /// produce; blocks score-ranked victim decisions until it lands.
+    Pending,
+    /// Exact stored score, bit-equal to the real policy's (ground truth
+    /// from replay, a streaming span, or a landed prefetch).
+    Known,
+}
+
+/// Per-slot replacement metadata mirrored by the shadow — the superset
+/// every [`ShadowVictimModel`] draws from. Maintained in lock-step with
+/// replay (speculatively during classification, from ground truth after
+/// cuts and during streaming spans) and rolled back through the undo log
+/// together with the tag state.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+struct SlotMeta {
+    /// Last-touch stamp (shadow timeline; ordering matches the real
+    /// policies' sequence numbers).
+    last: u64,
+    /// Insertion stamp (FIFO's rank; hits do not refresh it).
+    inserted: u64,
+    /// Accesses since insertion (LFU's rank: 1 on insert, +1 per hit).
+    freq: u64,
+    /// Stored score (gmm-score's rank); meaningful iff `score_state` is
+    /// [`ScoreState::Known`].
+    score: f64,
+    /// Reliability of `score`.
+    score_state: ScoreState,
 }
 
 /// One reversible shadow mutation, tagged with the window-record index
 /// that caused it. Rolling the log back past a divergence restores the
-/// shadow to the exact pre-speculation state in `O(window)` — the full
-/// tag array is copied once per [`WindowedSimulator::run`], never per
-/// window, so divergence repair stays cheap even on multi-MiB caches.
+/// shadow — tags *and* per-slot policy metadata — to the exact
+/// pre-speculation state in `O(window)`: the full tag array is copied once
+/// per [`WindowedSimulator::run`], never per window, so divergence repair
+/// stays cheap even on multi-MiB caches.
 #[derive(Clone, Copy, Debug)]
 struct UndoEntry {
     idx: usize,
     slot: usize,
     block: BlockState,
-    last: u64,
+    meta: SlotMeta,
 }
 
 /// The speculative miss-window batching simulator.
@@ -210,39 +425,67 @@ struct UndoEntry {
 /// configuration point.
 #[derive(Clone, Debug)]
 pub struct WindowedSimulator {
-    window: usize,
+    params: SpecParams,
+    model: ShadowVictimModel,
     shadow: Vec<BlockState>,
-    shadow_last: Vec<u64>,
+    meta: Vec<SlotMeta>,
     touch: u64,
     pred: Vec<Pred>,
     scores: Vec<f64>,
+    /// Whether the current window is densely scored (whole window
+    /// prefetched upfront, hits included).
+    dense: bool,
+    /// Scored-ahead overhang: `scores[0..horizon]` hold positionally
+    /// exact scores for the next `horizon` records from the current
+    /// replay position — the already-observed suffix a cut left behind in
+    /// a dense window. While it is non-empty the simulator must keep
+    /// scoring densely (those records were observed; re-observing them
+    /// would corrupt the Algorithm 1 clock) and may not stream.
+    horizon: usize,
     undo: Vec<UndoEntry>,
+    /// `(window record index, slot)` of speculated inserts in the current
+    /// un-prefetched miss run, awaiting their scores.
+    pending_fills: Vec<(usize, usize)>,
     outcome_buf: Vec<AccessOutcome>,
     spec: SpecStats,
 }
 
 impl Default for WindowedSimulator {
     fn default() -> Self {
-        WindowedSimulator::new(DEFAULT_SPEC_WINDOW)
+        WindowedSimulator::with_params(SpecParams::default())
     }
 }
 
 impl WindowedSimulator {
-    /// Creates a simulator speculating `window` requests ahead.
+    /// Creates a simulator speculating `window` requests ahead, with the
+    /// default adaptive floor and mode-probe threshold.
     ///
     /// # Panics
     ///
     /// Panics when `window == 0`.
     pub fn new(window: usize) -> Self {
-        assert!(window > 0, "speculation window must be >= 1");
+        WindowedSimulator::with_params(SpecParams::with_window(window))
+    }
+
+    /// Creates a simulator with explicit [`SpecParams`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when any parameter is zero.
+    pub fn with_params(params: SpecParams) -> Self {
+        params.assert_valid();
         WindowedSimulator {
-            window,
+            params,
+            model: ShadowVictimModel::default(),
             shadow: Vec::new(),
-            shadow_last: Vec::new(),
+            meta: Vec::new(),
             touch: 0,
             pred: Vec::new(),
             scores: Vec::new(),
+            dense: false,
+            horizon: 0,
             undo: Vec::new(),
+            pending_fills: Vec::new(),
             outcome_buf: Vec::new(),
             spec: SpecStats::default(),
         }
@@ -250,7 +493,12 @@ impl WindowedSimulator {
 
     /// The speculation depth `W`.
     pub fn window(&self) -> usize {
-        self.window
+        self.params.window
+    }
+
+    /// The full parameter set.
+    pub fn params(&self) -> &SpecParams {
+        &self.params
     }
 
     /// Telemetry of the most recent [`WindowedSimulator::run`].
@@ -290,16 +538,21 @@ impl WindowedSimulator {
             );
         };
 
+        self.model = eviction.shadow_victim_model();
         let n_blocks = cache.config().num_blocks();
-        self.shadow_last.clear();
-        self.shadow_last.resize(n_blocks, 0);
+        self.meta.clear();
+        self.meta.resize(n_blocks, SlotMeta::default());
         self.touch = 0;
+        self.horizon = 0;
+        // Dense scoring needs miss-fraction evidence; the first window
+        // starts sparse and every window's replay updates the estimate.
+        let mut dense_next = false;
 
         let mut acct = Accounting::new(warmup.len(), latency, series_window);
 
         let n = warmup.len() + measured.len();
-        let min_depth = MIN_SPEC_WINDOW.min(self.window);
-        let mut depth = self.window;
+        let min_depth = self.params.min_window.min(self.params.window);
+        let mut depth = self.params.window;
         let mut pos = 0usize;
         // Streaming records left before the next speculation probe, and
         // whether the shadow must be re-snapshotted (on entry, and after
@@ -316,6 +569,7 @@ impl WindowedSimulator {
             };
             let local = pos - phase_start;
             if stream_pending > 0 {
+                debug_assert_eq!(self.horizon, 0, "cannot stream over observed records");
                 let take = stream_pending.min(phase.len() - local);
                 self.stream_chunk(
                     &phase[local..local + take],
@@ -339,6 +593,10 @@ impl WindowedSimulator {
                 need_sync = false;
             }
             let end = (local + depth).min(phase.len());
+            // A non-empty overhang (records a dense cut already observed)
+            // forces dense mode regardless of the miss estimate — their
+            // scores are on hand and they must not be re-observed.
+            self.dense = dense_next || self.horizon > 0;
             let (consumed, diverged, misses) = self.run_window(
                 &phase[local..end],
                 pos as u64,
@@ -350,6 +608,13 @@ impl WindowedSimulator {
             );
             debug_assert!(consumed > 0, "window must make progress");
             pos += consumed;
+            // Slide the scored-ahead overhang past the consumed records.
+            if self.horizon > 0 {
+                debug_assert!(consumed <= self.horizon);
+                self.scores.copy_within(consumed..self.horizon, 0);
+                self.horizon -= consumed;
+            }
+            dense_next = misses as usize * DENSE_MISS_FRACTION_DIV >= consumed;
             // Adaptive depth: a cut wasted the rest of the window's
             // classification, so back off; a clean window earns it back.
             if diverged {
@@ -358,7 +623,7 @@ impl WindowedSimulator {
                     self.spec.window_shrinks += 1;
                 }
             } else {
-                depth = (depth * 2).min(self.window);
+                depth = (depth * 2).min(self.params.window);
             }
             // Mode probe: a hit-dominated window pays per-request
             // lookahead to batch almost nothing — switch to plain
@@ -367,8 +632,9 @@ impl WindowedSimulator {
             // proportional to it, so one post-shrink 16-record remnant
             // cannot turn batching off for tens of thousands of requests.
             if !diverged
-                && consumed >= MIN_PROBE_EVIDENCE.min(self.window)
-                && misses as usize * STREAM_MISS_FRACTION_DIV < consumed
+                && self.horizon == 0
+                && consumed >= MIN_PROBE_EVIDENCE.min(self.params.window)
+                && misses as usize * self.params.stream_miss_fraction_div < consumed
             {
                 stream_pending = STREAM_SPAN_WINDOWS * consumed;
             }
@@ -380,6 +646,9 @@ impl WindowedSimulator {
     /// Streams `chunk` through the real cache with synchronous scoring —
     /// the plain replay loop, used for hit-dominated spans where
     /// speculation cannot pay for itself. Bit-identical by construction.
+    /// Every outcome (and consumed score) is applied to the shadow as
+    /// ground truth, so the victim-model metadata stays warm for the next
+    /// speculation probe.
     #[allow(clippy::too_many_arguments)]
     fn stream_chunk(
         &mut self,
@@ -401,6 +670,7 @@ impl WindowedSimulator {
             };
             let outcome = cache.access(r, base + i as u64, sv, admission, eviction);
             acct.record(base + i as u64, r, &outcome);
+            self.apply_real(r, &outcome, sv, cache);
         }
         self.spec.streamed_records += chunk.len() as u64;
     }
@@ -410,6 +680,13 @@ impl WindowedSimulator {
     /// (the whole window, or the prefix up to and including a divergence),
     /// whether the window diverged, and how many replayed records missed
     /// (the mode probe's signal).
+    ///
+    /// Classification and replay are pipelined per run: records are
+    /// classified in trace order, and as soon as the pending run ends —
+    /// its type flips, a stored-score dependency splits it, or the window
+    /// runs out — it is prefetched (miss runs) and replayed before
+    /// classification continues, so the shadow metadata feeding later
+    /// victim predictions is as fresh as the replay itself.
     #[allow(clippy::too_many_arguments)]
     fn run_window(
         &mut self,
@@ -423,177 +700,427 @@ impl WindowedSimulator {
     ) -> (usize, bool, u64) {
         self.spec.windows += 1;
         let mut misses = 0u64;
-
-        // Phase 1 — classify against the shadow (an exact tag mirror on
-        // window entry), logging every speculative mutation for rollback.
         self.undo.clear();
         self.pred.clear();
-        for (idx, r) in win.iter().enumerate() {
-            let p = self.classify(idx, r, cache);
-            self.pred.push(p);
+        self.pending_fills.clear();
+        if self.scores.len() < win.len().max(self.horizon) {
+            self.scores.resize(win.len().max(self.horizon), 0.0);
+        }
+        if self.dense {
+            // Dense window: observe and score everything upfront, hits
+            // included — one batched call, and every stored-score victim
+            // decision during classification sees its operand immediately
+            // (no pending scores, no run splits). Records inside the
+            // overhang were already observed by a previous dense window.
+            self.spec.dense_windows += 1;
+            if self.horizon < win.len() {
+                score.score_window(
+                    &win[self.horizon..],
+                    &mut self.scores[self.horizon..win.len()],
+                );
+                self.spec.batch_calls += 1;
+                self.spec.batched_scores += (win.len() - self.horizon) as u64;
+                self.horizon = win.len();
+            }
         }
 
-        // Phases 2+3 — prefetch per predicted-miss run, replay, verify.
+        // `k` = replay cursor (records below it are replayed), `pred.len()`
+        // = classification cursor. Invariant: `[k, pred.len())` is the
+        // pending run, all one type, except possibly its last record (a
+        // just-classified run opener that triggered the flush).
         let mut k = 0usize;
-        while k < win.len() {
-            let miss_run = matches!(self.pred[k], Pred::Miss { .. });
-            let mut j = k + 1;
-            while j < win.len() && matches!(self.pred[j], Pred::Miss { .. }) == miss_run {
-                j += 1;
+        loop {
+            let c = self.pred.len();
+            if c == win.len() {
+                if k < c {
+                    if let Err(consumed) = self.replay_run(
+                        win,
+                        k,
+                        c,
+                        base,
+                        cache,
+                        admission,
+                        eviction,
+                        score,
+                        acct,
+                        &mut misses,
+                    ) {
+                        return (consumed, true, misses);
+                    }
+                }
+                return (win.len(), false, misses);
             }
-            if miss_run {
-                if self.scores.len() < j {
-                    self.scores.resize(j, 0.0);
-                }
-                score.score_window(&win[k..j], &mut self.scores[k..j]);
-                self.spec.batch_calls += 1;
-                self.spec.batched_scores += (j - k) as u64;
-                let mut first_div: Option<usize> = None;
-                for (off, r) in win[k..j].iter().enumerate() {
-                    let t = k + off;
-                    let hit = cache.lookup(r.page()).is_some();
-                    misses += u64::from(!hit);
-                    let sv = (!hit).then(|| self.scores[t]);
-                    let outcome = cache.access(r, base + t as u64, sv, admission, eviction);
-                    acct.record(base + t as u64, r, &outcome);
-                    match first_div {
-                        None => {
-                            let cut = if matches!(outcome, AccessOutcome::MissBypassed) {
-                                // Admission divergence: the speculated
-                                // insert did not happen, leaving a
-                                // *phantom* resident in the shadow.
-                                // Tolerating it (rather than cutting)
-                                // keeps the window — and its batching —
-                                // alive under bypass-heavy admission
-                                // filters; every decision the phantom
-                                // could skew is still verified at replay,
-                                // and the first cut it causes clears it
-                                // (`apply_real` writes the real state).
-                                self.spec.admission_divergences += 1;
-                                false
-                            } else {
-                                self.check_miss_divergence(t, &outcome)
-                            };
-                            if cut {
-                                first_div = Some(t);
-                                self.outcome_buf.clear();
-                                self.outcome_buf.push(outcome);
-                            }
+            match self.classify(c, &win[c], cache) {
+                Classified::Pred(p) => {
+                    let boundary = c > k
+                        && (matches!(self.pred[k], Pred::Miss { .. })
+                            != matches!(p, Pred::Miss { .. }));
+                    self.pred.push(p);
+                    if boundary {
+                        if let Err(consumed) = self.replay_run(
+                            win,
+                            k,
+                            c,
+                            base,
+                            cache,
+                            admission,
+                            eviction,
+                            score,
+                            acct,
+                            &mut misses,
+                        ) {
+                            return (consumed, true, misses);
                         }
-                        Some(_) => {
-                            // Stale prediction in the tail of a divergent
-                            // run: the run still replays correctly
-                            // (observations and scores are position-
-                            // exact), the prefetched score just goes
-                            // unused. Admission/victim mismatches past
-                            // the first event are downstream consequences
-                            // and are not re-counted.
-                            if outcome.is_hit() {
-                                self.spec.pred_miss_hit += 1;
-                            }
-                            self.outcome_buf.push(outcome);
-                        }
+                        k = c;
                     }
                 }
-                if let Some(t0) = first_div {
-                    // Cut after the already-observed run: roll the shadow
-                    // back to the divergent record, replay the run tail's
-                    // *real* transitions onto it, and let the next window
-                    // re-speculate from that exact state.
-                    self.roll_back(t0);
-                    let outcomes = std::mem::take(&mut self.outcome_buf);
-                    for (r, oc) in win[t0..j].iter().zip(outcomes.iter()) {
-                        self.apply_real(r, oc, cache);
+                Classified::NeedFlush { split } => {
+                    debug_assert!(
+                        c > k && !self.pending_fills.is_empty(),
+                        "flush requested with nothing pending"
+                    );
+                    if split {
+                        self.spec.run_splits += 1;
                     }
-                    self.outcome_buf = outcomes;
-                    return (j, true, misses);
-                }
-            } else {
-                for (off, r) in win[k..j].iter().enumerate() {
-                    let t = k + off;
-                    score.observe(r);
-                    let hit = cache.lookup(r.page()).is_some();
-                    misses += u64::from(!hit);
-                    let sv = if hit {
-                        None
-                    } else {
-                        // Divergence: predicted hit actually missed. The
-                        // observation above just happened, so the clock is
-                        // exactly at this record — the synchronous score
-                        // is bit-identical to the streaming path's.
-                        self.spec.sync_scores += 1;
-                        Some(score.score_current())
-                    };
-                    let outcome = cache.access(r, base + t as u64, sv, admission, eviction);
-                    acct.record(base + t as u64, r, &outcome);
-                    if !hit {
-                        self.spec.pred_hit_missed += 1;
-                        // Nothing beyond `t` has been observed yet: undo
-                        // the speculation from `t` on, evict the phantom
-                        // reality just disproved (otherwise a hot page
-                        // the admission filter keeps bypassing would
-                        // mispredict as a hit on every re-access,
-                        // forever), apply the real transition, cut, and
-                        // re-speculate from `t + 1`.
-                        self.roll_back(t);
-                        self.shadow_evict(r.page(), cache);
-                        self.apply_real(r, &outcome, cache);
-                        return (t + 1, true, misses);
+                    if let Err(consumed) = self.replay_run(
+                        win,
+                        k,
+                        c,
+                        base,
+                        cache,
+                        admission,
+                        eviction,
+                        score,
+                        acct,
+                        &mut misses,
+                    ) {
+                        return (consumed, true, misses);
                     }
+                    k = c;
+                    // `classify(c)` is retried next iteration with the
+                    // pending scores now landed.
                 }
             }
-            k = j;
         }
-        (win.len(), false, misses)
+    }
+
+    /// Prefetches (miss runs) and replays the pending run `win[k..j]`.
+    /// `Ok(())` on a clean replay; `Err(consumed)` when a divergence cut
+    /// the window after consuming `consumed` records (shadow already
+    /// rolled back and re-synced to ground truth).
+    #[allow(clippy::too_many_arguments)]
+    fn replay_run(
+        &mut self,
+        win: &[TraceRecord],
+        k: usize,
+        j: usize,
+        base: u64,
+        cache: &mut SetAssocCache,
+        admission: &mut dyn AdmissionPolicy,
+        eviction: &mut dyn EvictionPolicy,
+        score: &mut dyn ScoreSource,
+        acct: &mut Accounting<'_>,
+        misses: &mut u64,
+    ) -> Result<(), usize> {
+        debug_assert!(k < j && j <= win.len());
+        if matches!(self.pred[k], Pred::Miss { .. }) {
+            self.replay_miss_run(
+                win, k, j, base, cache, admission, eviction, score, acct, misses,
+            )
+        } else {
+            self.replay_hit_run(
+                win, k, j, base, cache, admission, eviction, score, acct, misses,
+            )
+        }
+    }
+
+    /// Replays a predicted-miss run: one batched prefetch (sparse windows
+    /// — dense windows prefetched everything upfront), then per-record
+    /// verified replay.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_miss_run(
+        &mut self,
+        win: &[TraceRecord],
+        k: usize,
+        j: usize,
+        base: u64,
+        cache: &mut SetAssocCache,
+        admission: &mut dyn AdmissionPolicy,
+        eviction: &mut dyn EvictionPolicy,
+        score: &mut dyn ScoreSource,
+        acct: &mut Accounting<'_>,
+        misses: &mut u64,
+    ) -> Result<(), usize> {
+        if !self.dense {
+            score.score_window(&win[k..j], &mut self.scores[k..j]);
+            self.spec.batch_calls += 1;
+            self.spec.batched_scores += (j - k) as u64;
+            // Land the prefetched scores in the shadow metadata of this
+            // run's speculated inserts — the exact values the real policy
+            // will store on admission, which is what makes later same-set
+            // victim predictions exact. Fills belonging to a run opener
+            // beyond `j` (its scores are not prefetched yet) stay pending.
+            let mut i = 0;
+            while i < self.pending_fills.len() {
+                let (idx, slot) = self.pending_fills[i];
+                if idx < j {
+                    self.meta[slot].score = self.scores[idx];
+                    self.meta[slot].score_state = ScoreState::Known;
+                    self.pending_fills.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        let mut first_div: Option<usize> = None;
+        for (off, r) in win[k..j].iter().enumerate() {
+            let t = k + off;
+            let hit = cache.lookup(r.page()).is_some();
+            *misses += u64::from(!hit);
+            let sv = (!hit).then(|| self.scores[t]);
+            let outcome = cache.access(r, base + t as u64, sv, admission, eviction);
+            acct.record(base + t as u64, r, &outcome);
+            match first_div {
+                None => {
+                    let cut = if matches!(outcome, AccessOutcome::MissBypassed) {
+                        // Admission divergence: the speculated insert did
+                        // not happen, leaving a *phantom* resident in the
+                        // shadow. Tolerating it (rather than cutting)
+                        // keeps the window — and its batching — alive
+                        // under bypass-heavy admission filters; every
+                        // decision the phantom could skew is still
+                        // verified at replay, and the first cut it causes
+                        // clears it (`apply_real` writes the real state).
+                        // Its stored-score metadata is dropped to Unknown:
+                        // the slot really holds an older block whose score
+                        // the shadow can no longer vouch for.
+                        self.spec.admission_divergences += 1;
+                        if let Pred::Miss { slot, .. } = self.pred[t] {
+                            self.meta[slot].score_state = ScoreState::Unknown;
+                        }
+                        false
+                    } else {
+                        self.check_miss_divergence(t, &outcome)
+                    };
+                    if cut {
+                        first_div = Some(t);
+                        self.outcome_buf.clear();
+                        self.outcome_buf.push(outcome);
+                    }
+                }
+                Some(_) => {
+                    // Stale prediction in the tail of a divergent run: the
+                    // run still replays correctly (observations and scores
+                    // are position-exact), the prefetched score just goes
+                    // unused. Admission/victim mismatches past the first
+                    // event are downstream consequences and are not
+                    // re-counted.
+                    if outcome.is_hit() {
+                        self.spec.pred_miss_hit += 1;
+                    }
+                    self.outcome_buf.push(outcome);
+                }
+            }
+        }
+        if let Some(t0) = first_div {
+            // Cut after the already-observed run: roll the shadow back to
+            // the divergent record, replay the run tail's *real*
+            // transitions (with their consumed scores) onto it, and let
+            // the next window re-speculate from that exact state.
+            self.roll_back(t0);
+            let outcomes = std::mem::take(&mut self.outcome_buf);
+            for (off, (r, oc)) in win[t0..j].iter().zip(outcomes.iter()).enumerate() {
+                let sv = Some(self.scores[t0 + off]);
+                self.apply_real(r, oc, sv, cache);
+            }
+            self.outcome_buf = outcomes;
+            return Err(j);
+        }
+        Ok(())
+    }
+
+    /// Replays a predicted-hit run: per-record observation, synchronous
+    /// fallback scoring on the (rare) stale prediction.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_hit_run(
+        &mut self,
+        win: &[TraceRecord],
+        k: usize,
+        j: usize,
+        base: u64,
+        cache: &mut SetAssocCache,
+        admission: &mut dyn AdmissionPolicy,
+        eviction: &mut dyn EvictionPolicy,
+        score: &mut dyn ScoreSource,
+        acct: &mut Accounting<'_>,
+        misses: &mut u64,
+    ) -> Result<(), usize> {
+        for (off, r) in win[k..j].iter().enumerate() {
+            let t = k + off;
+            if !self.dense {
+                score.observe(r);
+            }
+            let hit = cache.lookup(r.page()).is_some();
+            *misses += u64::from(!hit);
+            let sv = if hit {
+                None
+            } else if self.dense {
+                // Divergence: predicted hit actually missed — but the
+                // dense prefetch already scored this position, so the
+                // rescue is free (and positionally exact by the
+                // `score_window` contract).
+                Some(self.scores[t])
+            } else {
+                // Divergence: predicted hit actually missed. The
+                // observation above just happened, so the clock is exactly
+                // at this record — the synchronous score is bit-identical
+                // to the streaming path's.
+                self.spec.sync_scores += 1;
+                Some(score.score_current())
+            };
+            let outcome = cache.access(r, base + t as u64, sv, admission, eviction);
+            acct.record(base + t as u64, r, &outcome);
+            if !hit {
+                self.spec.pred_hit_missed += 1;
+                // Nothing beyond `t` has been observed yet: undo the
+                // speculation from `t` on, evict the phantom reality just
+                // disproved (otherwise a hot page the admission filter
+                // keeps bypassing would mispredict as a hit on every
+                // re-access, forever), apply the real transition, cut, and
+                // re-speculate from `t + 1`.
+                self.roll_back(t);
+                self.shadow_evict(r.page(), cache);
+                self.apply_real(r, &outcome, sv, cache);
+                return Err(t + 1);
+            }
+        }
+        Ok(())
     }
 
     /// Classifies window record `idx` against the shadow, applying the
-    /// speculated transition (admit-all, invalid-way-first, shadow-LRU
-    /// victim) and logging it for rollback.
-    fn classify(&mut self, idx: usize, r: &TraceRecord, cache: &SetAssocCache) -> Pred {
+    /// speculated transition (admit-all, invalid-way-first, policy-aware
+    /// victim model) and logging it for rollback — or reporting that a
+    /// stored-score decision needs the pending run flushed first.
+    fn classify(&mut self, idx: usize, r: &TraceRecord, cache: &SetAssocCache) -> Classified {
         let cfg = cache.config();
         let page = r.page();
         let set = cfg.set_of(page);
         let tag = cfg.tag_of(page);
         let ways = cfg.ways;
         let slot0 = set * ways;
-        self.touch += 1;
         for w in 0..ways {
             let b = self.shadow[slot0 + w];
             if b.valid && b.tag == tag {
-                self.log_and_touch(idx, slot0 + w);
-                return Pred::Hit;
+                let slot = slot0 + w;
+                if matches!(self.model, ShadowVictimModel::StoredScore { .. })
+                    && self.meta[slot].score_state == ScoreState::Pending
+                {
+                    // A hit on a block inserted earlier in the pending
+                    // miss run: flush so its score (and any hit bonus on
+                    // top of it) lands first — and so the undo log never
+                    // snapshots a pending slot (see [`Classified`]).
+                    return Classified::NeedFlush { split: false };
+                }
+                self.touch += 1;
+                self.log_undo(idx, slot);
+                let m = &mut self.meta[slot];
+                m.last = self.touch;
+                m.freq = m.freq.saturating_add(1);
+                if let ShadowVictimModel::StoredScore { hit_bonus } = self.model {
+                    if hit_bonus > 0.0 && m.score_state == ScoreState::Known {
+                        m.score *= 1.0 + hit_bonus;
+                    }
+                }
+                return Classified::Pred(Pred::Hit);
             }
         }
         let invalid = (0..ways).find(|&w| !self.shadow[slot0 + w].valid);
         let (way, evicts) = match invalid {
             Some(w) => (w, None),
-            None => {
-                let w = (0..ways)
-                    .min_by_key(|&w| self.shadow_last[slot0 + w])
-                    .expect("set has at least one way");
-                (w, Some(cfg.page_of(set, self.shadow[slot0 + w].tag)))
-            }
+            None => match self.predict_victim(slot0, ways) {
+                Some(w) => (w, Some(cfg.page_of(set, self.shadow[slot0 + w].tag))),
+                None => return Classified::NeedFlush { split: true },
+            },
         };
-        self.log_and_touch(idx, slot0 + way);
-        self.shadow[slot0 + way] = BlockState {
+        let slot = slot0 + way;
+        self.touch += 1;
+        self.log_undo(idx, slot);
+        self.shadow[slot] = BlockState {
             tag,
             valid: true,
             dirty: false,
         };
-        Pred::Miss { evicts }
+        let m = &mut self.meta[slot];
+        m.last = self.touch;
+        m.inserted = self.touch;
+        m.freq = 1;
+        if matches!(self.model, ShadowVictimModel::StoredScore { .. }) {
+            if self.dense {
+                // Dense windows prefetched every position before
+                // classification began: the score the real policy will
+                // store on admission is already on hand.
+                m.score = self.scores[idx];
+                m.score_state = ScoreState::Known;
+            } else {
+                m.score_state = ScoreState::Pending;
+                self.pending_fills.push((idx, slot));
+            }
+        }
+        Classified::Pred(Pred::Miss { slot, evicts })
     }
 
-    /// Logs the pre-mutation state of `slot` under window record `idx`,
-    /// then stamps its recency.
-    fn log_and_touch(&mut self, idx: usize, slot: usize) {
+    /// Predicts the victim way of a full set under the active model.
+    /// `None` means a stored-score decision depends on a pending prefetch
+    /// (the caller flushes and retries).
+    fn predict_victim(&self, slot0: usize, ways: usize) -> Option<usize> {
+        let metas = &self.meta[slot0..slot0 + ways];
+        match self.model {
+            ShadowVictimModel::Recency => metas
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, m)| m.last)
+                .map(|(w, _)| w),
+            ShadowVictimModel::Insertion => metas
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, m)| m.inserted)
+                .map(|(w, _)| w),
+            ShadowVictimModel::Frequency => metas
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, m)| (m.freq, m.last))
+                .map(|(w, _)| w),
+            ShadowVictimModel::StoredScore { .. } => {
+                if metas.iter().any(|m| m.score_state == ScoreState::Pending) {
+                    return None;
+                }
+                // The real policy's own ranking (shared scan — it cannot
+                // drift); unknown scores rank as -inf — conservative, see
+                // [`ScoreState`].
+                Some(crate::policy::min_by_score_then_recency(metas.iter().map(
+                    |m| {
+                        let s = if m.score_state == ScoreState::Known {
+                            m.score
+                        } else {
+                            f64::NEG_INFINITY
+                        };
+                        (s, m.last)
+                    },
+                )))
+            }
+        }
+    }
+
+    /// Logs the pre-mutation state of `slot` (tag and metadata) under
+    /// window record `idx`.
+    fn log_undo(&mut self, idx: usize, slot: usize) {
         self.undo.push(UndoEntry {
             idx,
             slot,
             block: self.shadow[slot],
-            last: self.shadow_last[slot],
+            meta: self.meta[slot],
         });
-        self.shadow_last[slot] = self.touch;
     }
 
     /// Undoes every speculative shadow mutation made for window records
@@ -605,7 +1132,7 @@ impl WindowedSimulator {
             }
             let e = self.undo.pop().expect("just peeked");
             self.shadow[e.slot] = e.block;
-            self.shadow_last[e.slot] = e.last;
+            self.meta[e.slot] = e.meta;
         }
     }
 
@@ -626,9 +1153,17 @@ impl WindowedSimulator {
         }
     }
 
-    /// Applies a *real* replay outcome to the shadow (used after a
-    /// rollback to bring it back into lock-step with the cache).
-    fn apply_real(&mut self, r: &TraceRecord, outcome: &AccessOutcome, cache: &SetAssocCache) {
+    /// Applies a *real* replay outcome (and the score it consumed, if any)
+    /// to the shadow — used after a rollback to bring it back into
+    /// lock-step with the cache, and during streaming spans to keep the
+    /// victim-model metadata warm.
+    fn apply_real(
+        &mut self,
+        r: &TraceRecord,
+        outcome: &AccessOutcome,
+        score: Option<f64>,
+        cache: &SetAssocCache,
+    ) {
         let cfg = cache.config();
         let page = r.page();
         let set = cfg.set_of(page);
@@ -636,23 +1171,51 @@ impl WindowedSimulator {
         self.touch += 1;
         match outcome {
             AccessOutcome::Hit { way } => {
+                let slot = slot0 + way;
+                let tag = cfg.tag_of(page);
                 // Write the block too (not just recency): the shadow may
                 // hold a phantom from a tolerated bypass here, and real
                 // outcomes are the ground truth that heals it.
-                self.shadow[slot0 + way] = BlockState {
-                    tag: cfg.tag_of(page),
+                let tracked = self.shadow[slot].valid && self.shadow[slot].tag == tag;
+                let m = &mut self.meta[slot];
+                if tracked {
+                    m.freq = m.freq.saturating_add(1);
+                    if let ShadowVictimModel::StoredScore { hit_bonus } = self.model {
+                        if hit_bonus > 0.0 && m.score_state == ScoreState::Known {
+                            m.score *= 1.0 + hit_bonus;
+                        }
+                    }
+                } else {
+                    // Healing a phantom: the resident block's history
+                    // (hit count, stored score) is unknown to the shadow.
+                    m.freq = 1;
+                    m.score_state = ScoreState::Unknown;
+                }
+                m.last = self.touch;
+                self.shadow[slot] = BlockState {
+                    tag,
                     valid: true,
                     dirty: false,
                 };
-                self.shadow_last[slot0 + way] = self.touch;
             }
             AccessOutcome::MissInserted { way, .. } => {
-                self.shadow[slot0 + way] = BlockState {
+                let slot = slot0 + way;
+                self.shadow[slot] = BlockState {
                     tag: cfg.tag_of(page),
                     valid: true,
                     dirty: false,
                 };
-                self.shadow_last[slot0 + way] = self.touch;
+                let m = &mut self.meta[slot];
+                m.last = self.touch;
+                m.inserted = self.touch;
+                m.freq = 1;
+                match score {
+                    Some(s) => {
+                        m.score = s;
+                        m.score_state = ScoreState::Known;
+                    }
+                    None => m.score_state = ScoreState::Unknown,
+                }
             }
             AccessOutcome::MissBypassed => {}
         }
@@ -739,7 +1302,9 @@ pub fn simulate_batched_with_warmup(
 mod tests {
     use super::*;
     use crate::config::CacheConfig;
-    use crate::policy::{AlwaysAdmit, FifoPolicy, LruPolicy, ThresholdAdmit};
+    use crate::policy::{
+        AlwaysAdmit, FifoPolicy, GmmScorePolicy, LfuPolicy, LruPolicy, ThresholdAdmit,
+    };
     use crate::score::{ConstantScore, FnScore};
     use crate::sim::simulate_streaming;
 
@@ -772,6 +1337,24 @@ mod tests {
     #[should_panic(expected = "speculation window must be >= 1")]
     fn zero_window_panics() {
         let _ = WindowedSimulator::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speculation window floor must be >= 1")]
+    fn zero_floor_panics() {
+        let _ = WindowedSimulator::with_params(SpecParams {
+            min_window: 0,
+            ..SpecParams::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "stream_miss_fraction_div must be >= 1")]
+    fn zero_probe_divisor_panics() {
+        let _ = WindowedSimulator::with_params(SpecParams {
+            stream_miss_fraction_div: 0,
+            ..SpecParams::default()
+        });
     }
 
     #[test]
@@ -962,6 +1545,42 @@ mod tests {
     }
 
     #[test]
+    fn probe_divisor_knob_changes_streaming_eagerness() {
+        // Same mixed trace; a divisor of 1 can only stream all-miss-free
+        // windows, so far fewer records stream than at the default 8.
+        let trace: Vec<TraceRecord> = (0..6_000u64)
+            .map(|i| TraceRecord::read((i % 24) << 12))
+            .collect();
+        let lat = LatencyModel::paper_tlc();
+        let mut streamed = Vec::new();
+        for div in [1usize, 8] {
+            let mut c = small_cache();
+            let mut lru = LruPolicy::new(8, 2);
+            let mut s = ConstantScore(1.0);
+            let mut sim = WindowedSimulator::with_params(SpecParams {
+                window: 256,
+                stream_miss_fraction_div: div,
+                ..SpecParams::default()
+            });
+            sim.run(
+                &[],
+                &trace,
+                &mut c,
+                &mut AlwaysAdmit,
+                &mut lru,
+                Some(&mut s),
+                &lat,
+                None,
+            );
+            streamed.push(sim.spec_stats().streamed_records);
+        }
+        assert!(
+            streamed[0] <= streamed[1],
+            "divisor 1 must stream no more than divisor 8: {streamed:?}"
+        );
+    }
+
+    #[test]
     fn miss_heavy_trace_batches_nearly_everything() {
         // Cyclic scan through 64 pages in a 16-page cache with LRU: every
         // access misses, speculation never diverges, one batched call per
@@ -990,5 +1609,139 @@ mod tests {
         assert_eq!(spec.sync_scores, 0);
         assert_eq!(spec.batch_calls, 4); // 4096 / 1024
         assert!((spec.batched_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmm_score_scan_speculates_exactly_with_run_splits() {
+        // All-miss scan under gmm-score eviction: victims are ranked by
+        // stored score, which the policy-aware shadow learns from its own
+        // prefetches. Conflict misses whose victim depends on a score
+        // still in flight split the run instead of diverging — so the
+        // whole scan replays with zero divergence and (once the cache is
+        // full) split-bounded batch calls.
+        let trace: Vec<TraceRecord> = (0..4_096u64)
+            .map(|i| TraceRecord::read((i % 64) << 12))
+            .collect();
+        let lat = LatencyModel::paper_tlc();
+
+        let mut c1 = small_cache();
+        let mut g1 = GmmScorePolicy::new(8, 2);
+        let mut s1 = FnScore::new(|page, seq| ((page * 13 + seq * 7) % 101) as f64 / 101.0);
+        let streaming = simulate_streaming(
+            &trace,
+            &mut c1,
+            &mut AlwaysAdmit,
+            &mut g1,
+            Some(&mut s1),
+            &lat,
+            None,
+        );
+
+        let mut c2 = small_cache();
+        let mut g2 = GmmScorePolicy::new(8, 2);
+        let mut s2 = FnScore::new(|page, seq| ((page * 13 + seq * 7) % 101) as f64 / 101.0);
+        let mut sim = WindowedSimulator::new(1024);
+        let batched = sim.run(
+            &[],
+            &trace,
+            &mut c2,
+            &mut AlwaysAdmit,
+            &mut g2,
+            Some(&mut s2),
+            &lat,
+            None,
+        );
+        assert_eq!(streaming, batched);
+        let spec = sim.spec_stats();
+        assert_eq!(spec.divergences(), 0, "{spec:?}");
+        assert_eq!(spec.victim_divergences, 0, "{spec:?}");
+        assert!(spec.run_splits > 0, "conflict scan must split: {spec:?}");
+        assert!((spec.batched_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lfu_and_fifo_scans_speculate_without_divergence() {
+        let trace: Vec<TraceRecord> = (0..4_096u64)
+            .map(|i| TraceRecord::read((i % 64) << 12))
+            .collect();
+        let lat = LatencyModel::paper_tlc();
+        type MakeEviction = fn() -> Box<dyn EvictionPolicy>;
+        let policies: [(&str, MakeEviction); 2] = [
+            ("fifo", || Box::new(FifoPolicy::new(8, 2))),
+            ("lfu", || Box::new(LfuPolicy::new(8, 2))),
+        ];
+        for (name, make) in policies {
+            let mut c1 = small_cache();
+            let mut e1 = make();
+            let mut s1 = ConstantScore(0.5);
+            let streaming = simulate_streaming(
+                &trace,
+                &mut c1,
+                &mut AlwaysAdmit,
+                e1.as_mut(),
+                Some(&mut s1),
+                &lat,
+                None,
+            );
+            let mut c2 = small_cache();
+            let mut e2 = make();
+            let mut s2 = ConstantScore(0.5);
+            let mut sim = WindowedSimulator::new(1024);
+            let batched = sim.run(
+                &[],
+                &trace,
+                &mut c2,
+                &mut AlwaysAdmit,
+                e2.as_mut(),
+                Some(&mut s2),
+                &lat,
+                None,
+            );
+            assert_eq!(streaming, batched, "{name}");
+            let spec = sim.spec_stats();
+            assert_eq!(spec.divergences(), 0, "{name}: {spec:?}");
+            assert_eq!(spec.run_splits, 0, "{name} needs no splits: {spec:?}");
+        }
+    }
+
+    #[test]
+    fn gmm_score_hit_bonus_is_mirrored_by_the_shadow() {
+        // With a positive hit bonus the real policy rescales stored scores
+        // on every hit; the shadow mirrors the same multiplies, so a
+        // bypass-free mixed trace still speculates divergence-free.
+        let trace = mixed_trace(3_000);
+        let lat = LatencyModel::paper_tlc();
+
+        let mut c1 = small_cache();
+        let mut g1 = GmmScorePolicy::with_hit_bonus(8, 2, 0.25);
+        let mut s1 = FnScore::new(|page, seq| ((page * 29 + seq * 3) % 89) as f64 / 89.0);
+        let streaming = simulate_streaming(
+            &trace,
+            &mut c1,
+            &mut AlwaysAdmit,
+            &mut g1,
+            Some(&mut s1),
+            &lat,
+            None,
+        );
+
+        let mut c2 = small_cache();
+        let mut g2 = GmmScorePolicy::with_hit_bonus(8, 2, 0.25);
+        let mut s2 = FnScore::new(|page, seq| ((page * 29 + seq * 3) % 89) as f64 / 89.0);
+        let mut sim = WindowedSimulator::new(512);
+        let batched = sim.run(
+            &[],
+            &trace,
+            &mut c2,
+            &mut AlwaysAdmit,
+            &mut g2,
+            Some(&mut s2),
+            &lat,
+            None,
+        );
+        assert_eq!(streaming, batched);
+        let spec = sim.spec_stats();
+        assert_eq!(spec.victim_divergences, 0, "{spec:?}");
+        assert_eq!(spec.class_divergences(), 0, "{spec:?}");
     }
 }

@@ -51,15 +51,16 @@ mod stats;
 pub mod policy;
 
 pub use batch::{
-    simulate_batched, simulate_batched_with_warmup, SpecStats, WindowedSimulator,
-    DEFAULT_SPEC_WINDOW, MIN_SPEC_WINDOW,
+    simulate_batched, simulate_batched_with_warmup, SpecParams, SpecStats, WindowedSimulator,
+    DEFAULT_SPEC_WINDOW, DENSE_MISS_FRACTION_DIV, MIN_SPEC_WINDOW, STREAM_MISS_FRACTION_DIV,
+    STREAM_SPAN_WINDOWS,
 };
 pub use cache::{AccessOutcome, BlockState, Eviction, SetAssocCache};
 pub use config::{CacheConfig, CacheConfigError};
 pub use latency::LatencyModel;
 pub use policy::{
     AccessCtx, AdmissionPolicy, AlwaysAdmit, BeladyPolicy, EvictionPolicy, FifoPolicy,
-    GmmScorePolicy, LfuPolicy, LruPolicy, RandomPolicy, ThresholdAdmit,
+    GmmScorePolicy, LfuPolicy, LruPolicy, RandomPolicy, ShadowVictimModel, ThresholdAdmit,
 };
 pub use score::{ConstantScore, FnScore, ScoreSource};
 pub use sim::{

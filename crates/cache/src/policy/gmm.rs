@@ -7,7 +7,26 @@
 //! engine), but an optional multiplicative `hit_bonus` can nudge stored
 //! scores upward on reuse for ablation studies (default 0 = paper-faithful).
 
-use super::{AccessCtx, EvictionPolicy};
+use super::{AccessCtx, EvictionPolicy, ShadowVictimModel};
+
+/// Lexicographic strict-`<` scan over `(stored score, recency)` keys: the
+/// way with the lowest score wins, equal scores fall back to the least
+/// recent. Shared by [`GmmScorePolicy::choose_victim`] and the
+/// speculative batcher's stored-score victim prediction — one
+/// implementation, so the shadow's ranking (including NaN handling, which
+/// the strict-`<` scan never selects past way 0) cannot drift from the
+/// real policy's.
+pub(crate) fn min_by_score_then_recency(keys: impl Iterator<Item = (f64, u64)>) -> usize {
+    let mut victim = 0;
+    let mut best = (f64::INFINITY, u64::MAX);
+    for (w, key) in keys.enumerate() {
+        if key.0 < best.0 || (key.0 == best.0 && key.1 < best.1) {
+            best = key;
+            victim = w;
+        }
+    }
+    victim
+}
 
 /// Stored-score eviction with LRU tie-breaking.
 #[derive(Clone, Debug)]
@@ -78,16 +97,13 @@ impl EvictionPolicy for GmmScorePolicy {
         let base = set * self.ways;
         let scores = &self.score[base..base + ways];
         let lasts = &self.last[base..base + ways];
-        let mut victim = 0;
-        let mut best = (f64::INFINITY, u64::MAX);
-        for (w, key) in scores.iter().zip(lasts).enumerate() {
-            let key = (*key.0, *key.1);
-            if key.0 < best.0 || (key.0 == best.0 && key.1 < best.1) {
-                best = key;
-                victim = w;
-            }
+        min_by_score_then_recency(scores.iter().zip(lasts).map(|(s, l)| (*s, *l)))
+    }
+
+    fn shadow_victim_model(&self) -> ShadowVictimModel {
+        ShadowVictimModel::StoredScore {
+            hit_bonus: self.hit_bonus,
         }
-        victim
     }
 }
 

@@ -1,6 +1,6 @@
 //! Least-Frequently-Used eviction (frequency baseline).
 
-use super::{AccessCtx, EvictionPolicy};
+use super::{AccessCtx, EvictionPolicy, ShadowVictimModel};
 
 /// LFU with per-block hit counters; counters reset on insertion, and ties
 /// break toward the least-recently touched block.
@@ -50,6 +50,10 @@ impl EvictionPolicy for LfuPolicy {
                 (self.count[s], self.last[s])
             })
             .expect("set has at least one way")
+    }
+
+    fn shadow_victim_model(&self) -> ShadowVictimModel {
+        ShadowVictimModel::Frequency
     }
 }
 

@@ -156,20 +156,60 @@ proptest! {
                     );
                     // The exactness invariant (batch.rs module docs):
                     // every stale predicted hit — possible only downstream
-                    // of a tolerated bypass — takes exactly one
-                    // synchronous fallback score.
-                    prop_assert_eq!(spec.sync_scores, spec.pred_hit_missed);
+                    // of a tolerated bypass — takes one synchronous
+                    // fallback score, unless a densely scored window
+                    // already holds the positionally exact score.
+                    prop_assert!(spec.sync_scores <= spec.pred_hit_missed);
                 }
             }
         }
     }
 }
 
-/// Adversarial rollback torture: GMM-score eviction (whose victims the
-/// shadow's LRU model cannot predict) + a threshold admission fed
-/// pseudo-random scores (constant bypass divergences) over a working set
-/// slightly larger than the cache. Speculation must diverge in every way
-/// we count — and the replay must still be bit-identical.
+proptest! {
+    /// The policy-aware shadow predicts victims *exactly* for the
+    /// policies that expose a model — LRU (recency), FIFO (insertion
+    /// order), LFU (frequency) and gmm-score (stored scores) — so on
+    /// bypass-free traces (always-admit: no phantoms can poison the
+    /// shadow) speculation must not diverge at all: no victim mismatch,
+    /// no hit/miss misclassification, no synchronous fallback scoring.
+    #[test]
+    fn predictable_policies_never_diverge_without_bypasses(
+        params in (0u64..1_000_000, 300usize..1200, 24u64..160, (60u64..140), 0u8..45, 1usize..1500)
+    ) {
+        let (seed, n, pages, skew_pct, write_pct, window) = params;
+        let skew = skew_pct as f64 / 100.0;
+        let trace = zipf_trace(seed, n, pages, skew, write_pct);
+        let warmup_len = (seed as usize) % (n / 2);
+        for eviction in ["lru", "fifo", "lfu", "gmm-score"] {
+            for score in ["constant", "fn"] {
+                let (streaming, batched, spec) =
+                    run_pair(eviction, "always", score, &trace, warmup_len, window);
+                prop_assert_eq!(&streaming, &batched, "{}/{}", eviction, score);
+                prop_assert_eq!(
+                    spec.divergences(), 0,
+                    "{}/{} diverged without bypasses (seed {}, window {}): {:?}",
+                    eviction, score, seed, window, spec
+                );
+                prop_assert_eq!(spec.victim_divergences, 0);
+                prop_assert_eq!(spec.sync_scores, 0);
+                // Run splits (the stored-score within-window dependency)
+                // are a gmm-score-only mechanism.
+                if eviction != "gmm-score" {
+                    prop_assert_eq!(spec.run_splits, 0, "{} split: {:?}", eviction, spec);
+                }
+            }
+        }
+    }
+}
+
+/// Adversarial rollback torture: GMM-score eviction + a threshold
+/// admission fed pseudo-random scores (constant bypass divergences) over
+/// a working set slightly larger than the cache. Every bypass leaves a
+/// phantom whose stored score the shadow must conservatively forget, so
+/// even the policy-aware victim model keeps mispredicting around the
+/// phantoms — speculation must diverge in every way we count, and the
+/// replay must still be bit-identical.
 #[test]
 fn divergence_heavy_adversarial_trace_is_bit_identical() {
     // 120 pages rotating over a 32-page cache: miss-heavy enough that the
@@ -209,9 +249,10 @@ fn divergence_heavy_adversarial_trace_is_bit_identical() {
         // …and recovery still lands batched scores after every cut.
         assert!(spec.batched_scores > 0, "window {window}: {spec:?}");
         // Exactness invariant: every stale predicted hit pairs with one
-        // synchronous fallback score.
-        assert_eq!(
-            spec.sync_scores, spec.pred_hit_missed,
+        // synchronous fallback score — except in densely scored windows,
+        // which already hold the positionally exact score.
+        assert!(
+            spec.sync_scores <= spec.pred_hit_missed,
             "window {window}: {spec:?}"
         );
         stale_replays += spec.pred_miss_hit + spec.pred_hit_missed;

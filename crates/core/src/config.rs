@@ -107,6 +107,17 @@ pub struct IcgmmConfig {
     /// more batching; smaller ones bound the re-speculation cost after a
     /// divergence.
     pub sim_window: usize,
+    /// Floor of the batcher's adaptive depth: after a divergent window the
+    /// effective depth halves, but never below `min(sim_window_floor,
+    /// sim_window)`. Results are invariant; the floor only bounds how much
+    /// lookahead a divergence storm can waste per cut.
+    pub sim_window_floor: usize,
+    /// Hit-dominance divisor of the batcher's mode probe: a cleanly
+    /// replayed window missing fewer than 1-in-this-many records flips the
+    /// simulator into plain streaming for a span (scoring that few misses
+    /// cannot repay per-request lookahead). Larger values keep speculating
+    /// on more hit-heavy phases; results are invariant either way.
+    pub sim_stream_miss_div: usize,
 }
 
 impl Default for IcgmmConfig {
@@ -122,6 +133,8 @@ impl Default for IcgmmConfig {
             admit_writes_always: true,
             eviction_hit_bonus: 0.0,
             sim_window: icgmm_cache::DEFAULT_SPEC_WINDOW,
+            sim_window_floor: icgmm_cache::MIN_SPEC_WINDOW,
+            sim_stream_miss_div: icgmm_cache::STREAM_MISS_FRACTION_DIV,
         }
     }
 }
@@ -156,7 +169,27 @@ impl IcgmmConfig {
         if self.sim_window == 0 {
             return Err(IcgmmError::Config("sim_window must be >= 1".into()));
         }
+        if self.sim_window_floor == 0 {
+            // A floor above sim_window is fine (the batcher clamps it to
+            // the window — W = 1 sweeps rely on that), but zero would
+            // stall the adaptive shrink entirely.
+            return Err(IcgmmError::Config("sim_window_floor must be >= 1".into()));
+        }
+        if self.sim_stream_miss_div == 0 {
+            return Err(IcgmmError::Config(
+                "sim_stream_miss_div must be >= 1".into(),
+            ));
+        }
         Ok(())
+    }
+
+    /// The batcher parameter set this configuration describes.
+    pub fn spec_params(&self) -> icgmm_cache::SpecParams {
+        icgmm_cache::SpecParams {
+            window: self.sim_window,
+            min_window: self.sim_window_floor,
+            stream_miss_fraction_div: self.sim_stream_miss_div,
+        }
     }
 }
 
@@ -193,6 +226,30 @@ mod tests {
         c = IcgmmConfig::default();
         c.sim_window = 0;
         assert!(c.validate().is_err());
+        c = IcgmmConfig::default();
+        c.sim_window_floor = 0;
+        assert!(c.validate().is_err());
+        c = IcgmmConfig::default();
+        c.sim_stream_miss_div = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn spec_params_mirror_the_sim_knobs_and_tolerate_a_high_floor() {
+        let mut c = IcgmmConfig {
+            sim_window: 512,
+            sim_window_floor: 32,
+            sim_stream_miss_div: 4,
+            ..Default::default()
+        };
+        assert!(c.validate().is_ok());
+        let p = c.spec_params();
+        assert_eq!(p.window, 512);
+        assert_eq!(p.min_window, 32);
+        assert_eq!(p.stream_miss_fraction_div, 4);
+        // W = 1 sweeps keep the default floor; the batcher clamps it.
+        c.sim_window = 1;
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -27,6 +27,14 @@ pub struct ExperimentResult {
     pub requests: u64,
     /// Miss-window speculation divergences (0 for score-free modes).
     pub spec_divergences: u64,
+    /// …of which: real eviction victim differed from the shadow's
+    /// policy-aware prediction.
+    pub spec_victim_divergences: u64,
+    /// …of which: hit/miss misclassifications (predicted hit that missed
+    /// + predicted miss that hit), the residue of tolerated phantoms.
+    pub spec_class_divergences: u64,
+    /// …of which: admission bypasses tolerated as shadow phantoms.
+    pub spec_admission_bypasses: u64,
     /// Fraction of policy-engine scores served by the batched kernel
     /// (0 for score-free modes).
     pub batched_score_fraction: f64,
@@ -43,6 +51,9 @@ impl ExperimentResult {
             dirty_evictions: run.sim.stats.dirty_evictions,
             requests: run.sim.stats.accesses(),
             spec_divergences: run.spec.map(|s| s.divergences()).unwrap_or(0),
+            spec_victim_divergences: run.spec.map(|s| s.victim_divergences).unwrap_or(0),
+            spec_class_divergences: run.spec.map(|s| s.class_divergences()).unwrap_or(0),
+            spec_admission_bypasses: run.spec.map(|s| s.admission_divergences).unwrap_or(0),
             batched_score_fraction: run.spec.map(|s| s.batched_fraction()).unwrap_or(0.0),
         }
     }
@@ -212,6 +223,9 @@ mod tests {
                 dirty_evictions: 0,
                 requests: 100,
                 spec_divergences: 0,
+                spec_victim_divergences: 0,
+                spec_class_divergences: 0,
+                spec_admission_bypasses: 0,
                 batched_score_fraction: 0.0,
             },
             ExperimentResult {
@@ -223,6 +237,9 @@ mod tests {
                 dirty_evictions: 0,
                 requests: 100,
                 spec_divergences: 0,
+                spec_victim_divergences: 0,
+                spec_class_divergences: 0,
+                spec_admission_bypasses: 0,
                 batched_score_fraction: 0.0,
             },
             ExperimentResult {
@@ -234,6 +251,9 @@ mod tests {
                 dirty_evictions: 0,
                 requests: 100,
                 spec_divergences: 0,
+                spec_victim_divergences: 0,
+                spec_class_divergences: 0,
+                spec_admission_bypasses: 0,
                 batched_score_fraction: 0.0,
             },
         ];

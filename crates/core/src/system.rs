@@ -245,7 +245,7 @@ impl Icgmm {
         let use_batched = engine
             .as_ref()
             .is_some_and(icgmm_cache::ScoreSource::prefers_batching);
-        let mut wsim = WindowedSimulator::new(self.cfg.sim_window);
+        let mut wsim = WindowedSimulator::with_params(self.cfg.spec_params());
         let sim = {
             let wsim = &mut wsim;
             let score = engine

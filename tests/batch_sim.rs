@@ -5,8 +5,8 @@
 
 use icgmm::{GmmPolicyEngine, Icgmm, IcgmmConfig, PolicyMode, TrainedModel};
 use icgmm_cache::{
-    simulate_streaming_with_warmup, CacheConfig, GmmScorePolicy, LatencyModel, ScoreSource,
-    SetAssocCache, ThresholdAdmit, WindowedSimulator,
+    simulate_streaming_with_warmup, AlwaysAdmit, CacheConfig, GmmScorePolicy, LatencyModel,
+    ScoreSource, SetAssocCache, ThresholdAdmit, WindowedSimulator,
 };
 use icgmm_gmm::{EmConfig, Gaussian2, Gmm, Mat2, StandardScaler};
 use icgmm_trace::synth::WorkloadKind;
@@ -119,6 +119,60 @@ fn gmm_engine_batched_replay_is_bit_identical_both_datapaths() {
             e2.score_current().to_bits(),
             "fixed_point={fixed}"
         );
+    }
+}
+
+#[test]
+fn gmm_eviction_only_mode_speculates_without_victim_divergence() {
+    // The paper's GmmEvictionOnly mode: always-admit + stored-score
+    // eviction, driven by the real policy engine. With no admission
+    // bypasses there are no phantoms, so the policy-aware shadow must
+    // predict every stored-score victim exactly — zero divergence of any
+    // kind across the whole replay, at full batching.
+    let cfg = CacheConfig {
+        capacity_bytes: 64 * 4096,
+        block_bytes: 4096,
+        ways: 8,
+    };
+    let lat = LatencyModel::paper_tlc();
+    let trace = conflict_trace(8_000, 160, 33);
+    let (warm, meas) = trace.split_at(1_600);
+
+    for fixed in [false, true] {
+        let mut c1 = SetAssocCache::new(cfg).unwrap();
+        let mut ev1 = GmmScorePolicy::new(cfg.num_sets(), cfg.ways);
+        let mut e1 = engine(24, fixed);
+        let streaming = simulate_streaming_with_warmup(
+            warm,
+            meas,
+            &mut c1,
+            &mut AlwaysAdmit,
+            &mut ev1,
+            Some(&mut e1 as &mut dyn ScoreSource),
+            &lat,
+            None,
+        );
+
+        let mut c2 = SetAssocCache::new(cfg).unwrap();
+        let mut ev2 = GmmScorePolicy::new(cfg.num_sets(), cfg.ways);
+        let mut e2 = engine(24, fixed);
+        let mut wsim = WindowedSimulator::new(1024);
+        let batched = wsim.run(
+            warm,
+            meas,
+            &mut c2,
+            &mut AlwaysAdmit,
+            &mut ev2,
+            Some(&mut e2 as &mut dyn ScoreSource),
+            &lat,
+            None,
+        );
+
+        assert_eq!(streaming, batched, "fixed_point={fixed}");
+        let spec = wsim.spec_stats();
+        assert_eq!(spec.divergences(), 0, "fixed_point={fixed}: {spec:?}");
+        assert_eq!(spec.victim_divergences, 0, "fixed_point={fixed}: {spec:?}");
+        assert!(spec.batched_scores > 0, "fixed_point={fixed}: {spec:?}");
     }
 }
 
