@@ -1,0 +1,184 @@
+//! Criterion bench: cycle-approximate dataflow replay, streaming vs the
+//! speculative miss-window batcher under the timing model — the tracked
+//! pair behind CI's dataflow perf gate (`perf_gate` requires batched
+//! ≥ 2× streaming at K = 256, W = 4096, same runner, same run).
+//!
+//! Mirrors the `sim_batch` workloads: an 8 k-request all-miss scan (every
+//! request triggers a policy-engine inference, isolating exactly what the
+//! batcher accelerates) and a Zipf(0.9) interleave (the mixed regime).
+//! The modeled `DataflowReport` is bit-identical between the two replay
+//! engines (property-enforced in `icgmm-hw`); only the host wall-clock
+//! measured here differs — which is the point: the dataflow model was the
+//! last streaming-only hot loop in the repo.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use icgmm::{GmmPolicyEngine, TrainedModel};
+use icgmm_cache::{CacheConfig, LruPolicy, ScoreSource, SpecParams, ThresholdAdmit};
+use icgmm_gmm::{Gaussian2, Gmm, Mat2, StandardScaler};
+use icgmm_hw::{
+    run_dataflow_batched_with_warmup, run_dataflow_streaming_with_warmup, DataflowConfig,
+};
+use icgmm_trace::{PreprocessConfig, TraceRecord, Zipf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const K: usize = 256;
+const WINDOW: usize = 4096;
+const REQUESTS: usize = 8192;
+
+fn build_model(k: usize) -> TrainedModel {
+    let comps: Vec<Gaussian2> = (0..k)
+        .map(|i| {
+            let t = i as f64 / k as f64;
+            Gaussian2::new(
+                [t * 10.0 - 5.0, (t * std::f64::consts::TAU).sin()],
+                Mat2::new(0.05 + t * 0.1, 0.01, 0.08),
+            )
+            .expect("valid component")
+        })
+        .collect();
+    TrainedModel {
+        scaler: StandardScaler::fit(&[[0.0, 0.0], [REQUESTS as f64, 256.0]], &[1.0, 1.0]),
+        gmm: Gmm::new(vec![1.0 / k as f64; k], comps).expect("valid mixture"),
+        threshold: f64::NEG_INFINITY, // admit everything: no bypass noise
+    }
+}
+
+fn engine(k: usize) -> GmmPolicyEngine {
+    let pre = PreprocessConfig {
+        len_window: 32,
+        len_access_shot: 10_000,
+        ..Default::default()
+    };
+    GmmPolicyEngine::new(&build_model(k), &pre, false).expect("engine builds")
+}
+
+fn cache_cfg() -> CacheConfig {
+    // 512 blocks / 8-way: small enough that per-iteration construction is
+    // noise, large enough for realistic set pressure.
+    CacheConfig {
+        capacity_bytes: 512 * 4096,
+        block_bytes: 4096,
+        ways: 8,
+    }
+}
+
+/// Sequential scan: 8 k distinct pages, 100 % miss — the pure miss-window.
+fn scan_trace() -> Vec<TraceRecord> {
+    (0..REQUESTS as u64)
+        .map(|p| TraceRecord::read(p << 12))
+        .collect()
+}
+
+/// Zipf-skewed reuse: realistic hit/miss interleaving.
+fn zipf_trace() -> Vec<TraceRecord> {
+    let zipf = Zipf::new(4096, 0.9).expect("valid zipf");
+    let mut rng = StdRng::seed_from_u64(1234);
+    (0..REQUESTS)
+        .map(|_| TraceRecord::read((zipf.sample(&mut rng) - 1) << 12))
+        .collect()
+}
+
+fn bench_dataflow(c: &mut Criterion) {
+    let eng = engine(K);
+    let scan = scan_trace();
+    let zipf = zipf_trace();
+    let cfg = cache_cfg();
+    let df_cfg = DataflowConfig::default();
+
+    let mut group = c.benchmark_group("dataflow");
+    group.sample_size(12);
+    group.throughput(Throughput::Elements(REQUESTS as u64));
+
+    group.bench_function("streaming_scan_k256", |b| {
+        let mut e = eng.clone();
+        b.iter(|| {
+            e.reset();
+            let mut lru = LruPolicy::new(cfg.num_sets(), cfg.ways);
+            let mut adm = ThresholdAdmit::new(f64::NEG_INFINITY);
+            black_box(
+                run_dataflow_streaming_with_warmup(
+                    &[],
+                    black_box(&scan),
+                    cfg,
+                    &mut adm,
+                    &mut lru,
+                    Some(&mut e as &mut dyn ScoreSource),
+                    &df_cfg,
+                )
+                .expect("valid geometry"),
+            )
+        })
+    });
+
+    group.bench_function("batched_scan_k256_w4096", |b| {
+        let mut e = eng.clone();
+        b.iter(|| {
+            e.reset();
+            let mut lru = LruPolicy::new(cfg.num_sets(), cfg.ways);
+            let mut adm = ThresholdAdmit::new(f64::NEG_INFINITY);
+            black_box(
+                run_dataflow_batched_with_warmup(
+                    &[],
+                    black_box(&scan),
+                    cfg,
+                    &mut adm,
+                    &mut lru,
+                    Some(&mut e as &mut dyn ScoreSource),
+                    &df_cfg,
+                    SpecParams::with_window(WINDOW),
+                )
+                .expect("valid geometry"),
+            )
+        })
+    });
+
+    group.bench_function("streaming_zipf_k256", |b| {
+        let mut e = eng.clone();
+        b.iter(|| {
+            e.reset();
+            let mut lru = LruPolicy::new(cfg.num_sets(), cfg.ways);
+            let mut adm = ThresholdAdmit::new(f64::NEG_INFINITY);
+            black_box(
+                run_dataflow_streaming_with_warmup(
+                    &[],
+                    black_box(&zipf),
+                    cfg,
+                    &mut adm,
+                    &mut lru,
+                    Some(&mut e as &mut dyn ScoreSource),
+                    &df_cfg,
+                )
+                .expect("valid geometry"),
+            )
+        })
+    });
+
+    group.bench_function("batched_zipf_k256_w4096", |b| {
+        let mut e = eng.clone();
+        b.iter(|| {
+            e.reset();
+            let mut lru = LruPolicy::new(cfg.num_sets(), cfg.ways);
+            let mut adm = ThresholdAdmit::new(f64::NEG_INFINITY);
+            black_box(
+                run_dataflow_batched_with_warmup(
+                    &[],
+                    black_box(&zipf),
+                    cfg,
+                    &mut adm,
+                    &mut lru,
+                    Some(&mut e as &mut dyn ScoreSource),
+                    &df_cfg,
+                    SpecParams::with_window(WINDOW),
+                )
+                .expect("valid geometry"),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataflow);
+criterion_main!(benches);

@@ -147,7 +147,9 @@ use crate::cache::{AccessOutcome, BlockState, SetAssocCache};
 use crate::latency::LatencyModel;
 use crate::policy::{AdmissionPolicy, EvictionPolicy, ShadowVictimModel};
 use crate::score::ScoreSource;
-use crate::sim::{simulate_streaming_with_warmup, Accounting, SimReport};
+use crate::sim::{
+    simulate_streaming_impl, streaming_step, Accounting, ReplayObserver, ScoreOrigin, SimReport,
+};
 use icgmm_trace::{PageIndex, TraceRecord};
 use serde::{Deserialize, Serialize};
 
@@ -432,6 +434,12 @@ pub struct WindowedSimulator {
     touch: u64,
     pred: Vec<Pred>,
     scores: Vec<f64>,
+    /// For each prefetched score in `scores`, the 1-based ordinal of the
+    /// [`ScoreSource::score_window`] call that produced it — the batch
+    /// attribution the replay-event stream reports through
+    /// [`ScoreOrigin::Batched`]. Maintained in lock-step with `scores`
+    /// (filled at prefetch, slid with the dense overhang).
+    score_batch: Vec<u64>,
     /// Whether the current window is densely scored (whole window
     /// prefetched upfront, hits included).
     dense: bool,
@@ -482,6 +490,7 @@ impl WindowedSimulator {
             touch: 0,
             pred: Vec::new(),
             scores: Vec::new(),
+            score_batch: Vec::new(),
             dense: false,
             horizon: 0,
             undo: Vec::new(),
@@ -524,9 +533,69 @@ impl WindowedSimulator {
         latency: &LatencyModel,
         series_window: Option<u64>,
     ) -> SimReport {
+        self.run_impl(
+            warmup,
+            measured,
+            cache,
+            admission,
+            eviction,
+            score,
+            latency,
+            series_window,
+            None,
+        )
+    }
+
+    /// [`WindowedSimulator::run`] with a [`crate::ReplayObserver`]
+    /// receiving the per-record replay-event stream (warm-up events
+    /// included, flagged by `seq`; cut and run-split notifications ride
+    /// along). Events are emitted from the *verified* replay only — never
+    /// from speculation — so the stream an observer sees is bit-identical
+    /// to the streaming engine's whenever the reports are. This is the
+    /// hook the `icgmm-hw` dataflow model hangs its per-miss timing
+    /// accounting on.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_observed(
+        &mut self,
+        warmup: &[TraceRecord],
+        measured: &[TraceRecord],
+        cache: &mut SetAssocCache,
+        admission: &mut dyn AdmissionPolicy,
+        eviction: &mut dyn EvictionPolicy,
+        score: Option<&mut dyn ScoreSource>,
+        latency: &LatencyModel,
+        series_window: Option<u64>,
+        observer: &mut dyn ReplayObserver,
+    ) -> SimReport {
+        self.run_impl(
+            warmup,
+            measured,
+            cache,
+            admission,
+            eviction,
+            score,
+            latency,
+            series_window,
+            Some(observer),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_impl(
+        &mut self,
+        warmup: &[TraceRecord],
+        measured: &[TraceRecord],
+        cache: &mut SetAssocCache,
+        admission: &mut dyn AdmissionPolicy,
+        eviction: &mut dyn EvictionPolicy,
+        score: Option<&mut dyn ScoreSource>,
+        latency: &LatencyModel,
+        series_window: Option<u64>,
+        observer: Option<&mut dyn ReplayObserver>,
+    ) -> SimReport {
         self.spec = SpecStats::default();
         let Some(score) = score else {
-            return simulate_streaming_with_warmup(
+            return simulate_streaming_impl(
                 warmup,
                 measured,
                 cache,
@@ -535,6 +604,7 @@ impl WindowedSimulator {
                 None,
                 latency,
                 series_window,
+                observer,
             );
         };
 
@@ -548,7 +618,7 @@ impl WindowedSimulator {
         // starts sparse and every window's replay updates the estimate.
         let mut dense_next = false;
 
-        let mut acct = Accounting::new(warmup.len(), latency, series_window);
+        let mut acct = Accounting::new(warmup.len(), latency, series_window, observer);
 
         let n = warmup.len() + measured.len();
         let min_depth = self.params.min_window.min(self.params.window);
@@ -612,6 +682,7 @@ impl WindowedSimulator {
             if self.horizon > 0 {
                 debug_assert!(consumed <= self.horizon);
                 self.scores.copy_within(consumed..self.horizon, 0);
+                self.score_batch.copy_within(consumed..self.horizon, 0);
                 self.horizon -= consumed;
             }
             dense_next = misses as usize * DENSE_MISS_FRACTION_DIV >= consumed;
@@ -658,18 +729,19 @@ impl WindowedSimulator {
         admission: &mut dyn AdmissionPolicy,
         eviction: &mut dyn EvictionPolicy,
         score: &mut dyn ScoreSource,
-        acct: &mut Accounting<'_>,
+        acct: &mut Accounting<'_, '_>,
     ) {
+        let mut score: Option<&mut dyn ScoreSource> = Some(score);
         for (i, r) in chunk.iter().enumerate() {
-            score.observe(r);
-            let sv = if cache.lookup(r.page()).is_none() {
+            let (outcome, sv) =
+                streaming_step(r, base + i as u64, cache, admission, eviction, &mut score);
+            let origin = if sv.is_some() {
                 self.spec.streamed_scores += 1;
-                Some(score.score_current())
+                ScoreOrigin::Streamed
             } else {
-                None
+                ScoreOrigin::None
             };
-            let outcome = cache.access(r, base + i as u64, sv, admission, eviction);
-            acct.record(base + i as u64, r, &outcome);
+            acct.record(base + i as u64, r, &outcome, sv, origin);
             self.apply_real(r, &outcome, sv, cache);
         }
         self.spec.streamed_records += chunk.len() as u64;
@@ -696,7 +768,7 @@ impl WindowedSimulator {
         admission: &mut dyn AdmissionPolicy,
         eviction: &mut dyn EvictionPolicy,
         score: &mut dyn ScoreSource,
-        acct: &mut Accounting<'_>,
+        acct: &mut Accounting<'_, '_>,
     ) -> (usize, bool, u64) {
         self.spec.windows += 1;
         let mut misses = 0u64;
@@ -705,6 +777,7 @@ impl WindowedSimulator {
         self.pending_fills.clear();
         if self.scores.len() < win.len().max(self.horizon) {
             self.scores.resize(win.len().max(self.horizon), 0.0);
+            self.score_batch.resize(self.scores.len(), 0);
         }
         if self.dense {
             // Dense window: observe and score everything upfront, hits
@@ -720,6 +793,7 @@ impl WindowedSimulator {
                 );
                 self.spec.batch_calls += 1;
                 self.spec.batched_scores += (win.len() - self.horizon) as u64;
+                self.score_batch[self.horizon..win.len()].fill(self.spec.batch_calls);
                 self.horizon = win.len();
             }
         }
@@ -781,6 +855,7 @@ impl WindowedSimulator {
                     );
                     if split {
                         self.spec.run_splits += 1;
+                        acct.run_split(base + c as u64);
                     }
                     if let Err(consumed) = self.replay_run(
                         win,
@@ -819,7 +894,7 @@ impl WindowedSimulator {
         admission: &mut dyn AdmissionPolicy,
         eviction: &mut dyn EvictionPolicy,
         score: &mut dyn ScoreSource,
-        acct: &mut Accounting<'_>,
+        acct: &mut Accounting<'_, '_>,
         misses: &mut u64,
     ) -> Result<(), usize> {
         debug_assert!(k < j && j <= win.len());
@@ -848,13 +923,14 @@ impl WindowedSimulator {
         admission: &mut dyn AdmissionPolicy,
         eviction: &mut dyn EvictionPolicy,
         score: &mut dyn ScoreSource,
-        acct: &mut Accounting<'_>,
+        acct: &mut Accounting<'_, '_>,
         misses: &mut u64,
     ) -> Result<(), usize> {
         if !self.dense {
             score.score_window(&win[k..j], &mut self.scores[k..j]);
             self.spec.batch_calls += 1;
             self.spec.batched_scores += (j - k) as u64;
+            self.score_batch[k..j].fill(self.spec.batch_calls);
             // Land the prefetched scores in the shadow metadata of this
             // run's speculated inserts — the exact values the real policy
             // will store on admission, which is what makes later same-set
@@ -879,8 +955,15 @@ impl WindowedSimulator {
             let hit = cache.lookup(r.page()).is_some();
             *misses += u64::from(!hit);
             let sv = (!hit).then(|| self.scores[t]);
+            let origin = if sv.is_some() {
+                ScoreOrigin::Batched {
+                    call: self.score_batch[t],
+                }
+            } else {
+                ScoreOrigin::None
+            };
             let outcome = cache.access(r, base + t as u64, sv, admission, eviction);
-            acct.record(base + t as u64, r, &outcome);
+            acct.record(base + t as u64, r, &outcome, sv, origin);
             match first_div {
                 None => {
                     let cut = if matches!(outcome, AccessOutcome::MissBypassed) {
@@ -935,6 +1018,7 @@ impl WindowedSimulator {
                 self.apply_real(r, oc, sv, cache);
             }
             self.outcome_buf = outcomes;
+            acct.cut(base + t0 as u64);
             return Err(j);
         }
         Ok(())
@@ -953,7 +1037,7 @@ impl WindowedSimulator {
         admission: &mut dyn AdmissionPolicy,
         eviction: &mut dyn EvictionPolicy,
         score: &mut dyn ScoreSource,
-        acct: &mut Accounting<'_>,
+        acct: &mut Accounting<'_, '_>,
         misses: &mut u64,
     ) -> Result<(), usize> {
         for (off, r) in win[k..j].iter().enumerate() {
@@ -963,24 +1047,29 @@ impl WindowedSimulator {
             }
             let hit = cache.lookup(r.page()).is_some();
             *misses += u64::from(!hit);
-            let sv = if hit {
-                None
+            let (sv, origin) = if hit {
+                (None, ScoreOrigin::None)
             } else if self.dense {
                 // Divergence: predicted hit actually missed — but the
                 // dense prefetch already scored this position, so the
                 // rescue is free (and positionally exact by the
                 // `score_window` contract).
-                Some(self.scores[t])
+                (
+                    Some(self.scores[t]),
+                    ScoreOrigin::Batched {
+                        call: self.score_batch[t],
+                    },
+                )
             } else {
                 // Divergence: predicted hit actually missed. The
                 // observation above just happened, so the clock is exactly
                 // at this record — the synchronous score is bit-identical
                 // to the streaming path's.
                 self.spec.sync_scores += 1;
-                Some(score.score_current())
+                (Some(score.score_current()), ScoreOrigin::SyncFallback)
             };
             let outcome = cache.access(r, base + t as u64, sv, admission, eviction);
-            acct.record(base + t as u64, r, &outcome);
+            acct.record(base + t as u64, r, &outcome, sv, origin);
             if !hit {
                 self.spec.pred_hit_missed += 1;
                 // Nothing beyond `t` has been observed yet: undo the
@@ -992,6 +1081,7 @@ impl WindowedSimulator {
                 self.roll_back(t);
                 self.shadow_evict(r.page(), cache);
                 self.apply_real(r, &outcome, sv, cache);
+                acct.cut(base + t as u64);
                 return Err(t + 1);
             }
         }
@@ -1306,7 +1396,7 @@ mod tests {
         AlwaysAdmit, FifoPolicy, GmmScorePolicy, LfuPolicy, LruPolicy, ThresholdAdmit,
     };
     use crate::score::{ConstantScore, FnScore};
-    use crate::sim::simulate_streaming;
+    use crate::sim::{simulate_streaming, simulate_streaming_with_warmup};
 
     fn small_cache() -> SetAssocCache {
         SetAssocCache::new(CacheConfig {

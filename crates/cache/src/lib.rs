@@ -64,6 +64,8 @@ pub use policy::{
 };
 pub use score::{ConstantScore, FnScore, ScoreSource};
 pub use sim::{
-    simulate, simulate_streaming, simulate_streaming_with_warmup, simulate_with_warmup, SimReport,
+    simulate, simulate_streaming, simulate_streaming_observed_with_warmup,
+    simulate_streaming_with_warmup, simulate_with_warmup, ReplayEvent, ReplayObserver, ScoreOrigin,
+    SimReport,
 };
 pub use stats::{CacheStats, MissSeries};

@@ -20,6 +20,16 @@
 //!   divergent point — mispredicted misses fall back to the synchronous
 //!   [`ScoreSource::score_current`], so results never drift.
 //!
+//! Both engines additionally expose a **replay-event stream**: a
+//! [`ReplayObserver`] passed to [`simulate_streaming_observed_with_warmup`]
+//! or [`crate::WindowedSimulator::run_observed`] receives every record's
+//! real outcome in trace order — with the consumed score, its
+//! [`ScoreOrigin`] (which prefetch batch produced it, or which synchronous
+//! path), and cut/run-split notifications — so consumers that attach
+//! their own semantics to the replay (the `icgmm-hw` cycle-approximate
+//! dataflow timing model) are decoupled from *how* the host computed the
+//! outcomes and stay bit-identical across engines for free.
+//!
 //! [`simulate`] and [`simulate_with_warmup`] are the default entry
 //! points: runs whose score source reports
 //! [`ScoreSource::prefers_batching`] (the GMM policy engine at
@@ -33,13 +43,90 @@
 //! across all policy pairs is enforced by property tests
 //! (`tests/batch_equivalence.rs`).
 
-use crate::cache::SetAssocCache;
+use crate::cache::{AccessOutcome, SetAssocCache};
 use crate::latency::LatencyModel;
 use crate::policy::{AdmissionPolicy, EvictionPolicy};
 use crate::score::ScoreSource;
 use crate::stats::{CacheStats, MissSeries};
 use icgmm_trace::TraceRecord;
 use serde::{Deserialize, Serialize};
+
+/// Where the score a replayed record consumed came from.
+///
+/// Part of the replay-event stream (see [`ReplayObserver`]): consumers that
+/// attribute host-side inference cost — e.g. the `icgmm-hw` dataflow model
+/// attributing batched inference time to the miss that consumed each score —
+/// need to know which prefetch batch (if any) produced a score, not just its
+/// value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScoreOrigin {
+    /// No score was consumed: a hit, or a score-free run.
+    None,
+    /// Prefetched by a batched [`ScoreSource::score_window`] call; `call`
+    /// is the 1-based ordinal of that call within the run (matches
+    /// [`crate::SpecStats::batch_calls`] counting).
+    Batched {
+        /// 1-based ordinal of the producing `score_window` call.
+        call: u64,
+    },
+    /// Synchronous [`ScoreSource::score_current`] fallback on a stale
+    /// predicted hit inside a speculation window.
+    SyncFallback,
+    /// Synchronous score in plain streaming replay (the reference loop or
+    /// a batcher streaming span). Score-free runs never consume a score,
+    /// so their events always carry [`ScoreOrigin::None`].
+    Streamed,
+}
+
+/// One replayed record, delivered to a [`ReplayObserver`] in trace order.
+///
+/// Events cover *every* record — warm-up included (`seq` is the absolute
+/// request index, so observers can skip `seq < warmup_len`) — and are
+/// emitted exactly once per record regardless of replay engine: the
+/// streaming loop emits them inline, the speculative batcher emits them
+/// from its verified replay (never from speculation), so the stream is
+/// bit-identical between the two engines whenever the reports are.
+#[derive(Debug)]
+pub struct ReplayEvent<'a> {
+    /// Absolute request index (warm-up + measured, 0-based).
+    pub seq: u64,
+    /// The trace record.
+    pub record: &'a TraceRecord,
+    /// The real cache outcome (never a speculated one).
+    pub outcome: &'a AccessOutcome,
+    /// Score consumed by the access (misses of scored runs), if any.
+    pub score: Option<f64>,
+    /// Which path produced [`ReplayEvent::score`].
+    pub origin: ScoreOrigin,
+}
+
+/// Consumer of the replay event stream.
+///
+/// This is the seam between *host replay* (how fast the simulator computes
+/// outcomes — streaming scalar scoring vs the speculative batched kernel)
+/// and *modeled semantics* (what each outcome means): an observer sees the
+/// same per-record stream either way, so anything built on it — the
+/// `icgmm-hw` cycle-approximate dataflow timing, custom telemetry — is
+/// automatically bit-identical across replay engines.
+pub trait ReplayObserver {
+    /// One record replayed (trace order, exactly once per record).
+    fn on_record(&mut self, ev: &ReplayEvent<'_>);
+
+    /// The speculative batcher cut its window at absolute request index
+    /// `seq` (a divergence forced re-speculation there). Telemetry only;
+    /// never emitted by the streaming engine.
+    fn on_cut(&mut self, seq: u64) {
+        let _ = seq;
+    }
+
+    /// A predicted-miss run was split at absolute request index `seq`
+    /// because a stored-score victim decision depended on a score still
+    /// being prefetched. Telemetry only; never emitted by the streaming
+    /// engine.
+    fn on_run_split(&mut self, seq: u64) {
+        let _ = seq;
+    }
+}
 
 /// Result of one simulation run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -180,46 +267,126 @@ pub fn simulate_streaming_with_warmup(
     cache: &mut SetAssocCache,
     admission: &mut dyn AdmissionPolicy,
     eviction: &mut dyn EvictionPolicy,
-    mut score: Option<&mut dyn ScoreSource>,
+    score: Option<&mut dyn ScoreSource>,
     latency: &LatencyModel,
     series_window: Option<u64>,
 ) -> SimReport {
-    let mut acct = Accounting::new(warmup.len(), latency, series_window);
+    simulate_streaming_impl(
+        warmup,
+        measured,
+        cache,
+        admission,
+        eviction,
+        score,
+        latency,
+        series_window,
+        None,
+    )
+}
+
+/// [`simulate_streaming_with_warmup`] with a [`ReplayObserver`] receiving
+/// the per-record event stream (warm-up events included, flagged by
+/// `seq`). This is how the `icgmm-hw` dataflow model drives its timing
+/// accounting off the functional replay without duplicating the loop.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_streaming_observed_with_warmup(
+    warmup: &[TraceRecord],
+    measured: &[TraceRecord],
+    cache: &mut SetAssocCache,
+    admission: &mut dyn AdmissionPolicy,
+    eviction: &mut dyn EvictionPolicy,
+    score: Option<&mut dyn ScoreSource>,
+    latency: &LatencyModel,
+    series_window: Option<u64>,
+    observer: &mut dyn ReplayObserver,
+) -> SimReport {
+    simulate_streaming_impl(
+        warmup,
+        measured,
+        cache,
+        admission,
+        eviction,
+        score,
+        latency,
+        series_window,
+        Some(observer),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simulate_streaming_impl(
+    warmup: &[TraceRecord],
+    measured: &[TraceRecord],
+    cache: &mut SetAssocCache,
+    admission: &mut dyn AdmissionPolicy,
+    eviction: &mut dyn EvictionPolicy,
+    mut score: Option<&mut dyn ScoreSource>,
+    latency: &LatencyModel,
+    series_window: Option<u64>,
+    observer: Option<&mut dyn ReplayObserver>,
+) -> SimReport {
+    let mut acct = Accounting::new(warmup.len(), latency, series_window, observer);
 
     for (i, r) in warmup.iter().chain(measured).enumerate() {
-        if let Some(s) = score.as_deref_mut() {
-            s.observe(r);
-        }
-        // Hits bypass the policy engine: compute a score only if the page
-        // is absent (the hardware triggers the GMM on miss).
-        let score_val = if cache.lookup(r.page()).is_none() {
-            score.as_deref_mut().map(|s| s.score_current())
+        let (outcome, score_val) =
+            streaming_step(r, i as u64, cache, admission, eviction, &mut score);
+        let origin = if score_val.is_some() {
+            ScoreOrigin::Streamed
         } else {
-            None
+            ScoreOrigin::None
         };
-        let outcome = cache.access(r, i as u64, score_val, admission, eviction);
-        acct.record(i as u64, r, &outcome);
+        acct.record(i as u64, r, &outcome, score_val, origin);
     }
 
     acct.into_report(measured.len(), eviction, admission)
 }
 
+/// The canonical streaming replay step — observe, score the miss
+/// synchronously, access. One implementation shared by the reference loop,
+/// the speculative batcher's streaming spans and (through the observed
+/// entry points) the `icgmm-hw` dataflow warm-up, so the replay semantics
+/// cannot drift between engines: hits bypass the policy engine (the
+/// hardware triggers the GMM on miss only), and the score is computed with
+/// the Algorithm 1 clock exactly at the record.
+#[inline]
+pub(crate) fn streaming_step(
+    r: &TraceRecord,
+    seq: u64,
+    cache: &mut SetAssocCache,
+    admission: &mut dyn AdmissionPolicy,
+    eviction: &mut dyn EvictionPolicy,
+    score: &mut Option<&mut dyn ScoreSource>,
+) -> (AccessOutcome, Option<f64>) {
+    if let Some(s) = score.as_deref_mut() {
+        s.observe(r);
+    }
+    let score_val = if cache.lookup(r.page()).is_none() {
+        score.as_deref_mut().map(|s| s.score_current())
+    } else {
+        None
+    };
+    let outcome = cache.access(r, seq, score_val, admission, eviction);
+    (outcome, score_val)
+}
+
 /// Measurement bookkeeping shared by the streaming loop and every replay
 /// arm of the speculative batcher — one implementation, so the two paths
 /// cannot drift apart in what they account.
-pub(crate) struct Accounting<'a> {
+pub(crate) struct Accounting<'a, 'o> {
     warmup_len: usize,
     stats: CacheStats,
     series: Option<MissSeries>,
     total_us: f64,
     latency: &'a LatencyModel,
+    observer: Option<&'o mut dyn ReplayObserver>,
 }
 
-impl<'a> Accounting<'a> {
+impl<'a, 'o> Accounting<'a, 'o> {
     pub(crate) fn new(
         warmup_len: usize,
         latency: &'a LatencyModel,
         series_window: Option<u64>,
+        observer: Option<&'o mut dyn ReplayObserver>,
     ) -> Self {
         Accounting {
             warmup_len,
@@ -227,12 +394,30 @@ impl<'a> Accounting<'a> {
             series: series_window.map(MissSeries::new),
             total_us: 0.0,
             latency,
+            observer,
         }
     }
 
     /// Accounts one replayed request (`i` is the absolute request index;
-    /// warm-up requests have full side effects but no accounting).
-    pub(crate) fn record(&mut self, i: u64, r: &TraceRecord, outcome: &crate::AccessOutcome) {
+    /// warm-up requests have full side effects and an observer event, but
+    /// no statistics).
+    pub(crate) fn record(
+        &mut self,
+        i: u64,
+        r: &TraceRecord,
+        outcome: &crate::AccessOutcome,
+        score: Option<f64>,
+        origin: ScoreOrigin,
+    ) {
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_record(&ReplayEvent {
+                seq: i,
+                record: r,
+                outcome,
+                score,
+                origin,
+            });
+        }
         if (i as usize) < self.warmup_len {
             return;
         }
@@ -240,6 +425,22 @@ impl<'a> Accounting<'a> {
         self.total_us += self.latency.request_us(r.op, outcome);
         if let Some(ms) = self.series.as_mut() {
             ms.record(!outcome.is_hit());
+        }
+    }
+
+    /// Forwards a window-cut event to the observer (see
+    /// [`ReplayObserver::on_cut`]).
+    pub(crate) fn cut(&mut self, seq: u64) {
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_cut(seq);
+        }
+    }
+
+    /// Forwards a run-split event to the observer (see
+    /// [`ReplayObserver::on_run_split`]).
+    pub(crate) fn run_split(&mut self, seq: u64) {
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_run_split(seq);
         }
     }
 

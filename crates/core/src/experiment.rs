@@ -35,6 +35,10 @@ pub struct ExperimentResult {
     pub spec_class_divergences: u64,
     /// …of which: admission bypasses tolerated as shadow phantoms.
     pub spec_admission_bypasses: u64,
+    /// Miss runs the batcher split because a stored-score victim decision
+    /// depended on a score still being prefetched (0 for score-free
+    /// modes; a cost signal, not a divergence).
+    pub spec_run_splits: u64,
     /// Fraction of policy-engine scores served by the batched kernel
     /// (0 for score-free modes).
     pub batched_score_fraction: f64,
@@ -54,6 +58,7 @@ impl ExperimentResult {
             spec_victim_divergences: run.spec.map(|s| s.victim_divergences).unwrap_or(0),
             spec_class_divergences: run.spec.map(|s| s.class_divergences()).unwrap_or(0),
             spec_admission_bypasses: run.spec.map(|s| s.admission_divergences).unwrap_or(0),
+            spec_run_splits: run.spec.map(|s| s.run_splits).unwrap_or(0),
             batched_score_fraction: run.spec.map(|s| s.batched_fraction()).unwrap_or(0.0),
         }
     }
@@ -226,6 +231,7 @@ mod tests {
                 spec_victim_divergences: 0,
                 spec_class_divergences: 0,
                 spec_admission_bypasses: 0,
+                spec_run_splits: 0,
                 batched_score_fraction: 0.0,
             },
             ExperimentResult {
@@ -240,6 +246,7 @@ mod tests {
                 spec_victim_divergences: 0,
                 spec_class_divergences: 0,
                 spec_admission_bypasses: 0,
+                spec_run_splits: 0,
                 batched_score_fraction: 0.0,
             },
             ExperimentResult {
@@ -254,6 +261,7 @@ mod tests {
                 spec_victim_divergences: 0,
                 spec_class_divergences: 0,
                 spec_admission_bypasses: 0,
+                spec_run_splits: 0,
                 batched_score_fraction: 0.0,
             },
         ];

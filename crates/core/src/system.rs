@@ -307,6 +307,14 @@ impl Icgmm {
     /// Runs one mode through the cycle-approximate dataflow hardware model
     /// instead of the analytic latency constants.
     ///
+    /// Host replay follows the same routing as [`Icgmm::run`]: engines at
+    /// paper-scale K ([`icgmm_cache::ScoreSource::prefers_batching`]) ride
+    /// the speculative miss-window batcher with this configuration's
+    /// `sim_window`/`sim_window_floor`/`sim_stream_miss_div` knobs, small-K
+    /// engines and score-free modes stream. The modeled timing is
+    /// bit-identical either way; [`DataflowReport::spec`] carries the
+    /// speculation telemetry of batched runs.
+    ///
     /// # Errors
     ///
     /// As for [`Icgmm::run`].
@@ -325,6 +333,10 @@ impl Icgmm {
             None
         };
         let threshold = self.model.as_ref().map(|m| m.threshold).unwrap_or(0.0);
+        let use_batched = engine
+            .as_ref()
+            .is_some_and(icgmm_cache::ScoreSource::prefers_batching);
+        let params = self.cfg.spec_params();
         let score = engine
             .as_mut()
             .map(|e| e as &mut dyn icgmm_cache::ScoreSource);
@@ -333,9 +345,15 @@ impl Icgmm {
                   ev: &mut dyn icgmm_cache::EvictionPolicy,
                   score: Option<&mut dyn icgmm_cache::ScoreSource>|
          -> Result<DataflowReport, IcgmmError> {
-            Ok(icgmm_hw::run_dataflow_with_warmup(
-                warmup, measured, cache_cfg, adm, ev, score, config,
-            )?)
+            Ok(if use_batched {
+                icgmm_hw::run_dataflow_batched_with_warmup(
+                    warmup, measured, cache_cfg, adm, ev, score, config, params,
+                )?
+            } else {
+                icgmm_hw::run_dataflow_streaming_with_warmup(
+                    warmup, measured, cache_cfg, adm, ev, score, config,
+                )?
+            })
         };
         match mode {
             PolicyMode::Lru | PolicyMode::Fifo | PolicyMode::Random | PolicyMode::Lfu => {
@@ -499,6 +517,44 @@ mod tests {
                 assert!(a.spec.is_none() && b.spec.is_none());
             }
         }
+    }
+
+    #[test]
+    fn dataflow_sim_window_does_not_change_results() {
+        // The dataflow model rides the batched replay engine at paper-scale
+        // K; the speculation depth is a host-side economics knob and must
+        // leave every modeled quantity — stats and all timing fields —
+        // bit-identical.
+        let mut narrow = small_cfg();
+        let mut wide = small_cfg();
+        narrow.em.k = 64;
+        wide.em.k = 64;
+        narrow.sim_window = 1;
+        wide.sim_window = 4096;
+        let trace = WorkloadKind::Memtier
+            .default_workload()
+            .generate(30_000, 11);
+        let mut sys_narrow = Icgmm::new(narrow).unwrap();
+        sys_narrow.fit(&trace).unwrap();
+        let mut sys_wide = Icgmm::new(wide).unwrap();
+        sys_wide.set_model(sys_narrow.model().expect("fitted").clone());
+        let cfg = DataflowConfig::default();
+        let a = sys_narrow
+            .run_dataflow(&trace, PolicyMode::GmmCachingEviction, &cfg)
+            .unwrap();
+        let b = sys_wide
+            .run_dataflow(&trace, PolicyMode::GmmCachingEviction, &cfg)
+            .unwrap();
+        assert!(a.spec.is_some() && b.spec.is_some(), "K=64 must batch");
+        let (mut a2, mut b2) = (a.clone(), b.clone());
+        a2.spec = None;
+        b2.spec = None;
+        assert_eq!(a2, b2, "sim_window must not change the dataflow report");
+        // Score-free modes keep the streaming engine (no telemetry).
+        let lru = sys_narrow
+            .run_dataflow(&trace, PolicyMode::Lru, &cfg)
+            .unwrap();
+        assert!(lru.spec.is_none());
     }
 
     #[test]

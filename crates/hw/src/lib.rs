@@ -16,6 +16,18 @@
 //! * TLC SSD 75/900 µs ([`SsdProfile::tlc`]),
 //! * overlap of inference with SSD access ([`run_dataflow`]).
 //!
+//! Host replay and modeled time are decoupled: [`run_dataflow`] /
+//! [`run_dataflow_with_warmup`] route score sources that report
+//! [`icgmm_cache::ScoreSource::prefers_batching`] (the GMM policy engine
+//! at paper-scale K) through the speculative miss-window batcher by
+//! default, so the replay *wall-clock* rides the batched scoring kernel —
+//! while the *modeled* timeline stays strictly per-miss: each miss is
+//! charged one GMM inference overlapped (or not) with its own SSD access,
+//! with FIFO backpressure and SSD queueing, so every timing field of the
+//! [`DataflowReport`] is bit-identical to the streaming reference
+//! ([`run_dataflow_streaming_with_warmup`]). See the `system` module docs
+//! for the mechanism (the cache crate's replay-event stream).
+//!
 //! ## Example
 //!
 //! ```
@@ -50,4 +62,7 @@ pub use gmm_engine::{GmmEngine, GmmEngineModel};
 pub use kernel::{run_until_done, Kernel, KernelStats};
 pub use resources::{table2, GmmResourceModel, ResourceEstimate};
 pub use ssd::{SsdEmulator, SsdProfile, SsdStats};
-pub use system::{run_dataflow, run_dataflow_with_warmup, DataflowConfig, DataflowReport};
+pub use system::{
+    run_dataflow, run_dataflow_batched_with_warmup, run_dataflow_streaming_with_warmup,
+    run_dataflow_with_warmup, DataflowConfig, DataflowReport,
+};

@@ -16,14 +16,34 @@
 //!
 //! Disabling overlap reproduces a naïve sequential design and quantifies
 //! exactly what the dataflow architecture buys (the paper's §4.3 claim).
+//!
+//! # Host replay vs modeled time
+//!
+//! Since the batched-dataflow rebuild, the timing model is a
+//! [`icgmm_cache::ReplayObserver`] ([`DataflowTimer`], private) hanging off
+//! the cache crate's replay-event stream, so *how the host computes the
+//! outcomes* and *what the modeled hardware charges for them* are
+//! independent: score sources that prefer batching
+//! ([`icgmm_cache::ScoreSource::prefers_batching`] — the GMM policy engine
+//! at paper-scale K) replay through the speculative miss-window batcher
+//! ([`icgmm_cache::WindowedSimulator`]) and ride the 4-5× cheaper batched
+//! scoring kernel, while the modeled timeline stays strictly per-miss:
+//! every miss still pays one GMM inference overlapped (or not) with its
+//! own SSD access, FIFO backpressure and SSD queueing included, exactly as
+//! the synchronous pipeline would. The two replay engines feed the
+//! identical per-record event stream, so the [`DataflowReport`] — stats
+//! *and* every timing field — is bit-identical between them
+//! (property-enforced in `tests/dataflow_equivalence.rs`); only host
+//! wall-clock and the [`DataflowReport::spec`] telemetry differ.
 
 use crate::cache_engine::CacheEngineModel;
 use crate::clock::ClockDomain;
 use crate::gmm_engine::GmmEngineModel;
 use crate::ssd::{SsdEmulator, SsdProfile, SsdStats};
 use icgmm_cache::{
-    AccessOutcome, AdmissionPolicy, CacheConfig, CacheConfigError, CacheStats, EvictionPolicy,
-    ScoreSource, SetAssocCache,
+    simulate_streaming_observed_with_warmup, AccessOutcome, AdmissionPolicy, CacheConfig,
+    CacheConfigError, CacheStats, EvictionPolicy, LatencyModel, ReplayEvent, ReplayObserver,
+    ScoreSource, SetAssocCache, SpecParams, SpecStats, WindowedSimulator,
 };
 use icgmm_trace::{Op, TraceRecord};
 use serde::{Deserialize, Serialize};
@@ -82,6 +102,10 @@ pub struct DataflowReport {
     /// Time saved by overlapping policy inference with SSD access compared
     /// to a sequential design, µs.
     pub overlap_saved_us: f64,
+    /// Host-replay speculation telemetry when the run rode the batched
+    /// replay engine (`None` on the streaming engine). Pure host-side
+    /// diagnostics: the modeled timing above is bit-identical either way.
+    pub spec: Option<SpecStats>,
 }
 
 impl DataflowReport {
@@ -95,10 +119,168 @@ impl DataflowReport {
     }
 }
 
+/// Per-record timing accounting of the dataflow model, driven by the
+/// replay-event stream: the replay engine (streaming or speculative
+/// batched) decides how scores are computed on the *host*, while this
+/// observer keeps the *modeled* timeline strictly per-miss — each miss
+/// pays one GMM inference overlapped (or not) with its own SSD access, so
+/// batched host inference is attributed to the miss that consumed the
+/// score and `overlap_saved_us` is computed exactly as the streaming loop
+/// always did.
+struct DataflowTimer {
+    warmup_len: usize,
+    cycle_us: f64,
+    hit_us: f64,
+    miss_overhead_us: f64,
+    gmm_us: f64,
+    overlap: bool,
+    depth: usize,
+    // Ring buffer of the last `depth` finish times (bounded-buffer rule:
+    // record i cannot enter the FIFO before record i-depth has left it).
+    finish_ring: Vec<f64>,
+    idx: usize,
+    prev_arrival: f64,
+    prev_finish: f64,
+    latency_sum: f64,
+    queue_sum: f64,
+    gmm_busy_us: f64,
+    overlap_saved_us: f64,
+    loader_stalls: u64,
+    ssd: SsdEmulator,
+}
+
+impl DataflowTimer {
+    fn new(config: &DataflowConfig, warmup_len: usize) -> Self {
+        let depth = config.trace_fifo_depth.max(1);
+        DataflowTimer {
+            warmup_len,
+            cycle_us: 1.0 / config.clock.mhz,
+            hit_us: config.cache_engine.hit_us(),
+            miss_overhead_us: config.cache_engine.miss_overhead_us(),
+            gmm_us: config.gmm_engine.latency_us(),
+            overlap: config.overlap_policy_with_ssd,
+            depth,
+            finish_ring: vec![0.0; depth],
+            idx: 0,
+            prev_arrival: 0.0,
+            prev_finish: 0.0,
+            latency_sum: 0.0,
+            queue_sum: 0.0,
+            gmm_busy_us: 0.0,
+            overlap_saved_us: 0.0,
+            loader_stalls: 0,
+            ssd: SsdEmulator::new(config.ssd.clone()),
+        }
+    }
+
+    /// Advances the modeled timeline by one measured request.
+    fn step(&mut self, op: Op, outcome: &AccessOutcome) {
+        let i = self.idx;
+        self.idx += 1;
+
+        // Loader: one record per cycle, gated by FIFO space.
+        let fifo_free_at = self.finish_ring[i % self.depth];
+        let mut arrival = self.prev_arrival + self.cycle_us;
+        if fifo_free_at > arrival {
+            arrival = fifo_free_at;
+            self.loader_stalls += 1;
+        }
+        self.prev_arrival = arrival;
+
+        // Engine: in-order service.
+        let start = arrival.max(self.prev_finish);
+        let finish = match outcome {
+            AccessOutcome::Hit { .. } => start + self.hit_us,
+            AccessOutcome::MissInserted { evicted, .. } => {
+                let t0 = start + self.miss_overhead_us;
+                // Page fetch; dirty victims are written back behind it.
+                let mut ssd_done = self.ssd.access(t0, Op::Read);
+                if let Some(e) = evicted {
+                    if e.dirty {
+                        ssd_done = self.ssd.access(ssd_done, Op::Write);
+                    }
+                }
+                self.miss_finish(t0, ssd_done)
+            }
+            AccessOutcome::MissBypassed => {
+                let t0 = start + self.miss_overhead_us;
+                let ssd_done = self.ssd.access(t0, op);
+                self.miss_finish(t0, ssd_done)
+            }
+        };
+        self.latency_sum += finish - start;
+        self.queue_sum += start - arrival;
+        self.prev_finish = finish;
+        self.finish_ring[i % self.depth] = finish;
+    }
+
+    /// Completes a miss: the GMM inference runs concurrently with the SSD
+    /// access under the dataflow architecture, sequentially otherwise.
+    fn miss_finish(&mut self, t0: f64, ssd_done: f64) -> f64 {
+        self.gmm_busy_us += self.gmm_us;
+        let ssd_time = ssd_done - t0;
+        if self.overlap {
+            self.overlap_saved_us += self.gmm_us.min(ssd_time);
+            t0 + ssd_time.max(self.gmm_us)
+        } else {
+            t0 + self.gmm_us + ssd_time
+        }
+    }
+
+    fn into_report(self, stats: CacheStats, n: usize, spec: Option<SpecStats>) -> DataflowReport {
+        DataflowReport {
+            stats,
+            makespan_us: self.prev_finish,
+            avg_request_us: if n == 0 {
+                0.0
+            } else {
+                self.latency_sum / n as f64
+            },
+            avg_queue_us: if n == 0 {
+                0.0
+            } else {
+                self.queue_sum / n as f64
+            },
+            gmm_busy_us: self.gmm_busy_us,
+            ssd: self.ssd.stats(),
+            loader_stalls: self.loader_stalls,
+            overlap_saved_us: self.overlap_saved_us,
+            spec,
+        }
+    }
+}
+
+impl ReplayObserver for DataflowTimer {
+    fn on_record(&mut self, ev: &ReplayEvent<'_>) {
+        // Warm-up requests have state effects only: no time is charged
+        // (mirrors the analytic simulator's untimed warm-up).
+        if (ev.seq as usize) < self.warmup_len {
+            return;
+        }
+        debug_assert_eq!(
+            ev.seq as usize - self.warmup_len,
+            self.idx,
+            "replay events must arrive in trace order, exactly once each"
+        );
+        self.step(ev.record.op, ev.outcome);
+    }
+}
+
+/// The latency model handed to the functional replay engines for their
+/// (discarded) [`icgmm_cache::SimReport`] accounting — the dataflow model
+/// computes its own timing through [`DataflowTimer`].
+fn accounting_latency() -> LatencyModel {
+    LatencyModel::paper_tlc()
+}
+
 /// Runs the dataflow system over a trace.
 ///
 /// `score` follows the same contract as the analytic simulator: observed on
-/// every request, queried only on misses.
+/// every request, queried only on misses. Sources whose
+/// [`ScoreSource::prefers_batching`] returns `true` ride the speculative
+/// miss-window batcher for host replay (at [`SpecParams::default`]); all
+/// others take the streaming loop. The report — stats and every timing
+/// field — is bit-identical either way.
 ///
 /// # Errors
 ///
@@ -117,7 +299,9 @@ pub fn run_dataflow(
 /// [`run_dataflow`] preceded by an untimed warm-up phase: the cache, the
 /// policies and the score source see `warmup` (state effects only); timing
 /// and statistics cover `measured` (mirrors the analytic simulator's
-/// `simulate_with_warmup`).
+/// `simulate_with_warmup`). Routes between the streaming and batched
+/// replay engines by [`ScoreSource::prefers_batching`], like
+/// [`run_dataflow`].
 ///
 /// # Errors
 ///
@@ -125,128 +309,115 @@ pub fn run_dataflow(
 #[allow(clippy::too_many_arguments)]
 pub fn run_dataflow_with_warmup(
     warmup: &[TraceRecord],
-    records: &[TraceRecord],
+    measured: &[TraceRecord],
     cache_cfg: CacheConfig,
     admission: &mut dyn AdmissionPolicy,
     eviction: &mut dyn EvictionPolicy,
-    mut score: Option<&mut dyn ScoreSource>,
+    score: Option<&mut dyn ScoreSource>,
+    config: &DataflowConfig,
+) -> Result<DataflowReport, CacheConfigError> {
+    if score.as_ref().is_some_and(|s| s.prefers_batching()) {
+        run_dataflow_batched_with_warmup(
+            warmup,
+            measured,
+            cache_cfg,
+            admission,
+            eviction,
+            score,
+            config,
+            SpecParams::default(),
+        )
+    } else {
+        run_dataflow_streaming_with_warmup(
+            warmup, measured, cache_cfg, admission, eviction, score, config,
+        )
+    }
+}
+
+/// The reference dataflow replay: the streaming functional loop (one
+/// synchronous score per miss) driving the per-miss timing model.
+///
+/// Kept public as the ground truth the batched dataflow replay is
+/// property-tested against, and for measuring its host-side speedup (the
+/// `dataflow` criterion group).
+///
+/// # Errors
+///
+/// Returns [`CacheConfigError`] for invalid cache geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn run_dataflow_streaming_with_warmup(
+    warmup: &[TraceRecord],
+    measured: &[TraceRecord],
+    cache_cfg: CacheConfig,
+    admission: &mut dyn AdmissionPolicy,
+    eviction: &mut dyn EvictionPolicy,
+    score: Option<&mut dyn ScoreSource>,
     config: &DataflowConfig,
 ) -> Result<DataflowReport, CacheConfigError> {
     let mut cache = SetAssocCache::new(cache_cfg)?;
-    let mut ssd = SsdEmulator::new(config.ssd.clone());
-    let mut stats = CacheStats::default();
+    let mut timer = DataflowTimer::new(config, warmup.len());
+    let sim = simulate_streaming_observed_with_warmup(
+        warmup,
+        measured,
+        &mut cache,
+        admission,
+        eviction,
+        score,
+        &accounting_latency(),
+        None,
+        &mut timer,
+    );
+    Ok(timer.into_report(sim.stats, measured.len(), None))
+}
 
-    for (i, r) in warmup.iter().enumerate() {
-        if let Some(s) = score.as_deref_mut() {
-            s.observe(r);
-        }
-        let score_val = if cache.lookup(r.page()).is_none() {
-            score.as_deref_mut().map(|s| s.score_current())
-        } else {
-            None
-        };
-        let _ = cache.access(r, i as u64, score_val, admission, eviction);
-    }
-    let seq0 = warmup.len() as u64;
-
-    let cycle_us = 1.0 / config.clock.mhz;
-    let hit_us = config.cache_engine.hit_us();
-    let miss_overhead_us = config.cache_engine.miss_overhead_us();
-    let gmm_us = config.gmm_engine.latency_us();
-    let depth = config.trace_fifo_depth.max(1);
-
-    // Ring buffer of the last `depth` finish times (bounded-buffer rule:
-    // record i cannot enter the FIFO before record i-depth has left it).
-    let mut finish_ring: Vec<f64> = vec![0.0; depth];
-    let mut prev_arrival = 0.0f64;
-    let mut prev_finish = 0.0f64;
-    let mut latency_sum = 0.0f64;
-    let mut queue_sum = 0.0f64;
-    let mut gmm_busy_us = 0.0f64;
-    let mut overlap_saved_us = 0.0f64;
-    let mut loader_stalls = 0u64;
-
-    for (i, r) in records.iter().enumerate() {
-        if let Some(s) = score.as_deref_mut() {
-            s.observe(r);
-        }
-        // Loader: one record per cycle, gated by FIFO space.
-        let fifo_free_at = finish_ring[i % depth];
-        let mut arrival = prev_arrival + cycle_us;
-        if fifo_free_at > arrival {
-            arrival = fifo_free_at;
-            loader_stalls += 1;
-        }
-        prev_arrival = arrival;
-
-        // Engine: in-order service.
-        let start = arrival.max(prev_finish);
-
-        let is_hit = cache.lookup(r.page()).is_some();
-        let score_val = if is_hit {
-            None
-        } else {
-            score.as_deref_mut().map(|s| s.score_current())
-        };
-        let outcome = cache.access(r, seq0 + i as u64, score_val, admission, eviction);
-        stats.record(r.op, &outcome);
-
-        let finish = match &outcome {
-            AccessOutcome::Hit { .. } => start + hit_us,
-            AccessOutcome::MissInserted { evicted, .. } => {
-                let t0 = start + miss_overhead_us;
-                // Page fetch; dirty victims are written back behind it.
-                let mut ssd_done = ssd.access(t0, Op::Read);
-                if let Some(e) = evicted {
-                    if e.dirty {
-                        ssd_done = ssd.access(ssd_done, Op::Write);
-                    }
-                }
-                gmm_busy_us += gmm_us;
-                let ssd_time = ssd_done - t0;
-                if config.overlap_policy_with_ssd {
-                    overlap_saved_us += gmm_us.min(ssd_time);
-                    t0 + ssd_time.max(gmm_us)
-                } else {
-                    t0 + gmm_us + ssd_time
-                }
-            }
-            AccessOutcome::MissBypassed => {
-                let t0 = start + miss_overhead_us;
-                let ssd_done = ssd.access(t0, r.op);
-                gmm_busy_us += gmm_us;
-                let ssd_time = ssd_done - t0;
-                if config.overlap_policy_with_ssd {
-                    overlap_saved_us += gmm_us.min(ssd_time);
-                    t0 + ssd_time.max(gmm_us)
-                } else {
-                    t0 + gmm_us + ssd_time
-                }
-            }
-        };
-        latency_sum += finish - start;
-        queue_sum += start - arrival;
-        prev_finish = finish;
-        finish_ring[i % depth] = finish;
-    }
-
-    let n = records.len();
-    Ok(DataflowReport {
-        stats,
-        makespan_us: prev_finish,
-        avg_request_us: if n == 0 { 0.0 } else { latency_sum / n as f64 },
-        avg_queue_us: if n == 0 { 0.0 } else { queue_sum / n as f64 },
-        gmm_busy_us,
-        ssd: ssd.stats(),
-        loader_stalls,
-        overlap_saved_us,
-    })
+/// Dataflow replay over the speculative miss-window batcher: host-side
+/// scoring rides the batched [`ScoreSource::score_window`] kernel
+/// (`params` are the batcher's tuning knobs) while the modeled timeline
+/// stays per-miss — bit-identical stats and timing to
+/// [`run_dataflow_streaming_with_warmup`], with
+/// [`DataflowReport::spec`] carrying the speculation telemetry.
+///
+/// Without a score source there is nothing to batch: the batcher
+/// delegates to the streaming loop internally and the report's `spec`
+/// stays `None` (the run never speculated).
+///
+/// # Errors
+///
+/// Returns [`CacheConfigError`] for invalid cache geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn run_dataflow_batched_with_warmup(
+    warmup: &[TraceRecord],
+    measured: &[TraceRecord],
+    cache_cfg: CacheConfig,
+    admission: &mut dyn AdmissionPolicy,
+    eviction: &mut dyn EvictionPolicy,
+    score: Option<&mut dyn ScoreSource>,
+    config: &DataflowConfig,
+    params: SpecParams,
+) -> Result<DataflowReport, CacheConfigError> {
+    let mut cache = SetAssocCache::new(cache_cfg)?;
+    let mut timer = DataflowTimer::new(config, warmup.len());
+    let mut wsim = WindowedSimulator::with_params(params);
+    let scored = score.is_some();
+    let sim = wsim.run_observed(
+        warmup,
+        measured,
+        &mut cache,
+        admission,
+        eviction,
+        score,
+        &accounting_latency(),
+        None,
+        &mut timer,
+    );
+    let spec = scored.then(|| *wsim.spec_stats());
+    Ok(timer.into_report(sim.stats, measured.len(), spec))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use icgmm_cache::{AlwaysAdmit, LatencyModel, LruPolicy, SetAssocCache};
+    use icgmm_cache::{AlwaysAdmit, FnScore, LatencyModel, LruPolicy, SetAssocCache};
 
     fn small_cfg() -> CacheConfig {
         CacheConfig {
@@ -267,6 +438,33 @@ mod tests {
                 }
             })
             .collect()
+    }
+
+    /// A deterministic score source that opts into the batched replay
+    /// engine (the built-in `FnScore` keeps the streaming default).
+    struct BatchyScore(FnScore<fn(u64, u64) -> f64>);
+
+    impl BatchyScore {
+        fn new() -> Self {
+            BatchyScore(FnScore::new(
+                (|page, seq| ((page * 37 + seq) % 100) as f64 / 100.0) as fn(u64, u64) -> f64,
+            ))
+        }
+    }
+
+    impl ScoreSource for BatchyScore {
+        fn observe(&mut self, record: &TraceRecord) {
+            self.0.observe(record);
+        }
+        fn score_current(&mut self) -> f64 {
+            self.0.score_current()
+        }
+        fn score_window(&mut self, records: &[TraceRecord], out: &mut [f64]) {
+            self.0.score_window(records, out);
+        }
+        fn prefers_batching(&self) -> bool {
+            true
+        }
     }
 
     #[test]
@@ -400,5 +598,66 @@ mod tests {
             &DataflowConfig::default()
         )
         .is_err());
+    }
+
+    #[test]
+    fn batching_sources_route_to_the_batched_engine_bit_identically() {
+        // The default entry point must pick the batched replay for a
+        // `prefers_batching` source and still produce the streaming
+        // engine's exact report — timing fields included.
+        let trace = mixed_trace(3_000);
+        let cfg = small_cfg();
+        let config = DataflowConfig::default();
+
+        let mut lru1 = LruPolicy::new(cfg.num_sets(), cfg.ways);
+        let mut s1 = BatchyScore::new();
+        let streaming = run_dataflow_streaming_with_warmup(
+            &trace[..500],
+            &trace[500..],
+            cfg,
+            &mut AlwaysAdmit,
+            &mut lru1,
+            Some(&mut s1),
+            &config,
+        )
+        .unwrap();
+        assert!(streaming.spec.is_none());
+
+        let mut lru2 = LruPolicy::new(cfg.num_sets(), cfg.ways);
+        let mut s2 = BatchyScore::new();
+        let routed = run_dataflow_with_warmup(
+            &trace[..500],
+            &trace[500..],
+            cfg,
+            &mut AlwaysAdmit,
+            &mut lru2,
+            Some(&mut s2),
+            &config,
+        )
+        .unwrap();
+        let spec = routed.spec.expect("prefers_batching must route batched");
+        assert!(spec.windows > 0, "{spec:?}");
+
+        let mut stripped = routed.clone();
+        stripped.spec = None;
+        assert_eq!(streaming, stripped);
+    }
+
+    #[test]
+    fn streaming_sources_keep_the_streaming_engine() {
+        let trace = mixed_trace(1_000);
+        let cfg = small_cfg();
+        let mut lru = LruPolicy::new(cfg.num_sets(), cfg.ways);
+        let mut s = FnScore::new(|page, _| (page % 7) as f64);
+        let df = run_dataflow(
+            &trace,
+            cfg,
+            &mut AlwaysAdmit,
+            &mut lru,
+            Some(&mut s),
+            &DataflowConfig::default(),
+        )
+        .unwrap();
+        assert!(df.spec.is_none(), "FnScore must not route batched");
     }
 }
