@@ -318,6 +318,34 @@ impl SpecStats {
         self.pred_hit_missed + self.pred_miss_hit
     }
 
+    /// Total scores this run computed through any path — batched
+    /// prefetches (speculated extras included), synchronous fallbacks and
+    /// streaming-span scores. Matches the policy engine's own inference
+    /// counter for batched runs.
+    pub fn scores_computed(&self) -> u64 {
+        self.batched_scores + self.sync_scores + self.streamed_scores
+    }
+
+    /// Field-wise accumulation of another run's telemetry — the
+    /// deterministic merge used by [`crate::ShardedSimulator`] (shards are
+    /// summed in shard-index order; all counters are integers, so the
+    /// merged value is independent of thread scheduling).
+    pub fn merge(&mut self, other: &SpecStats) {
+        self.windows += other.windows;
+        self.batch_calls += other.batch_calls;
+        self.batched_scores += other.batched_scores;
+        self.sync_scores += other.sync_scores;
+        self.pred_hit_missed += other.pred_hit_missed;
+        self.pred_miss_hit += other.pred_miss_hit;
+        self.admission_divergences += other.admission_divergences;
+        self.victim_divergences += other.victim_divergences;
+        self.run_splits += other.run_splits;
+        self.dense_windows += other.dense_windows;
+        self.window_shrinks += other.window_shrinks;
+        self.streamed_records += other.streamed_records;
+        self.streamed_scores += other.streamed_scores;
+    }
+
     /// Fraction of scores that were produced by batched calls.
     pub fn batched_fraction(&self) -> f64 {
         let total = self.batched_scores + self.sync_scores + self.streamed_scores;

@@ -45,6 +45,7 @@ mod cache;
 mod config;
 mod latency;
 mod score;
+mod shard;
 mod sim;
 mod stats;
 
@@ -63,6 +64,7 @@ pub use policy::{
     GmmScorePolicy, LfuPolicy, LruPolicy, RandomPolicy, ShadowVictimModel, ThresholdAdmit,
 };
 pub use score::{ConstantScore, FnScore, ScoreSource};
+pub use shard::{ShardCtx, ShardPolicies, ShardRouting, ShardedReport, ShardedSimulator};
 pub use sim::{
     simulate, simulate_streaming, simulate_streaming_observed_with_warmup,
     simulate_streaming_with_warmup, simulate_with_warmup, ReplayEvent, ReplayObserver, ScoreOrigin,

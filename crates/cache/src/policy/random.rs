@@ -31,6 +31,13 @@ impl EvictionPolicy for RandomPolicy {
     fn choose_victim(&mut self, _set: usize, ways: usize, _ctx: &AccessCtx) -> usize {
         self.rng.gen_range(0..ways)
     }
+
+    /// The RNG stream advances once per victim anywhere in the cache, so
+    /// a shard replaying only its own sets draws different victims than
+    /// the single-threaded interleaving — not shardable.
+    fn shard_deterministic(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

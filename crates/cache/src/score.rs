@@ -53,6 +53,62 @@ pub trait ScoreSource {
     fn prefers_batching(&self) -> bool {
         false
     }
+
+    /// Whether this source's observation state depends only on the *count*
+    /// of requests observed so far plus the most recent record — never on
+    /// the content of earlier records.
+    ///
+    /// Such sources can be replayed shard-by-shard with their clock kept in
+    /// global trace order: requests belonging to other shards are skipped
+    /// through [`ScoreSource::observe_gap`] instead of observed, and every
+    /// score stays bit-identical to the single-threaded replay. The GMM
+    /// policy engine qualifies (Algorithm 1 timestamps count requests;
+    /// the scored features are the observed record's own page and that
+    /// count-derived timestamp); a history-based source (e.g. an LSTM over
+    /// a window of recent records) does not, and must keep the default
+    /// `false` — [`crate::ShardedSimulator`] refuses to shard it.
+    fn shardable(&self) -> bool {
+        false
+    }
+
+    /// Advances the observation clock over `n` requests this source will
+    /// never see (they belong to other shards), as if `observe` had been
+    /// called `n` times with records whose content is irrelevant.
+    ///
+    /// Called only between per-record observations of a sharded replay and
+    /// only on sources reporting [`ScoreSource::shardable`]; the default
+    /// implementation panics to keep the contract honest.
+    fn observe_gap(&mut self, n: u64) {
+        let _ = n;
+        unimplemented!("observe_gap on a source that is not shardable");
+    }
+
+    /// [`ScoreSource::score_window`] for a sharded replay: `gaps[i]`
+    /// foreign-shard requests precede `records[i]` and must advance the
+    /// clock (via [`ScoreSource::observe_gap`]) before that record is
+    /// observed. `out[i]` must equal what the single-threaded
+    /// `observe`/`score_current` sequence would have produced at the same
+    /// global position.
+    ///
+    /// The default implementation is the per-record loop; batch-capable
+    /// sources override it to keep one batched kernel call per window
+    /// (the GMM policy engine folds the gaps into its timestamp stream
+    /// while collecting features).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `records`, `gaps` and `out` disagree in length.
+    fn score_window_gapped(&mut self, records: &[TraceRecord], gaps: &[u64], out: &mut [f64]) {
+        assert_eq!(records.len(), out.len(), "one score slot per record");
+        assert_eq!(records.len(), gaps.len(), "one gap per record");
+        for ((r, &g), o) in records.iter().zip(gaps).zip(out.iter_mut()) {
+            if g > 0 {
+                self.observe_gap(g);
+            }
+            self.observe(r);
+            *o = self.score_current();
+        }
+    }
 }
 
 /// A constant score for every page (testing, and the degenerate baseline).
@@ -65,6 +121,12 @@ impl ScoreSource for ConstantScore {
     fn score_current(&mut self) -> f64 {
         self.0
     }
+
+    fn shardable(&self) -> bool {
+        true
+    }
+
+    fn observe_gap(&mut self, _n: u64) {}
 }
 
 /// A score source backed by a closure over `(page, seq)` — handy in tests
@@ -91,6 +153,16 @@ impl<F: FnMut(u64, u64) -> f64> ScoreSource for FnScore<F> {
 
     fn score_current(&mut self) -> f64 {
         (self.f)(self.page, self.seq.saturating_sub(1))
+    }
+
+    /// The closure sees the *global* observation count, so skipped
+    /// foreign-shard requests only need to bump the counter.
+    fn shardable(&self) -> bool {
+        true
+    }
+
+    fn observe_gap(&mut self, n: u64) {
+        self.seq += n;
     }
 }
 
@@ -162,6 +234,64 @@ mod tests {
         let mut out = vec![-1.0; records.len()];
         s.score_window(&records, &mut out);
         assert!(out.iter().all(|&v| v == 0.42));
+    }
+
+    #[test]
+    fn observe_gap_matches_observing_foreign_records() {
+        // A sharded FnScore that skips 3 foreign records then observes its
+        // own must score exactly like the single-threaded source that
+        // observed all 4.
+        let mut global = FnScore::new(|page, seq| page as f64 * 1000.0 + seq as f64);
+        for p in 0..3u64 {
+            global.observe(&TraceRecord::read(p << 12));
+        }
+        global.observe(&TraceRecord::read(9 << 12));
+        let mut sharded = FnScore::new(|page, seq| page as f64 * 1000.0 + seq as f64);
+        sharded.observe_gap(3);
+        sharded.observe(&TraceRecord::read(9 << 12));
+        assert_eq!(global.score_current(), sharded.score_current());
+        assert!(sharded.shardable());
+    }
+
+    #[test]
+    fn default_score_window_gapped_matches_streaming_positions() {
+        // Shard records at global positions 1, 4, 5 (gaps 1, 2, 0).
+        let all: Vec<TraceRecord> = (0..6u64).map(|p| TraceRecord::read(p << 12)).collect();
+        let shard = [all[1], all[4], all[5]];
+        let gaps = [1u64, 2, 0];
+        let mut reference = FnScore::new(|page, seq| page as f64 + seq as f64 * 100.0);
+        let mut expected = Vec::new();
+        for (i, r) in all.iter().enumerate() {
+            reference.observe(r);
+            if [1, 4, 5].contains(&i) {
+                expected.push(reference.score_current());
+            }
+        }
+        let mut sharded = FnScore::new(|page, seq| page as f64 + seq as f64 * 100.0);
+        let mut out = vec![0.0; 3];
+        sharded.score_window_gapped(&shard, &gaps, &mut out);
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "one gap per record")]
+    fn score_window_gapped_rejects_gap_length_mismatch() {
+        let mut s = ConstantScore(0.0);
+        let mut out = vec![0.0; 1];
+        s.score_window_gapped(&[TraceRecord::read(0)], &[0, 0], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "not shardable")]
+    fn default_observe_gap_panics() {
+        struct Opaque;
+        impl ScoreSource for Opaque {
+            fn observe(&mut self, _r: &TraceRecord) {}
+            fn score_current(&mut self) -> f64 {
+                0.0
+            }
+        }
+        Opaque.observe_gap(1);
     }
 
     #[test]

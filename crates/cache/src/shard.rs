@@ -1,0 +1,517 @@
+//! Sharded multi-tenant replay: the set-associative cache partitioned by
+//! set index across scoped threads, bit-identical to the single-threaded
+//! simulator by construction.
+//!
+//! # Why set partitioning is exact
+//!
+//! Every decision the simulator makes about a request is local to the
+//! request's *set*: tag lookup, victim choice and per-block policy
+//! metadata never cross a set boundary. Partitioning the sets into `S`
+//! disjoint groups (`set mod S`) therefore partitions the trace into `S`
+//! subsequences whose replays cannot interact — each shard replays its
+//! subsequence against its own tag store and its own policy state and
+//! produces, per record, exactly the outcome the single-threaded replay
+//! produces at the same global position. Three contracts make the "cannot
+//! interact" claim airtight:
+//!
+//! * **Policies** must rank by the relative order of the events they see
+//!   within each set ([`EvictionPolicy::shard_deterministic`]): shard-local
+//!   sequence numbers are order-isomorphic to the global ones, so stamps,
+//!   counts, stored scores and Belady positions (built from the same shard
+//!   subsequence) all rank identically. [`crate::RandomPolicy`] — whose
+//!   RNG stream is a global interleaving artifact — reports `false` and is
+//!   refused above one shard.
+//! * **Scores** are functions of the observed record and the global
+//!   Algorithm 1 clock, which counts *every* request. A shard's scorer
+//!   clone keeps that clock in global trace order without seeing foreign
+//!   records: the gaps between its records are fast-forwarded through
+//!   [`ScoreSource::observe_gap`] / [`ScoreSource::score_window_gapped`]
+//!   (sources opt in via [`ScoreSource::shardable`]), so every score is
+//!   bit-identical to the single-threaded stream — and each shard still
+//!   rides its own [`WindowedSimulator`] miss-window speculation with one
+//!   batched kernel call per window.
+//! * **Accounting** is replayed, not summed: shard workers record their
+//!   per-record [`crate::AccessOutcome`]s through the replay-event stream,
+//!   and the merge walks the original trace in global order, pulling each
+//!   record's outcome from its shard's queue and feeding the same
+//!   [`Accounting`] the single-threaded loop uses. Integer counters,
+//!   the order-sensitive `f64` latency total and the windowed miss series
+//!   all see the identical operation sequence, so the merged
+//!   [`SimReport`] is bit-identical for *every* shard count — the
+//!   property `tests/shard_equivalence.rs` enforces across the policy ×
+//!   admission × score grid.
+//!
+//! Speculation telemetry ([`SpecStats`]) is merged field-wise in
+//! shard-index order — deterministic for a given shard count, and exactly
+//! the single-threaded batcher's telemetry at `S = 1` (the shard then
+//! replays the whole trace through the same code path).
+
+use crate::batch::{SpecParams, SpecStats, WindowedSimulator};
+use crate::cache::{AccessOutcome, SetAssocCache};
+use crate::config::{CacheConfig, CacheConfigError};
+use crate::latency::LatencyModel;
+use crate::policy::{AdmissionPolicy, EvictionPolicy};
+use crate::score::ScoreSource;
+use crate::sim::{
+    simulate_streaming_observed_with_warmup, Accounting, ReplayEvent, ReplayObserver, ScoreOrigin,
+    SimReport,
+};
+use icgmm_trace::TraceRecord;
+
+/// What one shard sees when its policies are built: its index, the shard
+/// count, and the subsequences of the warm-up and measured phases whose
+/// sets it owns (in trace order). Belady-style oracles must be constructed
+/// from exactly these records — their positions are the shard-local
+/// sequence numbers the replay will present.
+#[derive(Debug)]
+pub struct ShardCtx<'a> {
+    /// This shard's index in `0..shards`.
+    pub shard: usize,
+    /// Total shard count.
+    pub shards: usize,
+    /// This shard's slice of the warm-up phase.
+    pub warmup: &'a [TraceRecord],
+    /// This shard's slice of the measured phase.
+    pub measured: &'a [TraceRecord],
+}
+
+/// The per-shard replay state a [`ShardedSimulator`] caller provides:
+/// fresh policy instances and (for scored runs) a scorer clone. Everything
+/// crosses a thread boundary, hence the `Send` bounds.
+///
+/// Admission policies must be stateless or per-set-deterministic in the
+/// same sense as [`EvictionPolicy::shard_deterministic`] (both in-crate
+/// admissions are stateless); eviction policies are checked through that
+/// method. Score sources must report [`ScoreSource::shardable`] when
+/// running above one shard.
+pub struct ShardPolicies {
+    /// Admission policy instance for this shard.
+    pub admission: Box<dyn AdmissionPolicy + Send>,
+    /// Eviction policy instance for this shard.
+    pub eviction: Box<dyn EvictionPolicy + Send>,
+    /// Scorer clone for this shard (`None` for score-free baselines).
+    pub score: Option<Box<dyn ScoreSource + Send>>,
+}
+
+/// Result of one sharded replay.
+#[derive(Clone, Debug)]
+pub struct ShardedReport {
+    /// The merged report — bit-identical to
+    /// [`crate::simulate_with_warmup`] over the same inputs, for every
+    /// shard count.
+    pub sim: SimReport,
+    /// Field-wise sum of per-shard speculation telemetry (zeroed when the
+    /// shards took the streaming path). Equals the single-threaded
+    /// batcher's telemetry at one shard; above that the window boundaries
+    /// are per-shard, so the counters describe the sharded replay itself.
+    pub spec: SpecStats,
+    /// Whether the shards rode the speculative miss-window batcher
+    /// (the score source preferred batching) rather than the streaming
+    /// loop.
+    pub batched: bool,
+    /// Replay events that consumed a score — i.e. scored misses, warm-up
+    /// included. For streaming-routed runs this equals the policy engine's
+    /// inference count; batched runs additionally speculate
+    /// ([`SpecStats::scores_computed`] counts those).
+    pub scores_consumed: u64,
+    /// Per-shard reports (shard-local warm-up split), for load-balance
+    /// diagnostics. Their merged stats equal [`ShardedReport::sim`]'s.
+    pub per_shard: Vec<SimReport>,
+}
+
+/// How scored shards replay.
+///
+/// Routing is a pure host-side economics decision — results are
+/// bit-identical whichever engine runs (the batcher's own property-tested
+/// invariant), so this only chooses where the replay time goes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShardRouting {
+    /// Follow [`ScoreSource::prefers_batching`] — the same routing as
+    /// [`crate::simulate_with_warmup`], so a one-shard run does exactly
+    /// the single-threaded work. The default.
+    #[default]
+    Auto,
+    /// Always ride the speculative miss-window batcher (mirrors calling
+    /// [`WindowedSimulator`] directly; the equivalence suites use this to
+    /// pit speculating shards against the single-threaded batcher).
+    Batched,
+    /// Always take the streaming loop.
+    Streaming,
+}
+
+/// The sharded replay engine. Holds only configuration (shard count,
+/// speculation parameters, routing); per-run state lives on the worker
+/// threads.
+#[derive(Clone, Debug)]
+pub struct ShardedSimulator {
+    shards: usize,
+    params: SpecParams,
+    routing: ShardRouting,
+}
+
+/// Outcome of one shard worker.
+struct ShardOutcome {
+    outcomes: Vec<AccessOutcome>,
+    scored: u64,
+    spec: SpecStats,
+    report: SimReport,
+}
+
+/// Observer that records every replayed outcome (warm-up included) in
+/// shard order, for the global re-accounting merge.
+struct OutcomeRecorder {
+    outcomes: Vec<AccessOutcome>,
+    scored: u64,
+}
+
+impl ReplayObserver for OutcomeRecorder {
+    fn on_record(&mut self, ev: &ReplayEvent<'_>) {
+        self.outcomes.push(*ev.outcome);
+        self.scored += u64::from(ev.score.is_some());
+    }
+}
+
+/// Keeps a shard scorer clone's observation clock in *global* trace
+/// order: before each shard record is observed, the foreign-shard gap
+/// preceding it is fast-forwarded through the inner source's
+/// [`ScoreSource::observe_gap`]. A single linear cursor suffices because
+/// the replay engines observe each record exactly once, in trace order
+/// (the exactness invariant the batcher is property-tested for).
+struct GapScore<'a> {
+    inner: &'a mut dyn ScoreSource,
+    gaps: &'a [u64],
+    cursor: usize,
+}
+
+impl ScoreSource for GapScore<'_> {
+    fn observe(&mut self, record: &TraceRecord) {
+        let gap = self.gaps[self.cursor];
+        if gap > 0 {
+            self.inner.observe_gap(gap);
+        }
+        self.inner.observe(record);
+        self.cursor += 1;
+    }
+
+    fn score_current(&mut self) -> f64 {
+        self.inner.score_current()
+    }
+
+    fn score_window(&mut self, records: &[TraceRecord], out: &mut [f64]) {
+        let gaps = &self.gaps[self.cursor..self.cursor + records.len()];
+        self.inner.score_window_gapped(records, gaps, out);
+        self.cursor += records.len();
+    }
+
+    fn prefers_batching(&self) -> bool {
+        self.inner.prefers_batching()
+    }
+}
+
+impl ShardedSimulator {
+    /// Creates a sharded simulator with the default speculation
+    /// parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        ShardedSimulator::with_params(shards, SpecParams::default())
+    }
+
+    /// Creates a sharded simulator with explicit [`SpecParams`] for each
+    /// shard's [`WindowedSimulator`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards == 0` or any parameter is invalid.
+    pub fn with_params(shards: usize, params: SpecParams) -> Self {
+        assert!(shards > 0, "shard count must be >= 1");
+        // Reuse the batcher's own validation by constructing one.
+        let _ = WindowedSimulator::with_params(params);
+        ShardedSimulator {
+            shards,
+            params,
+            routing: ShardRouting::default(),
+        }
+    }
+
+    /// Overrides how scored shards replay (see [`ShardRouting`]).
+    pub fn with_routing(mut self, routing: ShardRouting) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// The shard count `S`.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The per-shard speculation parameters.
+    pub fn params(&self) -> &SpecParams {
+        &self.params
+    }
+
+    /// Which shard owns `record` under `cache_cfg`'s set mapping.
+    pub fn shard_of(&self, cache_cfg: &CacheConfig, record: &TraceRecord) -> usize {
+        cache_cfg.set_of(record.page()) % self.shards
+    }
+
+    /// Replays `warmup` + `measured` sharded by set index and returns the
+    /// deterministically merged report (see the module docs for the
+    /// bit-identity argument).
+    ///
+    /// `make_shard` is called once per shard, in shard order, on the
+    /// calling thread; the policies and scorer clone it returns are moved
+    /// into that shard's worker. Scored shards whose source
+    /// [`ScoreSource::prefers_batching`] ride the speculative miss-window
+    /// batcher (with this simulator's [`SpecParams`]); other shards take
+    /// the streaming loop — the same routing as
+    /// [`crate::simulate_with_warmup`], so a one-shard run does exactly
+    /// the single-threaded work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheConfigError`] for invalid cache geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when running more than one shard with an eviction policy
+    /// that is not [`EvictionPolicy::shard_deterministic`] or a score
+    /// source that is not [`ScoreSource::shardable`], and when a shard
+    /// worker panics.
+    pub fn run(
+        &self,
+        warmup: &[TraceRecord],
+        measured: &[TraceRecord],
+        cache_cfg: CacheConfig,
+        make_shard: &mut dyn FnMut(&ShardCtx<'_>) -> ShardPolicies,
+        latency: &LatencyModel,
+        series_window: Option<u64>,
+    ) -> Result<ShardedReport, CacheConfigError> {
+        cache_cfg.validate()?;
+        let s = self.shards;
+
+        // Fan the trace out by owning shard. Gaps count the foreign
+        // records between consecutive shard records (phase-agnostic: the
+        // clock runs continuously across the warm-up boundary).
+        let mut shard_warm: Vec<Vec<TraceRecord>> = vec![Vec::new(); s];
+        let mut shard_meas: Vec<Vec<TraceRecord>> = vec![Vec::new(); s];
+        let mut gaps: Vec<Vec<u64>> = vec![Vec::new(); s];
+        let mut last_seen: Vec<u64> = vec![0; s];
+        for (i, r) in warmup.iter().chain(measured).enumerate() {
+            let shard = self.shard_of(&cache_cfg, r);
+            if i < warmup.len() {
+                shard_warm[shard].push(*r);
+            } else {
+                shard_meas[shard].push(*r);
+            }
+            gaps[shard].push(i as u64 - last_seen[shard]);
+            last_seen[shard] = i as u64 + 1;
+        }
+
+        // Build per-shard policies serially on this thread.
+        let mut policies: Vec<ShardPolicies> = Vec::with_capacity(s);
+        for shard in 0..s {
+            let ctx = ShardCtx {
+                shard,
+                shards: s,
+                warmup: &shard_warm[shard],
+                measured: &shard_meas[shard],
+            };
+            let p = make_shard(&ctx);
+            if s > 1 {
+                assert!(
+                    p.eviction.shard_deterministic(),
+                    "eviction policy {:?} is not shard-deterministic: its decisions depend on \
+                     cross-set interleaving, so set-partitioned replay cannot reproduce the \
+                     single-threaded run above one shard",
+                    p.eviction.name()
+                );
+                if let Some(score) = &p.score {
+                    assert!(
+                        score.shardable(),
+                        "score source cannot keep its clock exact across foreign-shard records \
+                         (ScoreSource::shardable is false); sharded replay would change scores"
+                    );
+                }
+            }
+            policies.push(p);
+        }
+        // Routing is uniform across shards (every shard holds a clone of
+        // the same source).
+        let batched = match self.routing {
+            ShardRouting::Auto => policies
+                .iter()
+                .any(|p| p.score.as_ref().is_some_and(|s| s.prefers_batching())),
+            ShardRouting::Batched => policies.iter().any(|p| p.score.is_some()),
+            ShardRouting::Streaming => false,
+        };
+
+        // Replay shards on scoped threads. Workers are fully independent
+        // (own cache, own policies, own scorer clone), so join order —
+        // shard-index order — is the only ordering that matters.
+        let params = self.params;
+        let lat = *latency;
+        let outcomes: Vec<ShardOutcome> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = policies
+                .into_iter()
+                .enumerate()
+                .map(|(shard, pol)| {
+                    let warm = &shard_warm[shard];
+                    let meas = &shard_meas[shard];
+                    let gap = &gaps[shard];
+                    scope.spawn(move |_| {
+                        run_shard(warm, meas, gap, cache_cfg, params, batched, &lat, pol)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
+        .expect("shard scope panicked");
+
+        // Merge by re-accounting in global trace order: identical
+        // operation sequence to the single-threaded loop, hence identical
+        // stats, f64 latency totals and miss series.
+        let mut acct = Accounting::new(warmup.len(), &lat, series_window, None);
+        let mut cursors = vec![0usize; s];
+        for (i, r) in warmup.iter().chain(measured).enumerate() {
+            let shard = self.shard_of(&cache_cfg, r);
+            let outcome = outcomes[shard].outcomes[cursors[shard]];
+            cursors[shard] += 1;
+            acct.record(i as u64, r, &outcome, None, ScoreOrigin::None);
+        }
+        debug_assert!(cursors
+            .iter()
+            .zip(&outcomes)
+            .all(|(&c, o)| c == o.outcomes.len()));
+        let sim = acct.into_report_named(
+            measured.len(),
+            &outcomes[0].report.eviction,
+            &outcomes[0].report.admission,
+        );
+
+        let mut spec = SpecStats::default();
+        let mut scores_consumed = 0;
+        for o in &outcomes {
+            spec.merge(&o.spec);
+            scores_consumed += o.scored;
+        }
+        if cfg!(debug_assertions) {
+            let mut merged = crate::stats::CacheStats::default();
+            for o in &outcomes {
+                merged.merge(&o.report.stats);
+            }
+            debug_assert_eq!(merged, sim.stats, "per-shard stats disagree with the merge");
+        }
+        Ok(ShardedReport {
+            sim,
+            spec,
+            batched,
+            scores_consumed,
+            per_shard: outcomes.into_iter().map(|o| o.report).collect(),
+        })
+    }
+}
+
+/// One shard's replay — batcher or streaming per the resolved routing —
+/// with an [`OutcomeRecorder`] on the replay-event stream.
+#[allow(clippy::too_many_arguments)]
+fn run_shard(
+    warm: &[TraceRecord],
+    meas: &[TraceRecord],
+    gaps: &[u64],
+    cache_cfg: CacheConfig,
+    params: SpecParams,
+    batched: bool,
+    latency: &LatencyModel,
+    mut pol: ShardPolicies,
+) -> ShardOutcome {
+    let mut cache = SetAssocCache::new(cache_cfg).expect("geometry validated by run()");
+    let mut recorder = OutcomeRecorder {
+        outcomes: Vec::with_capacity(warm.len() + meas.len()),
+        scored: 0,
+    };
+    let mut spec = SpecStats::default();
+    let report = match pol.score.as_mut() {
+        Some(score) => {
+            let mut gap_score = GapScore {
+                inner: score.as_mut(),
+                gaps,
+                cursor: 0,
+            };
+            if batched {
+                let mut wsim = WindowedSimulator::with_params(params);
+                let report = wsim.run_observed(
+                    warm,
+                    meas,
+                    &mut cache,
+                    pol.admission.as_mut(),
+                    pol.eviction.as_mut(),
+                    Some(&mut gap_score),
+                    latency,
+                    None,
+                    &mut recorder,
+                );
+                spec = *wsim.spec_stats();
+                report
+            } else {
+                simulate_streaming_observed_with_warmup(
+                    warm,
+                    meas,
+                    &mut cache,
+                    pol.admission.as_mut(),
+                    pol.eviction.as_mut(),
+                    Some(&mut gap_score),
+                    latency,
+                    None,
+                    &mut recorder,
+                )
+            }
+        }
+        None => simulate_streaming_observed_with_warmup(
+            warm,
+            meas,
+            &mut cache,
+            pol.admission.as_mut(),
+            pol.eviction.as_mut(),
+            None,
+            latency,
+            None,
+            &mut recorder,
+        ),
+    };
+    ShardOutcome {
+        outcomes: recorder.outcomes,
+        scored: recorder.scored,
+        spec,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The behavioral tests for this engine live in the integration suite
+    // `tests/shard_equivalence.rs`, where the shared `icgmm-testutil`
+    // fixtures are usable (a dev-dependency cycle links testutil against
+    // the *library* build, whose types do not unify with this unit-test
+    // build's). Only fixture-free construction checks belong here.
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "shard count")]
+    fn zero_shards_panics() {
+        let _ = ShardedSimulator::new(0);
+    }
+
+    #[test]
+    fn routing_and_params_are_plumbed() {
+        let sim = ShardedSimulator::with_params(3, SpecParams::with_window(128))
+            .with_routing(ShardRouting::Streaming);
+        assert_eq!(sim.shards(), 3);
+        assert_eq!(sim.params().window, 128);
+    }
+}

@@ -451,6 +451,18 @@ impl<'a, 'o> Accounting<'a, 'o> {
         eviction: &dyn EvictionPolicy,
         admission: &dyn AdmissionPolicy,
     ) -> SimReport {
+        self.into_report_named(measured_len, eviction.name(), admission.name())
+    }
+
+    /// [`Accounting::into_report`] with the policy names passed directly —
+    /// for the sharded merge, where the policies themselves were moved
+    /// into the shard workers and only their names travel back.
+    pub(crate) fn into_report_named(
+        self,
+        measured_len: usize,
+        eviction: &str,
+        admission: &str,
+    ) -> SimReport {
         let avg_us = if measured_len == 0 {
             0.0
         } else {
@@ -461,8 +473,8 @@ impl<'a, 'o> Accounting<'a, 'o> {
             total_us: self.total_us,
             avg_us,
             miss_series: self.series,
-            eviction: eviction.name().to_string(),
-            admission: admission.name().to_string(),
+            eviction: eviction.to_string(),
+            admission: admission.to_string(),
         }
     }
 }

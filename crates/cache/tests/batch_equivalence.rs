@@ -5,81 +5,16 @@
 //! rollback.
 
 use icgmm_cache::{
-    simulate_streaming_with_warmup, AdmissionPolicy, AlwaysAdmit, BeladyPolicy, CacheConfig,
-    ConstantScore, EvictionPolicy, FifoPolicy, FnScore, GmmScorePolicy, LatencyModel, LfuPolicy,
-    LruPolicy, RandomPolicy, ScoreSource, SetAssocCache, ThresholdAdmit, WindowedSimulator,
+    simulate_streaming_with_warmup, FnScore, LatencyModel, LruPolicy, ScoreSource, SetAssocCache,
+    ThresholdAdmit, WindowedSimulator,
 };
-use icgmm_trace::{TraceRecord, Zipf};
+use icgmm_testutil::{
+    admission_for, eviction_for, score_for, small_cfg, zipf_trace, ADMISSIONS, EVICTIONS, SCORES,
+};
+use icgmm_trace::TraceRecord;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-
-const EVICTIONS: [&str; 6] = ["lru", "fifo", "lfu", "belady", "gmm-score", "random"];
-const ADMISSIONS: [&str; 2] = ["always", "threshold"];
-const SCORES: [&str; 3] = ["none", "constant", "fn"];
-
-fn small_cfg() -> CacheConfig {
-    CacheConfig {
-        capacity_bytes: 32 * 4096,
-        block_bytes: 4096,
-        ways: 4,
-    }
-}
-
-/// A Zipf-skewed read/write trace over a compact page space (small enough
-/// that sets conflict constantly — the regime where speculation is hard).
-fn zipf_trace(seed: u64, n: usize, pages: u64, skew: f64, write_pct: u8) -> Vec<TraceRecord> {
-    let zipf = Zipf::new(pages, skew).expect("valid zipf");
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| {
-            let page = zipf.sample(&mut rng) - 1;
-            if rng.gen_range(0u8..100) < write_pct {
-                TraceRecord::write(page << 12)
-            } else {
-                TraceRecord::read(page << 12)
-            }
-        })
-        .collect()
-}
-
-fn eviction_for(name: &str, cfg: CacheConfig, records: &[TraceRecord]) -> Box<dyn EvictionPolicy> {
-    let (sets, ways) = (cfg.num_sets(), cfg.ways);
-    match name {
-        "lru" => Box::new(LruPolicy::new(sets, ways)),
-        "fifo" => Box::new(FifoPolicy::new(sets, ways)),
-        "lfu" => Box::new(LfuPolicy::new(sets, ways)),
-        "belady" => Box::new(BeladyPolicy::from_records(records, sets, ways)),
-        "gmm-score" => Box::new(GmmScorePolicy::new(sets, ways)),
-        "random" => Box::new(RandomPolicy::new(0xDECADE)),
-        other => panic!("unknown eviction {other}"),
-    }
-}
-
-fn admission_for(name: &str) -> Box<dyn AdmissionPolicy> {
-    match name {
-        "always" => Box::new(AlwaysAdmit),
-        "threshold" => Box::new(ThresholdAdmit::new(0.5)),
-        other => panic!("unknown admission {other}"),
-    }
-}
-
-fn score_for(name: &str) -> Option<Box<dyn ScoreSource>> {
-    match name {
-        "none" => None,
-        "constant" => Some(Box::new(ConstantScore(0.75))),
-        // Deterministic per-(page, seq) pseudo-random scores: roughly half
-        // fall under the 0.5 admission threshold, so the threshold policy
-        // bypasses constantly and the speculation must keep recovering.
-        "fn" => Some(Box::new(FnScore::new(|page, seq| {
-            let h = (page ^ 0x9E37_79B9)
-                .wrapping_mul(0x2545_F491_4F6C_DD1D)
-                .wrapping_add(seq);
-            (h >> 32) as f64 / u32::MAX as f64
-        }))),
-        other => panic!("unknown score {other}"),
-    }
-}
 
 #[allow(clippy::too_many_arguments)]
 fn run_pair(

@@ -1,0 +1,379 @@
+//! Differential property suite for the sharded replay engine: the merged
+//! [`ShardedSimulator`] report is **bit-identical** to the single-threaded
+//! simulator for every shard count in {1, 2, 4, 8}, across the eviction ×
+//! admission × score grid (minus `random`, whose global RNG stream is not
+//! shard-reproducible and which the engine refuses above one shard), with
+//! random warm-up splits and random speculation windows. Speculation
+//! telemetry is checked to be deterministic for a given shard count and
+//! exactly the single-threaded batcher's at one shard.
+
+use icgmm_cache::{
+    simulate_streaming_with_warmup, AlwaysAdmit, CacheConfig, FnScore, LatencyModel, LruPolicy,
+    RandomPolicy, ScoreSource, SetAssocCache, ShardPolicies, ShardRouting, ShardedSimulator,
+    SimReport, SpecParams, SpecStats, ThresholdAdmit, WindowedSimulator,
+};
+use icgmm_testutil::{
+    admission_for, eviction_for, score_for, small_cfg, zipf_trace, ADMISSIONS, SHARDABLE_EVICTIONS,
+};
+use icgmm_trace::TraceRecord;
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One sharded run over the grid fixtures.
+fn run_sharded(
+    shards: usize,
+    eviction: &str,
+    admission: &str,
+    score: &str,
+    trace: &[TraceRecord],
+    warmup_len: usize,
+    window: usize,
+) -> (SimReport, SpecStats) {
+    let cfg = small_cfg();
+    let lat = LatencyModel::paper_tlc();
+    let (warm, meas) = trace.split_at(warmup_len);
+    // `Batched` mirrors calling `WindowedSimulator` directly: every shard
+    // speculates, so the suite exercises the batcher (shadow, rollback,
+    // run splits) under sharding even for streaming-kernel score sources.
+    let sim = ShardedSimulator::with_params(shards, SpecParams::with_window(window))
+        .with_routing(ShardRouting::Batched);
+    let rep = sim
+        .run(
+            warm,
+            meas,
+            cfg,
+            &mut |ctx| {
+                // Belady's oracle must see this shard's subsequence.
+                let mut recs = Vec::with_capacity(ctx.warmup.len() + ctx.measured.len());
+                recs.extend_from_slice(ctx.warmup);
+                recs.extend_from_slice(ctx.measured);
+                ShardPolicies {
+                    admission: admission_for(admission),
+                    eviction: eviction_for(eviction, cfg, &recs),
+                    score: score_for(score),
+                }
+            },
+            &lat,
+            Some(64),
+        )
+        .expect("valid geometry");
+    (rep.sim, rep.spec)
+}
+
+/// The single-threaded references: the streaming loop (ground truth) and
+/// the speculative batcher (for telemetry parity at one shard).
+fn references(
+    eviction: &str,
+    admission: &str,
+    score: &str,
+    trace: &[TraceRecord],
+    warmup_len: usize,
+    window: usize,
+) -> (SimReport, SpecStats) {
+    let cfg = small_cfg();
+    let lat = LatencyModel::paper_tlc();
+    let (warm, meas) = trace.split_at(warmup_len);
+
+    let mut c = SetAssocCache::new(cfg).unwrap();
+    let mut ev = eviction_for(eviction, cfg, trace);
+    let mut ad = admission_for(admission);
+    let mut sc = score_for(score);
+    let streaming = simulate_streaming_with_warmup(
+        warm,
+        meas,
+        &mut c,
+        ad.as_mut(),
+        ev.as_mut(),
+        sc.as_deref_mut().map(|s| s as &mut dyn ScoreSource),
+        &lat,
+        Some(64),
+    );
+
+    let mut c2 = SetAssocCache::new(cfg).unwrap();
+    let mut ev2 = eviction_for(eviction, cfg, trace);
+    let mut ad2 = admission_for(admission);
+    let mut sc2 = score_for(score);
+    let mut wsim = WindowedSimulator::with_params(SpecParams::with_window(window));
+    let batched = wsim.run(
+        warm,
+        meas,
+        &mut c2,
+        ad2.as_mut(),
+        ev2.as_mut(),
+        sc2.as_deref_mut().map(|s| s as &mut dyn ScoreSource),
+        &lat,
+        Some(64),
+    );
+    assert_eq!(streaming, batched, "batcher reference self-check");
+    (streaming, *wsim.spec_stats())
+}
+
+proptest! {
+    /// Sharded replay == single-threaded replay, bit for bit (stats,
+    /// `total_us`, `avg_us`, miss series), for every shard count ×
+    /// eviction × admission × score combination over random Zipf traces
+    /// with random warm-up splits and speculation windows.
+    #[test]
+    fn sharded_replay_matches_single_threaded(
+        params in (0u64..1_000_000, 300usize..1200, 24u64..160, (60u64..140), 0u8..45, 1usize..1500)
+    ) {
+        let (seed, n, pages, skew_pct, write_pct, window) = params;
+        let skew = skew_pct as f64 / 100.0;
+        let trace = zipf_trace(seed, n, pages, skew, write_pct);
+        let warmup_len = (seed as usize) % (n / 2);
+        for eviction in SHARDABLE_EVICTIONS {
+            for admission in ADMISSIONS {
+                for score in ["none", "constant", "fn"] {
+                    let (reference, ref_spec) =
+                        references(eviction, admission, score, &trace, warmup_len, window);
+                    for shards in SHARD_COUNTS {
+                        let (sim, spec) = run_sharded(
+                            shards, eviction, admission, score, &trace, warmup_len, window,
+                        );
+                        prop_assert_eq!(
+                            &reference,
+                            &sim,
+                            "{}/{}/{} diverged at {} shards (seed {}, n {}, window {})",
+                            eviction, admission, score, shards, seed, n, window
+                        );
+                        if shards == 1 {
+                            // One shard replays the whole trace through the
+                            // same batcher: telemetry is exact, not merely
+                            // deterministic.
+                            prop_assert_eq!(
+                                &ref_spec, &spec,
+                                "{}/{}/{} telemetry diverged at 1 shard",
+                                eviction, admission, score
+                            );
+                        }
+                        // The per-shard exactness invariant survives the
+                        // merge: stale predicted hits are the only source
+                        // of synchronous fallbacks.
+                        prop_assert!(spec.sync_scores <= spec.pred_hit_missed);
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Sharded replay is deterministic: the same inputs and shard count
+    /// produce identical reports *and* identical telemetry on every run
+    /// (thread scheduling must be invisible).
+    #[test]
+    fn sharded_replay_is_deterministic(
+        params in (0u64..1_000_000, 300usize..900, 24u64..160, 1usize..1024)
+    ) {
+        let (seed, n, pages, window) = params;
+        let trace = zipf_trace(seed, n, pages, 0.9, 20);
+        let warmup_len = n / 5;
+        for shards in [2usize, 8] {
+            let a = run_sharded(shards, "gmm-score", "threshold", "fn", &trace, warmup_len, window);
+            let b = run_sharded(shards, "gmm-score", "threshold", "fn", &trace, warmup_len, window);
+            prop_assert_eq!(&a.0, &b.0, "report not deterministic at {} shards", shards);
+            prop_assert_eq!(&a.1, &b.1, "telemetry not deterministic at {} shards", shards);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// API-surface behaviors of the sharded engine (default Auto routing).
+// ---------------------------------------------------------------------
+
+fn mixed_trace(n: usize) -> Vec<TraceRecord> {
+    (0..n as u64)
+        .map(|i| {
+            let page = (i * 13 + (i / 40) % 9) % 96;
+            if i % 7 == 0 {
+                TraceRecord::write(page << 12)
+            } else {
+                TraceRecord::read(page << 12)
+            }
+        })
+        .collect()
+}
+
+fn lru_policies(cfg: CacheConfig) -> ShardPolicies {
+    ShardPolicies {
+        admission: Box::new(ThresholdAdmit::new(0.4)),
+        eviction: Box::new(LruPolicy::new(cfg.num_sets(), cfg.ways)),
+        score: Some(Box::new(FnScore::new(|page, seq| {
+            ((page * 37 + seq) % 101) as f64 / 101.0
+        }))),
+    }
+}
+
+#[test]
+fn auto_routed_sharded_report_is_bit_identical_to_streaming_reference() {
+    let cfg = small_cfg();
+    let trace = mixed_trace(3_000);
+    let (warm, meas) = trace.split_at(700);
+    let lat = LatencyModel::paper_tlc();
+
+    let mut c = SetAssocCache::new(cfg).unwrap();
+    let mut pol = lru_policies(cfg);
+    let reference = simulate_streaming_with_warmup(
+        warm,
+        meas,
+        &mut c,
+        pol.admission.as_mut(),
+        pol.eviction.as_mut(),
+        pol.score.as_deref_mut().map(|s| s as &mut dyn ScoreSource),
+        &lat,
+        Some(128),
+    );
+
+    for shards in [1usize, 2, 3, 4, 8] {
+        let sim = ShardedSimulator::new(shards);
+        let rep = sim
+            .run(
+                warm,
+                meas,
+                cfg,
+                &mut |_ctx| lru_policies(cfg),
+                &lat,
+                Some(128),
+            )
+            .unwrap();
+        assert_eq!(reference, rep.sim, "{shards} shards");
+        assert_eq!(rep.per_shard.len(), shards);
+    }
+}
+
+#[test]
+fn scores_consumed_counts_scored_misses() {
+    let cfg = small_cfg();
+    let trace = mixed_trace(1_000);
+    let sim = ShardedSimulator::new(4);
+    let rep = sim
+        .run(
+            &[],
+            &trace,
+            cfg,
+            &mut |_ctx| lru_policies(cfg),
+            &LatencyModel::paper_tlc(),
+            None,
+        )
+        .unwrap();
+    // FnScore inherits the streaming score_window, so Auto routing takes
+    // the streaming route: one consumed score per miss.
+    assert!(!rep.batched);
+    assert_eq!(rep.scores_consumed, rep.sim.stats.misses());
+}
+
+#[test]
+fn empty_shards_are_tolerated() {
+    // More shards than sets: the high shards see no records.
+    let cfg = CacheConfig {
+        capacity_bytes: 2 * 2 * 4096,
+        block_bytes: 4096,
+        ways: 2,
+    };
+    assert_eq!(cfg.num_sets(), 2);
+    let trace = mixed_trace(200);
+    let sim = ShardedSimulator::new(6);
+    let rep = sim
+        .run(
+            &[],
+            &trace,
+            cfg,
+            &mut |_ctx| ShardPolicies {
+                admission: Box::new(AlwaysAdmit),
+                eviction: Box::new(LruPolicy::new(cfg.num_sets(), cfg.ways)),
+                score: None,
+            },
+            &LatencyModel::paper_tlc(),
+            None,
+        )
+        .unwrap();
+    assert_eq!(rep.sim.stats.accesses(), 200);
+    assert_eq!(rep.per_shard[2].stats.accesses(), 0);
+}
+
+#[test]
+#[should_panic(expected = "not shard-deterministic")]
+fn random_eviction_is_refused_above_one_shard() {
+    let cfg = small_cfg();
+    let trace = mixed_trace(100);
+    let _ = ShardedSimulator::new(2).run(
+        &[],
+        &trace,
+        cfg,
+        &mut |_ctx| ShardPolicies {
+            admission: Box::new(AlwaysAdmit),
+            eviction: Box::new(RandomPolicy::new(7)),
+            score: None,
+        },
+        &LatencyModel::paper_tlc(),
+        None,
+    );
+}
+
+#[test]
+fn random_eviction_is_fine_at_one_shard() {
+    let cfg = small_cfg();
+    let trace = mixed_trace(500);
+    let rep = ShardedSimulator::new(1)
+        .run(
+            &[],
+            &trace,
+            cfg,
+            &mut |_ctx| ShardPolicies {
+                admission: Box::new(AlwaysAdmit),
+                eviction: Box::new(RandomPolicy::new(7)),
+                score: None,
+            },
+            &LatencyModel::paper_tlc(),
+            None,
+        )
+        .unwrap();
+    let mut c = SetAssocCache::new(cfg).unwrap();
+    let reference = simulate_streaming_with_warmup(
+        &[],
+        &trace,
+        &mut c,
+        &mut AlwaysAdmit,
+        &mut RandomPolicy::new(7),
+        None,
+        &LatencyModel::paper_tlc(),
+        None,
+    );
+    assert_eq!(reference, rep.sim);
+}
+
+/// Deterministic spot check on the adversarial bypass-storm fixture of
+/// `batch_equivalence.rs`: heavy rollback inside every shard, still
+/// bit-identical after the merge at every shard count.
+#[test]
+fn divergence_heavy_trace_merges_bit_identical() {
+    let trace = {
+        use rand::Rng as _;
+        use rand::SeedableRng as _;
+        let mut t = Vec::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for i in 0..6_000u64 {
+            let page = if i % 5 == 0 {
+                rng.gen_range(0u64..120)
+            } else {
+                (i * 7 + (i / 48) % 13) % 120
+            };
+            if i % 9 == 0 {
+                t.push(TraceRecord::write(page << 12));
+            } else {
+                t.push(TraceRecord::read(page << 12));
+            }
+        }
+        t
+    };
+    let (reference, _) = references("gmm-score", "threshold", "fn", &trace, 1_000, 512);
+    for shards in SHARD_COUNTS {
+        let (sim, spec) = run_sharded(shards, "gmm-score", "threshold", "fn", &trace, 1_000, 512);
+        assert_eq!(reference, sim, "{shards} shards");
+        assert!(
+            spec.divergences() > 0,
+            "{shards} shards should still hit the bypass storm: {spec:?}"
+        );
+    }
+}

@@ -149,6 +149,16 @@ impl ScoreSource for RankedEngine {
     fn score_current(&mut self) -> f64 {
         self.cdf.rank(self.engine.score_current())
     }
+
+    /// Rank normalization is a pure per-score map over the inner engine's
+    /// output, so shard-clock exactness delegates wholesale.
+    fn shardable(&self) -> bool {
+        self.engine.shardable()
+    }
+
+    fn observe_gap(&mut self, n: u64) {
+        self.engine.observe_gap(n);
+    }
 }
 
 /// Fits a model on the most recent `window` of `history` (used for both

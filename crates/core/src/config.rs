@@ -118,6 +118,14 @@ pub struct IcgmmConfig {
     /// cannot repay per-request lookahead). Larger values keep speculating
     /// on more hit-heavy phases; results are invariant either way.
     pub sim_stream_miss_div: usize,
+    /// Shard count of [`crate::Icgmm::run_sharded`]: the set-associative
+    /// cache is partitioned by set index into this many independent shards
+    /// replayed on scoped threads (each with its own policy state,
+    /// miss-window speculation and scorer clone on the global Algorithm 1
+    /// clock). Results are bit-identical to the single-threaded
+    /// [`crate::Icgmm::run`] at any value — sharding is pure host-side
+    /// parallelism. `1` (the default) replays single-threaded.
+    pub sim_shards: usize,
 }
 
 impl Default for IcgmmConfig {
@@ -135,6 +143,7 @@ impl Default for IcgmmConfig {
             sim_window: icgmm_cache::DEFAULT_SPEC_WINDOW,
             sim_window_floor: icgmm_cache::MIN_SPEC_WINDOW,
             sim_stream_miss_div: icgmm_cache::STREAM_MISS_FRACTION_DIV,
+            sim_shards: 1,
         }
     }
 }
@@ -179,6 +188,11 @@ impl IcgmmConfig {
             return Err(IcgmmError::Config(
                 "sim_stream_miss_div must be >= 1".into(),
             ));
+        }
+        if self.sim_shards == 0 {
+            // More shards than sets is legal (the excess shards idle), so
+            // only zero is rejected here.
+            return Err(IcgmmError::Config("sim_shards must be >= 1".into()));
         }
         Ok(())
     }
@@ -232,6 +246,20 @@ mod tests {
         c = IcgmmConfig::default();
         c.sim_stream_miss_div = 0;
         assert!(c.validate().is_err());
+        c = IcgmmConfig::default();
+        c.sim_shards = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn shard_counts_above_the_set_count_are_valid() {
+        // Excess shards simply idle; only zero is rejected.
+        let c = IcgmmConfig {
+            sim_shards: 100_000,
+            ..Default::default()
+        };
+        assert!(c.validate().is_ok());
+        assert_eq!(IcgmmConfig::default().sim_shards, 1);
     }
 
     #[test]

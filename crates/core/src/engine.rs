@@ -41,6 +41,13 @@ pub struct GmmPolicyEngine {
 }
 
 impl GmmPolicyEngine {
+    /// Windows at or below this many points take the allocation-free
+    /// scalar kernel — the batched kernel's per-call setup would dominate
+    /// (the speculative batcher emits many short windows on hit-heavy
+    /// traces). Scalar and batched scoring are bit-identical, so the
+    /// routing is invisible.
+    const SCALAR_MAX: usize = 4;
+
     /// Builds the engine.
     ///
     /// With `fixed_point = true`, scores are produced by the FPGA-style
@@ -130,8 +137,7 @@ impl ScoreSource for GmmPolicyEngine {
     /// (property-tested in the gmm crate), so the routing is invisible.
     fn score_window(&mut self, records: &[TraceRecord], out: &mut [f64]) {
         assert_eq!(records.len(), out.len(), "one score slot per record");
-        const SCALAR_MAX: usize = 4;
-        if records.len() <= SCALAR_MAX {
+        if records.len() <= Self::SCALAR_MAX {
             for (record, o) in records.iter().zip(out.iter_mut()) {
                 self.observe(record);
                 *o = self.score_current();
@@ -151,6 +157,50 @@ impl ScoreSource for GmmPolicyEngine {
             out.len(),
             "standardized window must line up with the output slice"
         );
+        match &self.fixed {
+            Some(fx) => fx.score_batch(&self.window_z, out),
+            None => self.scorer.score_batch(&self.window_z, out),
+        }
+    }
+
+    /// Algorithm 1 is a pure function of the observation count, and the
+    /// scored features are the observed record's own page plus that
+    /// count-derived timestamp — nothing from earlier records' content.
+    /// Set-partitioned shards can therefore skip foreign records with an
+    /// O(1) clock fast-forward and stay bit-identical.
+    fn shardable(&self) -> bool {
+        true
+    }
+
+    fn observe_gap(&mut self, n: u64) {
+        self.transformer.advance(n);
+    }
+
+    /// Sharded counterpart of the batched `score_window`: `gaps[i]`
+    /// foreign-shard requests tick the Algorithm 1 clock before
+    /// `records[i]` is observed, and the whole window still goes through
+    /// one batched kernel call — a shard pays the same per-window kernel
+    /// economics as the single-threaded batcher.
+    fn score_window_gapped(&mut self, records: &[TraceRecord], gaps: &[u64], out: &mut [f64]) {
+        assert_eq!(records.len(), out.len(), "one score slot per record");
+        assert_eq!(records.len(), gaps.len(), "one gap per record");
+        if records.len() <= Self::SCALAR_MAX {
+            for ((record, &gap), o) in records.iter().zip(gaps).zip(out.iter_mut()) {
+                self.transformer.advance(gap);
+                self.observe(record);
+                *o = self.score_current();
+            }
+            return;
+        }
+        self.window_z.clear();
+        self.window_z.reserve(records.len());
+        for (record, &gap) in records.iter().zip(gaps) {
+            self.transformer.advance(gap);
+            let ts = self.transformer.next();
+            self.current = [record.page().raw() as f64, ts as f64];
+            self.window_z.push(self.scaler.transform(self.current));
+        }
+        self.scores_computed += records.len() as u64;
         match &self.fixed {
             Some(fx) => fx.score_batch(&self.window_z, out),
             None => self.scorer.score_batch(&self.window_z, out),

@@ -6,7 +6,8 @@ use crate::engine::{GmmPolicyEngine, TrainedModel};
 use crate::error::IcgmmError;
 use icgmm_cache::{
     AlwaysAdmit, BeladyPolicy, FifoPolicy, GmmScorePolicy, LatencyModel, LfuPolicy, LruPolicy,
-    RandomPolicy, SetAssocCache, SimReport, SpecStats, ThresholdAdmit, WindowedSimulator,
+    RandomPolicy, SetAssocCache, ShardPolicies, ShardedSimulator, SimReport, SpecStats,
+    ThresholdAdmit, WindowedSimulator,
 };
 use icgmm_gmm::{calibrate_threshold, EmReport, EmTrainer, StandardScaler};
 use icgmm_hw::{DataflowConfig, DataflowReport};
@@ -304,6 +305,121 @@ impl Icgmm {
         })
     }
 
+    /// [`Icgmm::run`] with the cache partitioned by set index into the
+    /// configuration's `sim_shards` independent shards, replayed on scoped
+    /// threads and deterministically merged.
+    ///
+    /// Each shard owns the sets congruent to its index, with its own
+    /// policy state, its own miss-window speculation and its own policy-
+    /// engine clone kept on the *global* Algorithm 1 clock (foreign-shard
+    /// requests fast-forward the clock in O(1)), so the merged
+    /// [`RunReport::sim`] is **bit-identical** to [`Icgmm::run`]'s for
+    /// every shard count — enforced by the differential suite in
+    /// `tests/shard_differential.rs` and the property grid in
+    /// `crates/cache/tests/shard_equivalence.rs`. [`RunReport::spec`] is
+    /// the field-wise sum of per-shard telemetry (identical to the
+    /// single-threaded batcher's at one shard); `gmm_inferences` counts
+    /// the inferences the sharded replay actually performed, which above
+    /// one shard may differ from the single-threaded count (speculation
+    /// windows are per-shard).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Icgmm::run`], plus [`IcgmmError::Config`] when more than
+    /// one shard is requested with [`PolicyMode::Random`] — random
+    /// eviction draws victims from one global RNG stream, which
+    /// set-partitioned replay cannot reproduce.
+    pub fn run_sharded(&self, trace: &Trace, mode: PolicyMode) -> Result<RunReport, IcgmmError> {
+        self.run_sharded_with_latency(trace, mode, &self.cfg.latency)
+    }
+
+    /// [`Icgmm::run_sharded`] with an explicit latency model (SSD sweeps).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Icgmm::run_sharded`].
+    pub fn run_sharded_with_latency(
+        &self,
+        trace: &Trace,
+        mode: PolicyMode,
+        latency: &LatencyModel,
+    ) -> Result<RunReport, IcgmmError> {
+        let shards = self.cfg.sim_shards;
+        if shards > 1 && mode == PolicyMode::Random {
+            return Err(IcgmmError::Config(format!(
+                "random eviction is not shard-deterministic; run it at sim_shards = 1 \
+                 (requested {shards})"
+            )));
+        }
+        let (warmup, measured) = self.phases(trace);
+        let sets = self.cfg.cache.num_sets();
+        let ways = self.cfg.cache.ways;
+        let engine = if mode.uses_gmm() {
+            Some(self.policy_engine()?)
+        } else {
+            None
+        };
+        let threshold = self.model.as_ref().map(|m| m.threshold).unwrap_or(0.0);
+        let ssim = ShardedSimulator::with_params(shards, self.cfg.spec_params());
+        let rep = ssim.run(
+            warmup,
+            measured,
+            self.cfg.cache,
+            &mut |ctx| {
+                let eviction: Box<dyn icgmm_cache::EvictionPolicy + Send> = match mode {
+                    PolicyMode::Fifo => Box::new(FifoPolicy::new(sets, ways)),
+                    PolicyMode::Random => Box::new(RandomPolicy::new(self.cfg.em.seed)),
+                    PolicyMode::Lfu => Box::new(LfuPolicy::new(sets, ways)),
+                    PolicyMode::Belady => {
+                        // The oracle sees exactly this shard's subsequence:
+                        // its positions are the shard-local sequence
+                        // numbers the replay will present, order-isomorphic
+                        // to the global ones.
+                        let mut recs = Vec::with_capacity(ctx.warmup.len() + ctx.measured.len());
+                        recs.extend_from_slice(ctx.warmup);
+                        recs.extend_from_slice(ctx.measured);
+                        Box::new(BeladyPolicy::from_records(&recs, sets, ways))
+                    }
+                    PolicyMode::GmmEvictionOnly | PolicyMode::GmmCachingEviction => {
+                        Box::new(self.score_eviction(sets, ways))
+                    }
+                    PolicyMode::Lru | PolicyMode::GmmCachingOnly => {
+                        Box::new(LruPolicy::new(sets, ways))
+                    }
+                };
+                let admission: Box<dyn icgmm_cache::AdmissionPolicy + Send> = match mode {
+                    PolicyMode::GmmCachingOnly | PolicyMode::GmmCachingEviction => {
+                        Box::new(self.admission(threshold))
+                    }
+                    _ => Box::new(AlwaysAdmit),
+                };
+                let score = engine
+                    .as_ref()
+                    .map(|e| Box::new(e.clone()) as Box<dyn icgmm_cache::ScoreSource + Send>);
+                ShardPolicies {
+                    admission,
+                    eviction,
+                    score,
+                }
+            },
+            latency,
+            None,
+        )?;
+        let gmm_inferences = if engine.is_none() {
+            0
+        } else if rep.batched {
+            rep.spec.scores_computed()
+        } else {
+            rep.scores_consumed
+        };
+        Ok(RunReport {
+            mode,
+            sim: rep.sim,
+            gmm_inferences,
+            spec: (engine.is_some() && rep.batched).then_some(rep.spec),
+        })
+    }
+
     /// Runs one mode through the cycle-approximate dataflow hardware model
     /// instead of the analytic latency constants.
     ///
@@ -555,6 +671,67 @@ mod tests {
             .run_dataflow(&trace, PolicyMode::Lru, &cfg)
             .unwrap();
         assert!(lru.spec.is_none());
+    }
+
+    #[test]
+    fn run_sharded_is_bit_identical_to_run_for_every_mode_and_shard_count() {
+        let mut base = small_cfg();
+        base.em.k = 64; // engine prefers the batched path
+        let trace = WorkloadKind::Memtier
+            .default_workload()
+            .generate(30_000, 17);
+        let mut reference_sys = Icgmm::new(base).unwrap();
+        reference_sys.fit(&trace).unwrap();
+        let model = reference_sys.model().expect("fitted").clone();
+        let modes = [
+            PolicyMode::Lru,
+            PolicyMode::Fifo,
+            PolicyMode::Lfu,
+            PolicyMode::Belady,
+            PolicyMode::GmmCachingOnly,
+            PolicyMode::GmmEvictionOnly,
+            PolicyMode::GmmCachingEviction,
+        ];
+        for mode in modes {
+            let reference = reference_sys.run(&trace, mode).unwrap();
+            for shards in [1usize, 2, 4, 8] {
+                let mut cfg = base;
+                cfg.sim_shards = shards;
+                let mut sys = Icgmm::new(cfg).unwrap();
+                sys.set_model(model.clone());
+                let sharded = sys.run_sharded(&trace, mode).unwrap();
+                assert_eq!(
+                    reference.sim, sharded.sim,
+                    "{mode} diverged at {shards} shards"
+                );
+                if shards == 1 {
+                    // One shard replays the whole trace through the same
+                    // engine: telemetry and inference counts are exact.
+                    assert_eq!(reference.spec, sharded.spec, "{mode}");
+                    assert_eq!(reference.gmm_inferences, sharded.gmm_inferences, "{mode}");
+                }
+                if mode.uses_gmm() {
+                    assert!(sharded.gmm_inferences > 0, "{mode} at {shards} shards");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_sharded_rejects_random_above_one_shard() {
+        let mut cfg = small_cfg();
+        cfg.sim_shards = 2;
+        let sys = Icgmm::new(cfg).unwrap();
+        let trace = WorkloadKind::Memtier.default_workload().generate(5_000, 1);
+        assert!(matches!(
+            sys.run_sharded(&trace, PolicyMode::Random),
+            Err(IcgmmError::Config(_))
+        ));
+        // At one shard Random replays exactly like `run`.
+        let sys1 = Icgmm::new(small_cfg()).unwrap();
+        let a = sys1.run(&trace, PolicyMode::Random).unwrap();
+        let b = sys1.run_sharded(&trace, PolicyMode::Random).unwrap();
+        assert_eq!(a.sim, b.sim);
     }
 
     #[test]

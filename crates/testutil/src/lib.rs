@@ -1,0 +1,220 @@
+//! Shared fixtures for the workspace's differential test suites.
+//!
+//! Every bit-identity suite in this repository — streaming vs speculative
+//! batching (`crates/cache/tests/batch_equivalence.rs`), streaming vs
+//! batched dataflow replay (`crates/hw/tests/dataflow_equivalence.rs`),
+//! single-threaded vs sharded replay
+//! (`crates/cache/tests/shard_equivalence.rs`,
+//! `tests/shard_differential.rs`) and the real-engine integration tests
+//! (`tests/batch_sim.rs`, `tests/dataflow_batch.rs`) — exercises the same
+//! grid: Zipf-skewed traces over a conflict-heavy small cache × the
+//! eviction policies × the admission policies × the score-source shapes.
+//! These builders are that grid's single source of truth; suites differ
+//! only in which replay engines they pit against each other.
+//!
+//! A dev-dependency-only crate: it never appears in a production
+//! dependency graph (the dev-dependency cycle back into `icgmm-cache` is
+//! the standard Cargo pattern for shared test support).
+
+use icgmm::{GmmPolicyEngine, TrainedModel};
+use icgmm_cache::{
+    AdmissionPolicy, AlwaysAdmit, BeladyPolicy, CacheConfig, ConstantScore, EvictionPolicy,
+    FifoPolicy, FnScore, GmmScorePolicy, LfuPolicy, LruPolicy, RandomPolicy, ScoreSource,
+    ThresholdAdmit,
+};
+use icgmm_gmm::{Gaussian2, Gmm, Mat2, StandardScaler};
+use icgmm_trace::{PreprocessConfig, TraceRecord, Zipf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The eviction-policy grid every differential suite sweeps.
+pub const EVICTIONS: [&str; 6] = ["lru", "fifo", "lfu", "belady", "gmm-score", "random"];
+
+/// [`EVICTIONS`] minus the policies whose victims are not reproducible
+/// under set-partitioned replay (`random`) — the sharded suites' grid.
+pub const SHARDABLE_EVICTIONS: [&str; 5] = ["lru", "fifo", "lfu", "belady", "gmm-score"];
+
+/// The admission-policy grid.
+pub const ADMISSIONS: [&str; 2] = ["always", "threshold"];
+
+/// The score-source shapes.
+pub const SCORES: [&str; 3] = ["none", "constant", "fn"];
+
+/// The conflict-heavy small cache the equivalence suites run against:
+/// 32 blocks, 4-way — small enough that Zipf traces conflict constantly,
+/// the regime where speculation (and shard merging) is hard.
+pub fn small_cfg() -> CacheConfig {
+    CacheConfig {
+        capacity_bytes: 32 * 4096,
+        block_bytes: 4096,
+        ways: 4,
+    }
+}
+
+/// A Zipf-skewed read/write trace over a compact page space (small enough
+/// that sets conflict constantly).
+pub fn zipf_trace(seed: u64, n: usize, pages: u64, skew: f64, write_pct: u8) -> Vec<TraceRecord> {
+    let zipf = Zipf::new(pages, skew).expect("valid zipf");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let page = zipf.sample(&mut rng) - 1;
+            if rng.gen_range(0u8..100) < write_pct {
+                TraceRecord::write(page << 12)
+            } else {
+                TraceRecord::read(page << 12)
+            }
+        })
+        .collect()
+}
+
+/// A mixed random/strided conflict trace (the real-engine integration
+/// suites' workload): enough re-access for hits, enough churn for
+/// constant eviction pressure.
+pub fn conflict_trace(n: usize, pages: u64, seed: u64) -> Vec<TraceRecord> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let page = if i % 4 == 0 {
+                rng.gen_range(0..pages)
+            } else {
+                (i as u64 * 13 + 7) % pages
+            };
+            if i % 11 == 0 {
+                TraceRecord::write(page << 12)
+            } else {
+                TraceRecord::read(page << 12)
+            }
+        })
+        .collect()
+}
+
+/// Builds the named eviction policy sized for `cfg`. Belady's oracle is
+/// built from `records` — pass exactly the record sequence the policy
+/// will replay (its positions are the sequence numbers the simulator
+/// presents).
+pub fn eviction_for(
+    name: &str,
+    cfg: CacheConfig,
+    records: &[TraceRecord],
+) -> Box<dyn EvictionPolicy + Send> {
+    let (sets, ways) = (cfg.num_sets(), cfg.ways);
+    match name {
+        "lru" => Box::new(LruPolicy::new(sets, ways)),
+        "fifo" => Box::new(FifoPolicy::new(sets, ways)),
+        "lfu" => Box::new(LfuPolicy::new(sets, ways)),
+        "belady" => Box::new(BeladyPolicy::from_records(records, sets, ways)),
+        "gmm-score" => Box::new(GmmScorePolicy::new(sets, ways)),
+        "random" => Box::new(RandomPolicy::new(0xDECADE)),
+        other => panic!("unknown eviction {other}"),
+    }
+}
+
+/// Builds the named admission policy (`threshold` admits on score ≥ 0.5,
+/// which the `fn` score source straddles constantly).
+pub fn admission_for(name: &str) -> Box<dyn AdmissionPolicy + Send> {
+    match name {
+        "always" => Box::new(AlwaysAdmit),
+        "threshold" => Box::new(ThresholdAdmit::new(0.5)),
+        other => panic!("unknown admission {other}"),
+    }
+}
+
+/// Builds the named score source.
+///
+/// `"fn"` produces deterministic per-`(page, seq)` pseudo-random scores:
+/// roughly half fall under the 0.5 admission threshold, so the threshold
+/// policy bypasses constantly and speculation must keep recovering.
+pub fn score_for(name: &str) -> Option<Box<dyn ScoreSource + Send>> {
+    match name {
+        "none" => None,
+        "constant" => Some(Box::new(ConstantScore(0.75))),
+        "fn" => Some(Box::new(FnScore::new(|page, seq| {
+            let h = (page ^ 0x9E37_79B9)
+                .wrapping_mul(0x2545_F491_4F6C_DD1D)
+                .wrapping_add(seq);
+            (h >> 32) as f64 / u32::MAX as f64
+        }))),
+        other => panic!("unknown score {other}"),
+    }
+}
+
+/// A hand-built K-component mixture (no EM) so real-engine integration
+/// tests are fast and deterministic.
+pub fn hand_model(k: usize) -> TrainedModel {
+    let mut comps = Vec::with_capacity(k);
+    for i in 0..k {
+        let t = i as f64 / k as f64;
+        comps.push(
+            Gaussian2::new(
+                [t * 8.0 - 4.0, (t * std::f64::consts::TAU).cos() * 2.0],
+                Mat2::new(0.3 + t, 0.05, 0.4 + t * 0.5),
+            )
+            .expect("valid component"),
+        );
+    }
+    let gmm = Gmm::new(vec![1.0 / k as f64; k], comps).expect("valid mixture");
+    let scaler = StandardScaler::fit(&[[0.0, 0.0], [4096.0, 512.0]], &[1.0, 1.0]);
+    TrainedModel {
+        scaler,
+        gmm,
+        threshold: -6.0,
+    }
+}
+
+/// A real [`GmmPolicyEngine`] over [`hand_model`] (K ≥ 64 prefers the
+/// batched replay path; `fixed` selects the FPGA-style fixed-point
+/// datapath).
+pub fn hand_engine(k: usize, fixed: bool) -> GmmPolicyEngine {
+    let cfg = PreprocessConfig {
+        len_window: 16,
+        len_access_shot: 1_000,
+        ..Default::default()
+    };
+    GmmPolicyEngine::new(&hand_model(k), &cfg, fixed).expect("engine builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_cover_the_grids() {
+        let cfg = small_cfg();
+        let trace = zipf_trace(1, 200, 64, 0.9, 20);
+        for e in EVICTIONS {
+            assert_eq!(eviction_for(e, cfg, &trace).name(), e);
+        }
+        for a in ADMISSIONS {
+            let _ = admission_for(a);
+        }
+        assert!(score_for("none").is_none());
+        assert!(score_for("constant").is_some());
+        assert!(score_for("fn").is_some());
+        assert!(SHARDABLE_EVICTIONS.iter().all(|e| EVICTIONS.contains(e)));
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        assert_eq!(
+            zipf_trace(7, 300, 64, 0.9, 10),
+            zipf_trace(7, 300, 64, 0.9, 10)
+        );
+        assert_eq!(conflict_trace(300, 96, 3), conflict_trace(300, 96, 3));
+        assert_ne!(
+            zipf_trace(7, 300, 64, 0.9, 10),
+            zipf_trace(8, 300, 64, 0.9, 10)
+        );
+    }
+
+    #[test]
+    fn hand_engine_scores_and_prefers_batching_at_scale() {
+        let mut e = hand_engine(64, false);
+        use icgmm_cache::ScoreSource as _;
+        assert!(e.prefers_batching());
+        assert!(e.shardable());
+        e.observe(&TraceRecord::read(0x5000));
+        assert!(e.score_current().is_finite());
+        assert!(!hand_engine(8, false).prefers_batching());
+    }
+}

@@ -152,6 +152,38 @@ impl TimestampTransformer {
         self.timestamp
     }
 
+    /// Advances the clock over `n` requests in one step, exactly as if
+    /// [`TimestampTransformer::next`] had been called `n` times with the
+    /// returned timestamps discarded.
+    ///
+    /// Algorithm 1 is a pure function of the *count* of requests observed
+    /// so far, so skipped requests need no content — this is what lets a
+    /// set-partitioned replay shard keep its clock in global trace order
+    /// while observing only its own records (`icgmm-cache`'s sharded
+    /// simulator): gaps of foreign-shard requests fast-forward in O(1)
+    /// arithmetic instead of O(gap) calls.
+    pub fn advance(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let w = u64::from(self.len_window);
+        let shot = u64::from(self.len_access_shot);
+        // State after m >= 1 calls: index = ((m-1) mod w) + 1,
+        // timestamp = floor((m-1) / w) mod shot. `index == 0` is the
+        // fresh state (m = 0).
+        let (ticks, carry_base) = if self.index == 0 {
+            (n - 1, 0)
+        } else {
+            (u64::from(self.index) - 1 + n, self.timestamp * w)
+        };
+        // `carry_base` folds the current timestamp into the tick count so
+        // one mod/div pair lands both fields (timestamp wraps modulo the
+        // shot, index modulo the window).
+        let total = carry_base + ticks;
+        self.index = (ticks % w) as u32 + 1;
+        self.timestamp = (total / w) % shot;
+    }
+
     /// Resets to the initial state.
     pub fn reset(&mut self) {
         self.timestamp = 0;
@@ -307,6 +339,37 @@ mod tests {
         let ts: Vec<u64> = (0..9).map(|_| tr.next()).collect();
         assert_eq!(ts, [0, 1, 2, 3, 0, 1, 2, 3, 0]);
         assert_eq!(tr.max_timestamp(), 3);
+    }
+
+    #[test]
+    fn advance_matches_repeated_next() {
+        // Every (window, shot) shape × interleaving of advance(n) with
+        // next() must land in exactly the state repeated next() reaches.
+        for (w, shot) in [(1u32, 1u32), (2, 3), (32, 10_000), (7, 5), (3, 1)] {
+            let mut stepped = TimestampTransformer::new(w, shot);
+            let mut jumped = TimestampTransformer::new(w, shot);
+            let mut consumed = 0u64;
+            for n in [0u64, 1, 2, 5, 31, 32, 33, 1000, 7] {
+                for _ in 0..n {
+                    stepped.next();
+                }
+                jumped.advance(n);
+                consumed += n;
+                assert_eq!(
+                    stepped.next(),
+                    jumped.next(),
+                    "w={w} shot={shot} after {consumed} requests"
+                );
+                consumed += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn advance_from_fresh_state() {
+        let mut t = TimestampTransformer::new(2, 3);
+        t.advance(4); // as if requests 1..=4 were observed: ts = 0,0,1,1
+        assert_eq!(t.next(), 2); // request 5
     }
 
     #[test]

@@ -18,6 +18,7 @@ mod memtier;
 mod parsec;
 mod stream;
 mod sysbench;
+mod tenants;
 
 pub use dlrm::DlrmWorkload;
 pub use hashmap::HashmapWorkload;
@@ -26,6 +27,7 @@ pub use memtier::MemtierWorkload;
 pub use parsec::ParsecWorkload;
 pub use stream::StreamWorkload;
 pub use sysbench::SysbenchWorkload;
+pub use tenants::MultiTenantWorkload;
 
 use crate::record::{TraceRecord, PAGE_SHIFT};
 use crate::trace::Trace;

@@ -72,6 +72,12 @@ impl From<&str> for BenchmarkId {
     }
 }
 
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
 /// Timing loop handed to benchmark closures.
 pub struct Bencher {
     iters_per_sample: u64,

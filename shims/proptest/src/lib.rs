@@ -11,7 +11,11 @@
 //! * **No shrinking.** A failing case reports its case index and RNG seed
 //!   (every run is deterministic, so that is enough to reproduce).
 //! * **Case count** defaults to 64 per property (128 in release builds
-//!   would add little here); override with `PROPTEST_CASES`.
+//!   would add little here); override with `ICGMM_PROPTEST_CASES` (the
+//!   workspace-specific knob CI's deep differential pass sets, taking
+//!   precedence) or the conventional `PROPTEST_CASES`. Tier-1
+//!   `cargo test -q` stays bounded at the default; nightly-style passes
+//!   crank the count without touching any test.
 
 use rand::rngs::StdRng;
 
@@ -221,14 +225,22 @@ pub mod test_runner {
         base_seed: u64,
     }
 
+    /// The workspace knob wins over the conventional proptest one, so CI
+    /// can deepen this repo's differential suites without perturbing any
+    /// other proptest-using environment. Factored over a lookup closure
+    /// so the precedence rule is testable without mutating process-global
+    /// environment variables under parallel tests.
+    pub(crate) fn cases_from(lookup: impl Fn(&str) -> Option<String>) -> u32 {
+        ["ICGMM_PROPTEST_CASES", "PROPTEST_CASES"]
+            .iter()
+            .find_map(|k| lookup(k)?.parse().ok())
+            .unwrap_or(64)
+    }
+
     impl Default for TestRunner {
         fn default() -> Self {
-            let cases = std::env::var("PROPTEST_CASES")
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(64);
             TestRunner {
-                cases,
+                cases: cases_from(|k| std::env::var(k).ok()),
                 base_seed: 0x1C_6B1B_5EED,
             }
         }
@@ -335,6 +347,35 @@ macro_rules! prop_assume {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+
+    #[test]
+    fn case_count_env_precedence() {
+        // Pure-function check over an injected lookup — no process-global
+        // environment mutation, so parallel sibling tests are unaffected.
+        let both = |k: &str| match k {
+            "ICGMM_PROPTEST_CASES" => Some("7".to_string()),
+            "PROPTEST_CASES" => Some("9".to_string()),
+            _ => None,
+        };
+        assert_eq!(
+            crate::test_runner::cases_from(both),
+            7,
+            "workspace knob must win"
+        );
+        let plain = |k: &str| (k == "PROPTEST_CASES").then(|| "9".to_string());
+        assert_eq!(
+            crate::test_runner::cases_from(plain),
+            9,
+            "conventional knob is the fallback"
+        );
+        assert_eq!(crate::test_runner::cases_from(|_| None), 64, "default");
+        let garbage = |_: &str| Some("not-a-number".to_string());
+        assert_eq!(
+            crate::test_runner::cases_from(garbage),
+            64,
+            "unparseable values fall back to the default"
+        );
+    }
 
     proptest! {
         #[test]

@@ -3,65 +3,15 @@
 //! bit-identical to the streaming simulator, and the end-to-end system
 //! rides it by default.
 
-use icgmm::{GmmPolicyEngine, Icgmm, IcgmmConfig, PolicyMode, TrainedModel};
+use icgmm::{Icgmm, IcgmmConfig, PolicyMode};
 use icgmm_cache::{
     simulate_streaming_with_warmup, AlwaysAdmit, CacheConfig, GmmScorePolicy, LatencyModel,
     ScoreSource, SetAssocCache, ThresholdAdmit, WindowedSimulator,
 };
-use icgmm_gmm::{EmConfig, Gaussian2, Gmm, Mat2, StandardScaler};
+use icgmm_gmm::EmConfig;
+use icgmm_testutil::{conflict_trace, hand_engine};
 use icgmm_trace::synth::WorkloadKind;
 use icgmm_trace::{PreprocessConfig, TraceRecord};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// A hand-built mixture (no EM) so the test is fast and deterministic.
-fn model(k: usize) -> TrainedModel {
-    let mut comps = Vec::with_capacity(k);
-    for i in 0..k {
-        let t = i as f64 / k as f64;
-        comps.push(
-            Gaussian2::new(
-                [t * 8.0 - 4.0, (t * std::f64::consts::TAU).cos() * 2.0],
-                Mat2::new(0.3 + t, 0.05, 0.4 + t * 0.5),
-            )
-            .expect("valid component"),
-        );
-    }
-    let gmm = Gmm::new(vec![1.0 / k as f64; k], comps).expect("valid mixture");
-    let scaler = StandardScaler::fit(&[[0.0, 0.0], [4096.0, 512.0]], &[1.0, 1.0]);
-    TrainedModel {
-        scaler,
-        gmm,
-        threshold: -6.0,
-    }
-}
-
-fn engine(k: usize, fixed: bool) -> GmmPolicyEngine {
-    let cfg = PreprocessConfig {
-        len_window: 16,
-        len_access_shot: 1_000,
-        ..Default::default()
-    };
-    GmmPolicyEngine::new(&model(k), &cfg, fixed).expect("engine builds")
-}
-
-fn conflict_trace(n: usize, pages: u64, seed: u64) -> Vec<TraceRecord> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|i| {
-            let page = if i % 4 == 0 {
-                rng.gen_range(0..pages)
-            } else {
-                (i as u64 * 13 + 7) % pages
-            };
-            if i % 11 == 0 {
-                TraceRecord::write(page << 12)
-            } else {
-                TraceRecord::read(page << 12)
-            }
-        })
-        .collect()
-}
 
 #[test]
 fn gmm_engine_batched_replay_is_bit_identical_both_datapaths() {
@@ -78,7 +28,7 @@ fn gmm_engine_batched_replay_is_bit_identical_both_datapaths() {
         let mut c1 = SetAssocCache::new(cfg).unwrap();
         let mut ev1 = GmmScorePolicy::new(cfg.num_sets(), cfg.ways);
         let mut ad1 = ThresholdAdmit::new(-6.0);
-        let mut e1 = engine(24, fixed);
+        let mut e1 = hand_engine(24, fixed);
         let streaming = simulate_streaming_with_warmup(
             warm,
             meas,
@@ -93,7 +43,7 @@ fn gmm_engine_batched_replay_is_bit_identical_both_datapaths() {
         let mut c2 = SetAssocCache::new(cfg).unwrap();
         let mut ev2 = GmmScorePolicy::new(cfg.num_sets(), cfg.ways);
         let mut ad2 = ThresholdAdmit::new(-6.0);
-        let mut e2 = engine(24, fixed);
+        let mut e2 = hand_engine(24, fixed);
         let mut wsim = WindowedSimulator::new(512);
         let batched = wsim.run(
             warm,
@@ -141,7 +91,7 @@ fn gmm_eviction_only_mode_speculates_without_victim_divergence() {
     for fixed in [false, true] {
         let mut c1 = SetAssocCache::new(cfg).unwrap();
         let mut ev1 = GmmScorePolicy::new(cfg.num_sets(), cfg.ways);
-        let mut e1 = engine(24, fixed);
+        let mut e1 = hand_engine(24, fixed);
         let streaming = simulate_streaming_with_warmup(
             warm,
             meas,
@@ -155,7 +105,7 @@ fn gmm_eviction_only_mode_speculates_without_victim_divergence() {
 
         let mut c2 = SetAssocCache::new(cfg).unwrap();
         let mut ev2 = GmmScorePolicy::new(cfg.num_sets(), cfg.ways);
-        let mut e2 = engine(24, fixed);
+        let mut e2 = hand_engine(24, fixed);
         let mut wsim = WindowedSimulator::new(1024);
         let batched = wsim.run(
             warm,

@@ -4,67 +4,15 @@
 //! streaming dataflow reference, and `Icgmm::run_dataflow` rides the
 //! batched engine by default at paper-scale K.
 
-use icgmm::{GmmPolicyEngine, Icgmm, IcgmmConfig, PolicyMode, TrainedModel};
+use icgmm::{Icgmm, IcgmmConfig, PolicyMode};
 use icgmm_cache::{CacheConfig, GmmScorePolicy, ScoreSource, SpecParams, ThresholdAdmit};
-use icgmm_gmm::{EmConfig, Gaussian2, Gmm, Mat2, StandardScaler};
+use icgmm_gmm::EmConfig;
 use icgmm_hw::{
     run_dataflow_batched_with_warmup, run_dataflow_streaming_with_warmup, DataflowConfig,
 };
+use icgmm_testutil::{conflict_trace, hand_engine};
 use icgmm_trace::synth::WorkloadKind;
 use icgmm_trace::{PreprocessConfig, TraceRecord};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// A hand-built mixture (no EM) so the test is fast and deterministic.
-/// K = 64 is the smallest component count at which the engine prefers the
-/// batched path.
-fn model(k: usize) -> TrainedModel {
-    let mut comps = Vec::with_capacity(k);
-    for i in 0..k {
-        let t = i as f64 / k as f64;
-        comps.push(
-            Gaussian2::new(
-                [t * 8.0 - 4.0, (t * std::f64::consts::TAU).cos() * 2.0],
-                Mat2::new(0.3 + t, 0.05, 0.4 + t * 0.5),
-            )
-            .expect("valid component"),
-        );
-    }
-    let gmm = Gmm::new(vec![1.0 / k as f64; k], comps).expect("valid mixture");
-    let scaler = StandardScaler::fit(&[[0.0, 0.0], [4096.0, 512.0]], &[1.0, 1.0]);
-    TrainedModel {
-        scaler,
-        gmm,
-        threshold: -6.0,
-    }
-}
-
-fn engine(k: usize, fixed: bool) -> GmmPolicyEngine {
-    let cfg = PreprocessConfig {
-        len_window: 16,
-        len_access_shot: 1_000,
-        ..Default::default()
-    };
-    GmmPolicyEngine::new(&model(k), &cfg, fixed).expect("engine builds")
-}
-
-fn conflict_trace(n: usize, pages: u64, seed: u64) -> Vec<TraceRecord> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|i| {
-            let page = if i % 4 == 0 {
-                rng.gen_range(0..pages)
-            } else {
-                (i as u64 * 13 + 7) % pages
-            };
-            if i % 11 == 0 {
-                TraceRecord::write(page << 12)
-            } else {
-                TraceRecord::read(page << 12)
-            }
-        })
-        .collect()
-}
 
 #[test]
 fn gmm_engine_batched_dataflow_is_bit_identical_both_datapaths() {
@@ -87,7 +35,7 @@ fn gmm_engine_batched_dataflow_is_bit_identical_both_datapaths() {
             // splits, bypass phantoms and rollback under the timer.
             let mut ev1 = GmmScorePolicy::new(cfg.num_sets(), cfg.ways);
             let mut ad1 = ThresholdAdmit::new(-6.0);
-            let mut e1 = engine(64, fixed);
+            let mut e1 = hand_engine(64, fixed);
             let streaming = run_dataflow_streaming_with_warmup(
                 warm,
                 meas,
@@ -101,7 +49,7 @@ fn gmm_engine_batched_dataflow_is_bit_identical_both_datapaths() {
 
             let mut ev2 = GmmScorePolicy::new(cfg.num_sets(), cfg.ways);
             let mut ad2 = ThresholdAdmit::new(-6.0);
-            let mut e2 = engine(64, fixed);
+            let mut e2 = hand_engine(64, fixed);
             let batched = run_dataflow_batched_with_warmup(
                 warm,
                 meas,
