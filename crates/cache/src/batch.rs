@@ -144,6 +144,7 @@
 //! traces — while miss-heavy windows ride the batched kernel.
 
 use crate::cache::{AccessOutcome, BlockState, SetAssocCache};
+use crate::fault::FaultStats;
 use crate::latency::LatencyModel;
 use crate::policy::{AdmissionPolicy, EvictionPolicy, ShadowVictimModel};
 use crate::score::ScoreSource;
@@ -484,6 +485,11 @@ pub struct WindowedSimulator {
     pending_fills: Vec<(usize, usize)>,
     outcome_buf: Vec<AccessOutcome>,
     spec: SpecStats,
+    /// Armed circuit breaker: `(storm windows, cooldown records)`. `None`
+    /// (the default) leaves every code path exactly as without a breaker.
+    breaker: Option<(u32, u32)>,
+    /// Breaker telemetry of the most recent run (trips, streamed records).
+    fault: FaultStats,
 }
 
 impl Default for WindowedSimulator {
@@ -525,7 +531,33 @@ impl WindowedSimulator {
             pending_fills: Vec::new(),
             outcome_buf: Vec::new(),
             spec: SpecStats::default(),
+            breaker: None,
+            fault: FaultStats::default(),
         }
+    }
+
+    /// Arms the speculation circuit breaker: after `storm_windows`
+    /// consecutive divergent windows the simulator demotes itself to the
+    /// streaming loop for `cooldown_records` records (bit-identical by
+    /// construction — streaming spans are already part of the engine),
+    /// then re-arms speculation. `storm_windows == 0` disarms.
+    ///
+    /// This is the batched→streaming rung of the degradation ladder: a
+    /// divergence storm (e.g. a scorer gone non-finite thrashing victim
+    /// predictions) stops burning rollback work and rides the reference
+    /// loop until the storm passes.
+    pub fn set_breaker(&mut self, storm_windows: u32, cooldown_records: u32) {
+        self.breaker = if storm_windows == 0 || cooldown_records == 0 {
+            None
+        } else {
+            Some((storm_windows, cooldown_records))
+        };
+    }
+
+    /// Breaker telemetry of the most recent [`WindowedSimulator::run`]
+    /// (all-zero when the breaker is disarmed or never tripped).
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault
     }
 
     /// The speculation depth `W`.
@@ -622,6 +654,7 @@ impl WindowedSimulator {
         observer: Option<&mut dyn ReplayObserver>,
     ) -> SimReport {
         self.spec = SpecStats::default();
+        self.fault = FaultStats::default();
         let Some(score) = score else {
             return simulate_streaming_impl(
                 warmup,
@@ -657,6 +690,11 @@ impl WindowedSimulator {
         // every streaming span — the shadow did not see those requests).
         let mut stream_pending = 0usize;
         let mut need_sync = true;
+        // Circuit-breaker state: consecutive divergent windows, and whether
+        // the current streaming span is a breaker cooldown (vs a mode-probe
+        // span).
+        let mut div_streak = 0u32;
+        let mut breaker_cooling = false;
         while pos < n {
             // Windows never straddle the warm-up/measured boundary so each
             // batched `score_window` call sees one contiguous slice.
@@ -680,8 +718,12 @@ impl WindowedSimulator {
                 );
                 pos += take;
                 stream_pending -= take;
+                if breaker_cooling {
+                    self.fault.breaker_streamed += take as u64;
+                }
                 if stream_pending == 0 {
                     need_sync = true;
+                    breaker_cooling = false;
                 }
                 continue;
             }
@@ -736,6 +778,23 @@ impl WindowedSimulator {
                 && misses as usize * self.params.stream_miss_fraction_div < consumed
             {
                 stream_pending = STREAM_SPAN_WINDOWS * consumed;
+            }
+            // Circuit breaker: a storm of consecutive divergent windows
+            // trips a streaming cooldown. A non-empty overhang blocks
+            // streaming (those records were observed), so the streak keeps
+            // accumulating and the trip fires once the overhang drains.
+            if let Some((storm, cooldown)) = self.breaker {
+                if diverged {
+                    div_streak += 1;
+                    if div_streak >= storm && self.horizon == 0 {
+                        self.fault.breaker_trips += 1;
+                        stream_pending = cooldown as usize;
+                        breaker_cooling = true;
+                        div_streak = 0;
+                    }
+                } else {
+                    div_streak = 0;
+                }
             }
         }
 

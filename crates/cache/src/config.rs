@@ -42,6 +42,28 @@ pub struct CacheConfig {
 }
 
 impl CacheConfig {
+    /// Validated construction: the only way to obtain a `CacheConfig`
+    /// without spelling out the fields, and the place zero-way (and other
+    /// degenerate) geometries are rejected — policy constructors may then
+    /// assume `ways >= 1` (see [`crate::LruPolicy::new`] and friends).
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`CacheConfig::validate`]'s rules.
+    pub fn new(
+        capacity_bytes: u64,
+        block_bytes: u64,
+        ways: usize,
+    ) -> Result<Self, CacheConfigError> {
+        let cfg = CacheConfig {
+            capacity_bytes,
+            block_bytes,
+            ways,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
     /// The paper's hardware deployment: 64 MiB, 4 KiB blocks, 8 ways.
     pub fn paper_default() -> Self {
         CacheConfig {
@@ -153,6 +175,16 @@ mod tests {
         assert!(c.validate().is_err());
         let msg = c.validate().unwrap_err().to_string();
         assert!(msg.contains("invalid cache configuration"));
+    }
+
+    #[test]
+    fn validated_constructor_rejects_zero_ways() {
+        assert!(CacheConfig::new(64 * 4096, 4096, 0).is_err());
+        let ok = CacheConfig::new(64 * 4096, 4096, 4).unwrap();
+        assert_eq!(ok.ways, 4);
+        assert_eq!(ok.num_sets(), 16);
+        let msg = CacheConfig::new(4096, 4096, 0).unwrap_err().to_string();
+        assert!(msg.contains("ways must be >= 1"));
     }
 
     #[test]

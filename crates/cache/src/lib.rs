@@ -43,6 +43,7 @@
 mod batch;
 mod cache;
 mod config;
+mod fault;
 mod latency;
 mod score;
 mod shard;
@@ -58,13 +59,19 @@ pub use batch::{
 };
 pub use cache::{AccessOutcome, BlockState, Eviction, SetAssocCache};
 pub use config::{CacheConfig, CacheConfigError};
+pub use fault::{
+    FailoverAdmission, FailoverEviction, FaultPlan, FaultSink, FaultStats, FaultyScore,
+    ScorerHealth,
+};
 pub use latency::LatencyModel;
 pub use policy::{
     AccessCtx, AdmissionPolicy, AlwaysAdmit, BeladyPolicy, EvictionPolicy, FifoPolicy,
     GmmScorePolicy, LfuPolicy, LruPolicy, RandomPolicy, ShadowVictimModel, ThresholdAdmit,
 };
 pub use score::{ConstantScore, FnScore, ScoreSource};
-pub use shard::{ShardCtx, ShardPolicies, ShardRouting, ShardedReport, ShardedSimulator};
+pub use shard::{
+    ShardCtx, ShardPolicies, ShardRouting, ShardRunError, ShardedReport, ShardedSimulator,
+};
 pub use sim::{
     simulate, simulate_streaming, simulate_streaming_observed_with_warmup,
     simulate_streaming_with_warmup, simulate_with_warmup, ReplayEvent, ReplayObserver, ScoreOrigin,

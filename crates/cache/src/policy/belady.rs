@@ -22,7 +22,14 @@ pub struct BeladyPolicy {
 impl BeladyPolicy {
     /// Builds the oracle from the exact record sequence that will be
     /// simulated (positions are 0-based request sequence numbers).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-way geometry — [`crate::CacheConfig::new`] rejects
+    /// those before a policy is ever sized, so `choose_victim` always has a
+    /// candidate.
     pub fn from_records(records: &[TraceRecord], sets: usize, ways: usize) -> Self {
+        assert!(ways >= 1, "cache geometry must have at least one way");
         let mut occurrences: HashMap<u64, VecDeque<u64>> = HashMap::new();
         for (i, r) in records.iter().enumerate() {
             occurrences

@@ -11,7 +11,14 @@ pub struct FifoPolicy {
 
 impl FifoPolicy {
     /// Creates a FIFO policy for `sets × ways` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-way geometry — [`crate::CacheConfig::new`] rejects
+    /// those before a policy is ever sized, so `choose_victim` always has a
+    /// candidate.
     pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(ways >= 1, "cache geometry must have at least one way");
         FifoPolicy {
             inserted: vec![0; sets * ways],
             ways,

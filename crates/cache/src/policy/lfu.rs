@@ -13,7 +13,14 @@ pub struct LfuPolicy {
 
 impl LfuPolicy {
     /// Creates an LFU policy for `sets × ways` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-way geometry — [`crate::CacheConfig::new`] rejects
+    /// those before a policy is ever sized, so `choose_victim` always has a
+    /// candidate.
     pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(ways >= 1, "cache geometry must have at least one way");
         LfuPolicy {
             count: vec![0; sets * ways],
             last: vec![0; sets * ways],

@@ -12,7 +12,14 @@ pub struct LruPolicy {
 
 impl LruPolicy {
     /// Creates an LRU policy for `sets × ways` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-way geometry — [`crate::CacheConfig::new`] rejects
+    /// those before a policy is ever sized, so `choose_victim` always has a
+    /// candidate.
     pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(ways >= 1, "cache geometry must have at least one way");
         LruPolicy {
             last_used: vec![0; sets * ways],
             ways,
@@ -88,5 +95,11 @@ mod tests {
     #[test]
     fn name_is_lru() {
         assert_eq!(LruPolicy::new(1, 1).name(), "lru");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_way_geometry_is_rejected_at_construction() {
+        let _ = LruPolicy::new(8, 0);
     }
 }

@@ -111,6 +111,36 @@ pub trait ScoreSource {
     }
 }
 
+impl<S: ScoreSource + ?Sized> ScoreSource for Box<S> {
+    fn observe(&mut self, record: &TraceRecord) {
+        (**self).observe(record);
+    }
+
+    fn score_current(&mut self) -> f64 {
+        (**self).score_current()
+    }
+
+    fn score_window(&mut self, records: &[TraceRecord], out: &mut [f64]) {
+        (**self).score_window(records, out);
+    }
+
+    fn prefers_batching(&self) -> bool {
+        (**self).prefers_batching()
+    }
+
+    fn shardable(&self) -> bool {
+        (**self).shardable()
+    }
+
+    fn observe_gap(&mut self, n: u64) {
+        (**self).observe_gap(n);
+    }
+
+    fn score_window_gapped(&mut self, records: &[TraceRecord], gaps: &[u64], out: &mut [f64]) {
+        (**self).score_window_gapped(records, gaps, out);
+    }
+}
+
 /// A constant score for every page (testing, and the degenerate baseline).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ConstantScore(pub f64);

@@ -49,6 +49,7 @@
 use crate::batch::{SpecParams, SpecStats, WindowedSimulator};
 use crate::cache::{AccessOutcome, SetAssocCache};
 use crate::config::{CacheConfig, CacheConfigError};
+use crate::fault::{FaultPlan, FaultStats};
 use crate::latency::LatencyModel;
 use crate::policy::{AdmissionPolicy, EvictionPolicy};
 use crate::score::ScoreSource;
@@ -57,6 +58,58 @@ use crate::sim::{
     SimReport,
 };
 use icgmm_trace::TraceRecord;
+use std::any::Any;
+use std::error::Error;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Error from [`ShardedSimulator::run`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardRunError {
+    /// Invalid cache geometry.
+    Config(CacheConfigError),
+    /// A shard worker panicked *and* the supervisor's re-replay of that
+    /// shard's subtrace panicked too. A lone worker panic (e.g. a
+    /// [`FaultPlan`]-armed panic point) is recovered transparently; this
+    /// error means the panic reproduced deterministically — a genuine bug,
+    /// not an injected fault.
+    ShardFailed {
+        /// Index of the failing shard.
+        shard: usize,
+        /// The panic payloads, worker first, then the supervisor replay.
+        message: String,
+    },
+}
+
+impl fmt::Display for ShardRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardRunError::Config(e) => e.fmt(f),
+            ShardRunError::ShardFailed { shard, message } => {
+                write!(f, "shard {shard} failed: {message}")
+            }
+        }
+    }
+}
+
+impl Error for ShardRunError {}
+
+impl From<CacheConfigError> for ShardRunError {
+    fn from(e: CacheConfigError) -> Self {
+        ShardRunError::Config(e)
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(p) => match p.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
 
 /// What one shard sees when its policies are built: its index, the shard
 /// count, and the subsequences of the warm-up and measured phases whose
@@ -147,6 +200,7 @@ pub struct ShardedSimulator {
     shards: usize,
     params: SpecParams,
     routing: ShardRouting,
+    fault: Option<FaultPlan>,
 }
 
 /// Outcome of one shard worker.
@@ -154,18 +208,32 @@ struct ShardOutcome {
     outcomes: Vec<AccessOutcome>,
     scored: u64,
     spec: SpecStats,
+    fault: FaultStats,
     report: SimReport,
 }
 
 /// Observer that records every replayed outcome (warm-up included) in
-/// shard order, for the global re-accounting merge.
+/// shard order, for the global re-accounting merge — and, when a
+/// [`FaultPlan`] armed a panic point for this shard, dies there.
 struct OutcomeRecorder {
     outcomes: Vec<AccessOutcome>,
     scored: u64,
+    /// Shard-local record index at which to panic (fault injection).
+    panic_at: Option<u64>,
+    seen: u64,
 }
 
 impl ReplayObserver for OutcomeRecorder {
     fn on_record(&mut self, ev: &ReplayEvent<'_>) {
+        if self.panic_at == Some(self.seen) {
+            // resume_unwind skips the panic hook: an armed panic is an
+            // expected, supervisor-recovered event, not stderr noise.
+            resume_unwind(Box::new(format!(
+                "fault-plan armed panic at shard-local record {}",
+                self.seen
+            )));
+        }
+        self.seen += 1;
         self.outcomes.push(*ev.outcome);
         self.scored += u64::from(ev.score.is_some());
     }
@@ -233,12 +301,23 @@ impl ShardedSimulator {
             shards,
             params,
             routing: ShardRouting::default(),
+            fault: None,
         }
     }
 
     /// Overrides how scored shards replay (see [`ShardRouting`]).
     pub fn with_routing(mut self, routing: ShardRouting) -> Self {
         self.routing = routing;
+        self
+    }
+
+    /// Arms a [`FaultPlan`] for this simulator's runs: per-shard panic
+    /// points (recovered by the supervisor) and the per-shard speculation
+    /// circuit breaker. Scorer faults are the caller's concern — wrap the
+    /// per-shard scorer clones in [`crate::FaultyScore`] from `make_shard`.
+    /// An empty plan is equivalent to never calling this.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault = if plan.is_empty() { None } else { Some(plan) };
         self
     }
 
@@ -272,14 +351,18 @@ impl ShardedSimulator {
     ///
     /// # Errors
     ///
-    /// Returns [`CacheConfigError`] for invalid cache geometry.
+    /// Returns [`ShardRunError::Config`] for invalid cache geometry, and
+    /// [`ShardRunError::ShardFailed`] when a shard worker panics *and* the
+    /// supervisor's re-replay of that shard panics too (a lone worker
+    /// panic — injected or genuine — is recovered transparently: the
+    /// supervisor re-replays the shard's subtrace on the calling thread
+    /// and the merged report is bit-identical to an undisturbed run).
     ///
     /// # Panics
     ///
     /// Panics when running more than one shard with an eviction policy
     /// that is not [`EvictionPolicy::shard_deterministic`] or a score
-    /// source that is not [`ScoreSource::shardable`], and when a shard
-    /// worker panics.
+    /// source that is not [`ScoreSource::shardable`].
     pub fn run(
         &self,
         warmup: &[TraceRecord],
@@ -288,7 +371,7 @@ impl ShardedSimulator {
         make_shard: &mut dyn FnMut(&ShardCtx<'_>) -> ShardPolicies,
         latency: &LatencyModel,
         series_window: Option<u64>,
-    ) -> Result<ShardedReport, CacheConfigError> {
+    ) -> Result<ShardedReport, ShardRunError> {
         cache_cfg.validate()?;
         let s = self.shards;
 
@@ -348,12 +431,28 @@ impl ShardedSimulator {
             ShardRouting::Streaming => false,
         };
 
+        // Fault arming: a per-shard panic point (the shard-worker fault
+        // class) and the per-shard speculation circuit breaker.
+        let panic_at: Vec<Option<u64>> = (0..s)
+            .map(|shard| {
+                self.fault.as_ref().and_then(|p| {
+                    p.shard_panic_point(shard, shard_warm[shard].len() + shard_meas[shard].len())
+                })
+            })
+            .collect();
+        let breaker = self
+            .fault
+            .filter(|p| p.breaker_armed())
+            .map(|p| (p.breaker_storm_windows, p.breaker_cooldown_records));
+
         // Replay shards on scoped threads. Workers are fully independent
         // (own cache, own policies, own scorer clone), so join order —
-        // shard-index order — is the only ordering that matters.
+        // shard-index order — is the only ordering that matters. Worker
+        // panics are captured at join, never propagated: degradation
+        // (supervisor re-replay) happens below.
         let params = self.params;
         let lat = *latency;
-        let outcomes: Vec<ShardOutcome> = crossbeam::thread::scope(|scope| {
+        let joined: Vec<Result<ShardOutcome, String>> = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = policies
                 .into_iter()
                 .enumerate()
@@ -361,17 +460,74 @@ impl ShardedSimulator {
                     let warm = &shard_warm[shard];
                     let meas = &shard_meas[shard];
                     let gap = &gaps[shard];
+                    let at = panic_at[shard];
                     scope.spawn(move |_| {
-                        run_shard(warm, meas, gap, cache_cfg, params, batched, &lat, pol)
+                        run_shard(
+                            warm, meas, gap, cache_cfg, params, batched, &lat, pol, at, breaker,
+                        )
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
+                .map(|h| h.join().map_err(panic_message))
                 .collect()
         })
-        .expect("shard scope panicked");
+        .expect("scope completes once every handle is joined");
+
+        // Graceful degradation: a panicked shard's worker left no shared
+        // state behind (the merge below is the only cross-shard touch
+        // point), so the supervisor re-replays that shard's subtrace on
+        // this thread with fresh policies and the panic point disarmed.
+        // The replay is deterministic, so the merged report is
+        // bit-identical to a run where the worker never died.
+        let mut fault = FaultStats::default();
+        let mut outcomes: Vec<ShardOutcome> = Vec::with_capacity(s);
+        for (shard, res) in joined.into_iter().enumerate() {
+            match res {
+                Ok(o) => outcomes.push(o),
+                Err(worker_msg) => {
+                    fault.shard_panics += 1;
+                    let ctx = ShardCtx {
+                        shard,
+                        shards: s,
+                        warmup: &shard_warm[shard],
+                        measured: &shard_meas[shard],
+                    };
+                    let pol = make_shard(&ctx);
+                    let replay = catch_unwind(AssertUnwindSafe(|| {
+                        run_shard(
+                            &shard_warm[shard],
+                            &shard_meas[shard],
+                            &gaps[shard],
+                            cache_cfg,
+                            params,
+                            batched,
+                            &lat,
+                            pol,
+                            None,
+                            breaker,
+                        )
+                    }));
+                    match replay {
+                        Ok(o) => {
+                            fault.shard_recoveries += 1;
+                            outcomes.push(o);
+                        }
+                        Err(p) => {
+                            return Err(ShardRunError::ShardFailed {
+                                shard,
+                                message: format!(
+                                    "worker panicked ({worker_msg}); supervisor re-replay \
+                                     panicked too ({})",
+                                    panic_message(p)
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
 
         // Merge by re-accounting in global trace order: identical
         // operation sequence to the single-threaded loop, hence identical
@@ -388,7 +544,7 @@ impl ShardedSimulator {
             .iter()
             .zip(&outcomes)
             .all(|(&c, o)| c == o.outcomes.len()));
-        let sim = acct.into_report_named(
+        let mut sim = acct.into_report_named(
             measured.len(),
             &outcomes[0].report.eviction,
             &outcomes[0].report.admission,
@@ -398,8 +554,12 @@ impl ShardedSimulator {
         let mut scores_consumed = 0;
         for o in &outcomes {
             spec.merge(&o.spec);
+            // Per-shard fault telemetry (breaker trips etc.), merged in
+            // shard-index order — deterministic for a given shard count.
+            fault.merge(&o.fault);
             scores_consumed += o.scored;
         }
+        sim.fault = fault;
         if cfg!(debug_assertions) {
             let mut merged = crate::stats::CacheStats::default();
             for o in &outcomes {
@@ -418,7 +578,9 @@ impl ShardedSimulator {
 }
 
 /// One shard's replay — batcher or streaming per the resolved routing —
-/// with an [`OutcomeRecorder`] on the replay-event stream.
+/// with an [`OutcomeRecorder`] on the replay-event stream. `panic_at`
+/// arms the fault-injection panic point; `breaker` arms the per-shard
+/// speculation circuit breaker.
 #[allow(clippy::too_many_arguments)]
 fn run_shard(
     warm: &[TraceRecord],
@@ -429,13 +591,18 @@ fn run_shard(
     batched: bool,
     latency: &LatencyModel,
     mut pol: ShardPolicies,
+    panic_at: Option<u64>,
+    breaker: Option<(u32, u32)>,
 ) -> ShardOutcome {
     let mut cache = SetAssocCache::new(cache_cfg).expect("geometry validated by run()");
     let mut recorder = OutcomeRecorder {
         outcomes: Vec::with_capacity(warm.len() + meas.len()),
         scored: 0,
+        panic_at,
+        seen: 0,
     };
     let mut spec = SpecStats::default();
+    let mut fault = FaultStats::default();
     let report = match pol.score.as_mut() {
         Some(score) => {
             let mut gap_score = GapScore {
@@ -445,6 +612,9 @@ fn run_shard(
             };
             if batched {
                 let mut wsim = WindowedSimulator::with_params(params);
+                if let Some((storm, cooldown)) = breaker {
+                    wsim.set_breaker(storm, cooldown);
+                }
                 let report = wsim.run_observed(
                     warm,
                     meas,
@@ -457,6 +627,7 @@ fn run_shard(
                     &mut recorder,
                 );
                 spec = *wsim.spec_stats();
+                fault = *wsim.fault_stats();
                 report
             } else {
                 simulate_streaming_observed_with_warmup(
@@ -488,6 +659,7 @@ fn run_shard(
         outcomes: recorder.outcomes,
         scored: recorder.scored,
         spec,
+        fault,
         report,
     }
 }

@@ -143,6 +143,9 @@ pub struct SimReport {
     pub eviction: String,
     /// Name of the admission policy used.
     pub admission: String,
+    /// Fault-injection and degradation counters (all-zero on fault-free
+    /// runs; filled in by fault-armed callers).
+    pub fault: crate::fault::FaultStats,
 }
 
 impl SimReport {
@@ -475,6 +478,7 @@ impl<'a, 'o> Accounting<'a, 'o> {
             miss_series: self.series,
             eviction: eviction.to_string(),
             admission: admission.to_string(),
+            fault: crate::fault::FaultStats::default(),
         }
     }
 }

@@ -1,7 +1,7 @@
 //! End-to-end system configuration and the four policy modes of Fig. 6.
 
 use crate::error::IcgmmError;
-use icgmm_cache::{CacheConfig, LatencyModel};
+use icgmm_cache::{CacheConfig, FaultPlan, LatencyModel};
 use icgmm_gmm::{EmConfig, ThresholdConfig};
 use icgmm_trace::PreprocessConfig;
 use serde::{Deserialize, Serialize};
@@ -126,6 +126,14 @@ pub struct IcgmmConfig {
     /// [`crate::Icgmm::run`] at any value — sharding is pure host-side
     /// parallelism. `1` (the default) replays single-threaded.
     pub sim_shards: usize,
+    /// Deterministic fault-injection plan spanning the whole replay stack:
+    /// scorer faults (non-finite scores, engine outages), device faults
+    /// (SSD failures, retries, tail-latency spikes on the modeled
+    /// timeline), shard-worker panics, and the degradation ladder's knobs
+    /// (speculation circuit breaker, scorer health monitor). The empty
+    /// default arms nothing and leaves every run bit-identical to a
+    /// fault-free build.
+    pub fault: FaultPlan,
 }
 
 impl Default for IcgmmConfig {
@@ -144,6 +152,7 @@ impl Default for IcgmmConfig {
             sim_window_floor: icgmm_cache::MIN_SPEC_WINDOW,
             sim_stream_miss_div: icgmm_cache::STREAM_MISS_FRACTION_DIV,
             sim_shards: 1,
+            fault: FaultPlan::empty(),
         }
     }
 }
@@ -194,6 +203,7 @@ impl IcgmmConfig {
             // only zero is rejected here.
             return Err(IcgmmError::Config("sim_shards must be >= 1".into()));
         }
+        self.fault.validate().map_err(IcgmmError::Config)?;
         Ok(())
     }
 
@@ -249,6 +259,20 @@ mod tests {
         c = IcgmmConfig::default();
         c.sim_shards = 0;
         assert!(c.validate().is_err());
+        c = IcgmmConfig::default();
+        c.fault.scorer_nan_per_mille = 1001;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn chaos_fault_plans_validate_and_defaults_are_empty() {
+        let c = IcgmmConfig::default();
+        assert!(c.fault.is_empty());
+        let chaotic = IcgmmConfig {
+            fault: FaultPlan::chaos(42),
+            ..Default::default()
+        };
+        assert!(chaotic.validate().is_ok());
     }
 
     #[test]

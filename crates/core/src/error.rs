@@ -16,6 +16,15 @@ pub enum IcgmmError {
     NotFitted,
     /// The trace was empty after preprocessing.
     EmptyTrace,
+    /// A replay shard failed beyond recovery: its worker panicked and the
+    /// supervisor's single-threaded re-replay of the same subtrace panicked
+    /// too (armed fault-plan panics recover and never reach this).
+    ShardFailed {
+        /// Index of the failed shard.
+        shard: usize,
+        /// Panic payloads of the worker and the re-replay.
+        message: String,
+    },
 }
 
 impl fmt::Display for IcgmmError {
@@ -28,6 +37,9 @@ impl fmt::Display for IcgmmError {
                 f.write_str("policy engine not trained: call fit() before a GMM mode")
             }
             IcgmmError::EmptyTrace => f.write_str("trace is empty after preprocessing"),
+            IcgmmError::ShardFailed { shard, message } => {
+                write!(f, "replay shard {shard} failed: {message}")
+            }
         }
     }
 }
@@ -54,6 +66,17 @@ impl From<icgmm_gmm::GmmError> for IcgmmError {
     }
 }
 
+impl From<icgmm_cache::ShardRunError> for IcgmmError {
+    fn from(e: icgmm_cache::ShardRunError) -> Self {
+        match e {
+            icgmm_cache::ShardRunError::Config(c) => IcgmmError::Cache(c),
+            icgmm_cache::ShardRunError::ShardFailed { shard, message } => {
+                IcgmmError::ShardFailed { shard, message }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,5 +89,20 @@ mod tests {
         let e: IcgmmError = icgmm_gmm::GmmError::EmptyInput.into();
         assert!(e.to_string().contains("gmm"));
         assert!(e.source().is_some());
+        let s = IcgmmError::ShardFailed {
+            shard: 3,
+            message: "boom".into(),
+        };
+        assert!(s.to_string().contains("shard 3") && s.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn shard_run_errors_convert_losslessly() {
+        let e: IcgmmError = icgmm_cache::ShardRunError::ShardFailed {
+            shard: 7,
+            message: "worker panicked".into(),
+        }
+        .into();
+        assert!(matches!(e, IcgmmError::ShardFailed { shard: 7, .. }));
     }
 }

@@ -42,6 +42,9 @@ pub struct ExperimentResult {
     /// Fraction of policy-engine scores served by the batched kernel
     /// (0 for score-free modes).
     pub batched_score_fraction: f64,
+    /// Fault-injection and degradation counters (all-zero without an
+    /// armed [`crate::IcgmmConfig::fault`] plan).
+    pub fault: icgmm_cache::FaultStats,
 }
 
 impl ExperimentResult {
@@ -60,6 +63,7 @@ impl ExperimentResult {
             spec_admission_bypasses: run.spec.map(|s| s.admission_divergences).unwrap_or(0),
             spec_run_splits: run.spec.map(|s| s.run_splits).unwrap_or(0),
             batched_score_fraction: run.spec.map(|s| s.batched_fraction()).unwrap_or(0.0),
+            fault: run.sim.fault,
         }
     }
 }
@@ -233,6 +237,7 @@ mod tests {
                 spec_admission_bypasses: 0,
                 spec_run_splits: 0,
                 batched_score_fraction: 0.0,
+                fault: icgmm_cache::FaultStats::default(),
             },
             ExperimentResult {
                 benchmark: "x".into(),
@@ -248,6 +253,7 @@ mod tests {
                 spec_admission_bypasses: 0,
                 spec_run_splits: 0,
                 batched_score_fraction: 0.0,
+                fault: icgmm_cache::FaultStats::default(),
             },
             ExperimentResult {
                 benchmark: "x".into(),
@@ -263,6 +269,7 @@ mod tests {
                 spec_admission_bypasses: 0,
                 spec_run_splits: 0,
                 batched_score_fraction: 0.0,
+                fault: icgmm_cache::FaultStats::default(),
             },
         ];
         assert_eq!(find(&results, "x", PolicyMode::Lru).unwrap().miss_pct, 5.0);

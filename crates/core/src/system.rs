@@ -5,9 +5,10 @@ use crate::config::{IcgmmConfig, PolicyMode};
 use crate::engine::{GmmPolicyEngine, TrainedModel};
 use crate::error::IcgmmError;
 use icgmm_cache::{
-    AlwaysAdmit, BeladyPolicy, FifoPolicy, GmmScorePolicy, LatencyModel, LfuPolicy, LruPolicy,
-    RandomPolicy, SetAssocCache, ShardPolicies, ShardedSimulator, SimReport, SpecStats,
-    ThresholdAdmit, WindowedSimulator,
+    AlwaysAdmit, BeladyPolicy, FailoverAdmission, FailoverEviction, FaultSink, FaultyScore,
+    FifoPolicy, GmmScorePolicy, LatencyModel, LfuPolicy, LruPolicy, RandomPolicy, ScorerHealth,
+    SetAssocCache, ShardPolicies, ShardedSimulator, SimReport, SpecStats, ThresholdAdmit,
+    WindowedSimulator,
 };
 use icgmm_gmm::{calibrate_threshold, EmReport, EmTrainer, StandardScaler};
 use icgmm_hw::{DataflowConfig, DataflowReport};
@@ -246,12 +247,57 @@ impl Icgmm {
         let use_batched = engine
             .as_ref()
             .is_some_and(icgmm_cache::ScoreSource::prefers_batching);
+
+        // Fault plumbing: with an armed plan the engine's scores pass
+        // through the plan's injector (feeding the health monitor), and the
+        // GMM-driven policies gain their degradation fallbacks. The empty
+        // default wraps nothing, so fault-free runs take exactly the
+        // original code paths.
+        let plan = self.cfg.fault;
+        let sink = FaultSink::new();
+        let health = (engine.is_some() && plan.monitor_armed()).then(|| ScorerHealth::new(&plan));
+        let mut faulty = if engine.is_some() && (plan.scorer_armed() || health.is_some()) {
+            engine
+                .take()
+                .map(|e| FaultyScore::new(e, plan, health.clone(), sink.clone()))
+        } else {
+            None
+        };
+
         let mut wsim = WindowedSimulator::with_params(self.cfg.spec_params());
-        let sim = {
+        if use_batched && plan.breaker_armed() {
+            wsim.set_breaker(plan.breaker_storm_windows, plan.breaker_cooldown_records);
+        }
+        let mut sim = {
             let wsim = &mut wsim;
-            let score = engine
-                .as_mut()
-                .map(|e| e as &mut dyn icgmm_cache::ScoreSource);
+            let score: Option<&mut dyn icgmm_cache::ScoreSource> = match faulty.as_mut() {
+                Some(f) => Some(f),
+                None => engine
+                    .as_mut()
+                    .map(|e| e as &mut dyn icgmm_cache::ScoreSource),
+            };
+            let wrap_ev = |primary: GmmScorePolicy| -> Box<dyn icgmm_cache::EvictionPolicy + Send> {
+                match &health {
+                    Some(h) => Box::new(FailoverEviction::new(
+                        Box::new(primary),
+                        Box::new(LruPolicy::new(sets, ways)),
+                        h.clone(),
+                        sink.clone(),
+                    )),
+                    None => Box::new(primary),
+                }
+            };
+            let wrap_adm =
+                |primary: ThresholdAdmit| -> Box<dyn icgmm_cache::AdmissionPolicy + Send> {
+                    match &health {
+                        Some(h) => Box::new(FailoverAdmission::new(
+                            Box::new(primary),
+                            h.clone(),
+                            sink.clone(),
+                        )),
+                        None => Box::new(primary),
+                    }
+                };
             let mut run =
                 |adm: &mut dyn icgmm_cache::AdmissionPolicy,
                  ev: &mut dyn icgmm_cache::EvictionPolicy,
@@ -280,27 +326,34 @@ impl Icgmm {
                     let mut ev = BeladyPolicy::from_records(&trace.records()[..end], sets, ways);
                     run(&mut AlwaysAdmit, &mut ev, None)
                 }
-                PolicyMode::GmmCachingOnly => run(
-                    &mut self.admission(threshold),
-                    &mut LruPolicy::new(sets, ways),
-                    score,
-                ),
-                PolicyMode::GmmEvictionOnly => run(
-                    &mut AlwaysAdmit,
-                    &mut self.score_eviction(sets, ways),
-                    score,
-                ),
-                PolicyMode::GmmCachingEviction => run(
-                    &mut self.admission(threshold),
-                    &mut self.score_eviction(sets, ways),
-                    score,
-                ),
+                PolicyMode::GmmCachingOnly => {
+                    let mut adm = wrap_adm(self.admission(threshold));
+                    run(adm.as_mut(), &mut LruPolicy::new(sets, ways), score)
+                }
+                PolicyMode::GmmEvictionOnly => {
+                    let mut ev = wrap_ev(self.score_eviction(sets, ways));
+                    run(&mut AlwaysAdmit, ev.as_mut(), score)
+                }
+                PolicyMode::GmmCachingEviction => {
+                    let mut adm = wrap_adm(self.admission(threshold));
+                    let mut ev = wrap_ev(self.score_eviction(sets, ways));
+                    run(adm.as_mut(), ev.as_mut(), score)
+                }
             }
+        };
+        if use_batched {
+            sim.fault.merge(wsim.fault_stats());
+        }
+        sim.fault.merge(&sink.snapshot());
+        let gmm_inferences = match (&engine, &faulty) {
+            (Some(e), _) => e.scores_computed(),
+            (None, Some(f)) => f.inner().scores_computed(),
+            (None, None) => 0,
         };
         Ok(RunReport {
             mode,
             sim,
-            gmm_inferences: engine.map(|e| e.scores_computed()).unwrap_or(0),
+            gmm_inferences,
             spec: use_batched.then(|| *wsim.spec_stats()),
         })
     }
@@ -360,7 +413,16 @@ impl Icgmm {
             None
         };
         let threshold = self.model.as_ref().map(|m| m.threshold).unwrap_or(0.0);
-        let ssim = ShardedSimulator::with_params(shards, self.cfg.spec_params());
+        // Per-shard fault plumbing: each replay thread gets its own score
+        // injector, health monitor and stats sink, so degradation
+        // transitions stay deterministic per shard (and a supervisor
+        // re-replay after a worker panic replaces the aborted attempt's
+        // sink wholesale, keeping merged stats equal to an undisturbed
+        // run). Sinks merge into the report in shard order.
+        let plan = self.cfg.fault;
+        let scorer_armed = plan.scorer_armed() || plan.monitor_armed();
+        let shard_sinks = std::cell::RefCell::new(vec![FaultSink::new(); shards]);
+        let ssim = ShardedSimulator::with_params(shards, self.cfg.spec_params()).with_faults(plan);
         let rep = ssim.run(
             warmup,
             measured,
@@ -396,6 +458,39 @@ impl Icgmm {
                 let score = engine
                     .as_ref()
                     .map(|e| Box::new(e.clone()) as Box<dyn icgmm_cache::ScoreSource + Send>);
+                let (mut admission, mut eviction, mut score) = (admission, eviction, score);
+                if score.is_some() && scorer_armed {
+                    let sink = FaultSink::new();
+                    let health = plan.monitor_armed().then(|| ScorerHealth::new(&plan));
+                    score = score.map(|s| {
+                        Box::new(FaultyScore::new(s, plan, health.clone(), sink.clone()))
+                            as Box<dyn icgmm_cache::ScoreSource + Send>
+                    });
+                    if let Some(h) = &health {
+                        if matches!(
+                            mode,
+                            PolicyMode::GmmEvictionOnly | PolicyMode::GmmCachingEviction
+                        ) {
+                            eviction = Box::new(FailoverEviction::new(
+                                eviction,
+                                Box::new(LruPolicy::new(sets, ways)),
+                                h.clone(),
+                                sink.clone(),
+                            ));
+                        }
+                        if matches!(
+                            mode,
+                            PolicyMode::GmmCachingOnly | PolicyMode::GmmCachingEviction
+                        ) {
+                            admission = Box::new(FailoverAdmission::new(
+                                admission,
+                                h.clone(),
+                                sink.clone(),
+                            ));
+                        }
+                    }
+                    shard_sinks.borrow_mut()[ctx.shard] = sink;
+                }
                 ShardPolicies {
                     admission,
                     eviction,
@@ -405,6 +500,10 @@ impl Icgmm {
             latency,
             None,
         )?;
+        let mut rep = rep;
+        for sink in shard_sinks.into_inner() {
+            rep.sim.fault.merge(&sink.snapshot());
+        }
         let gmm_inferences = if engine.is_none() {
             0
         } else if rep.batched {
@@ -453,9 +552,58 @@ impl Icgmm {
             .as_ref()
             .is_some_and(icgmm_cache::ScoreSource::prefers_batching);
         let params = self.cfg.spec_params();
-        let score = engine
-            .as_mut()
-            .map(|e| e as &mut dyn icgmm_cache::ScoreSource);
+
+        // This configuration's fault plan rides along unless the dataflow
+        // config armed its own: device faults and the circuit breaker act
+        // inside the hardware model, scorer faults and policy failover are
+        // wired here, and everything lands in the report's fault block.
+        let effective;
+        let config = if config.fault.is_empty() && !self.cfg.fault.is_empty() {
+            effective = DataflowConfig {
+                fault: self.cfg.fault,
+                ..config.clone()
+            };
+            &effective
+        } else {
+            config
+        };
+        let plan = config.fault;
+        let sink = FaultSink::new();
+        let health = (engine.is_some() && plan.monitor_armed()).then(|| ScorerHealth::new(&plan));
+        let mut faulty = if engine.is_some() && (plan.scorer_armed() || health.is_some()) {
+            engine
+                .take()
+                .map(|e| FaultyScore::new(e, plan, health.clone(), sink.clone()))
+        } else {
+            None
+        };
+        let score: Option<&mut dyn icgmm_cache::ScoreSource> = match faulty.as_mut() {
+            Some(f) => Some(f),
+            None => engine
+                .as_mut()
+                .map(|e| e as &mut dyn icgmm_cache::ScoreSource),
+        };
+        let wrap_ev = |primary: GmmScorePolicy| -> Box<dyn icgmm_cache::EvictionPolicy + Send> {
+            match &health {
+                Some(h) => Box::new(FailoverEviction::new(
+                    Box::new(primary),
+                    Box::new(LruPolicy::new(sets, ways)),
+                    h.clone(),
+                    sink.clone(),
+                )),
+                None => Box::new(primary),
+            }
+        };
+        let wrap_adm = |primary: ThresholdAdmit| -> Box<dyn icgmm_cache::AdmissionPolicy + Send> {
+            match &health {
+                Some(h) => Box::new(FailoverAdmission::new(
+                    Box::new(primary),
+                    h.clone(),
+                    sink.clone(),
+                )),
+                None => Box::new(primary),
+            }
+        };
         let cache_cfg = self.cfg.cache;
         let go = |adm: &mut dyn icgmm_cache::AdmissionPolicy,
                   ev: &mut dyn icgmm_cache::EvictionPolicy,
@@ -471,7 +619,7 @@ impl Icgmm {
                 )?
             })
         };
-        match mode {
+        let mut report = match mode {
             PolicyMode::Lru | PolicyMode::Fifo | PolicyMode::Random | PolicyMode::Lfu => {
                 let mut ev: Box<dyn icgmm_cache::EvictionPolicy> = match mode {
                     PolicyMode::Fifo => Box::new(FifoPolicy::new(sets, ways)),
@@ -486,22 +634,22 @@ impl Icgmm {
                 let mut ev = BeladyPolicy::from_records(&trace.records()[..end], sets, ways);
                 go(&mut AlwaysAdmit, &mut ev, None)
             }
-            PolicyMode::GmmCachingOnly => go(
-                &mut self.admission(threshold),
-                &mut LruPolicy::new(sets, ways),
-                score,
-            ),
-            PolicyMode::GmmEvictionOnly => go(
-                &mut AlwaysAdmit,
-                &mut self.score_eviction(sets, ways),
-                score,
-            ),
-            PolicyMode::GmmCachingEviction => go(
-                &mut self.admission(threshold),
-                &mut self.score_eviction(sets, ways),
-                score,
-            ),
-        }
+            PolicyMode::GmmCachingOnly => {
+                let mut adm = wrap_adm(self.admission(threshold));
+                go(adm.as_mut(), &mut LruPolicy::new(sets, ways), score)
+            }
+            PolicyMode::GmmEvictionOnly => {
+                let mut ev = wrap_ev(self.score_eviction(sets, ways));
+                go(&mut AlwaysAdmit, ev.as_mut(), score)
+            }
+            PolicyMode::GmmCachingEviction => {
+                let mut adm = wrap_adm(self.admission(threshold));
+                let mut ev = wrap_ev(self.score_eviction(sets, ways));
+                go(adm.as_mut(), ev.as_mut(), score)
+            }
+        }?;
+        report.fault.merge(&sink.snapshot());
+        Ok(report)
     }
 
     fn score_eviction(&self, sets: usize, ways: usize) -> GmmScorePolicy {

@@ -42,8 +42,8 @@ use crate::gmm_engine::GmmEngineModel;
 use crate::ssd::{SsdEmulator, SsdProfile, SsdStats};
 use icgmm_cache::{
     simulate_streaming_observed_with_warmup, AccessOutcome, AdmissionPolicy, CacheConfig,
-    CacheConfigError, CacheStats, EvictionPolicy, LatencyModel, ReplayEvent, ReplayObserver,
-    ScoreSource, SetAssocCache, SpecParams, SpecStats, WindowedSimulator,
+    CacheConfigError, CacheStats, EvictionPolicy, FaultPlan, FaultStats, LatencyModel, ReplayEvent,
+    ReplayObserver, ScoreSource, SetAssocCache, SpecParams, SpecStats, WindowedSimulator,
 };
 use icgmm_trace::{Op, TraceRecord};
 use serde::{Deserialize, Serialize};
@@ -64,6 +64,12 @@ pub struct DataflowConfig {
     /// Run policy inference concurrently with the SSD access (the paper's
     /// dataflow architecture); `false` models a sequential design.
     pub overlap_policy_with_ssd: bool,
+    /// Deterministic fault-injection plan. The empty default leaves every
+    /// code path — and the report — bit-identical to a fault-free build;
+    /// arming device faults makes SSD commands fail/retry/spike on the
+    /// modeled timeline, and arming the speculation circuit breaker demotes
+    /// the batched host replay to streaming under divergence storms.
+    pub fault: FaultPlan,
 }
 
 impl Default for DataflowConfig {
@@ -75,6 +81,7 @@ impl Default for DataflowConfig {
             gmm_engine: GmmEngineModel::paper_k256(),
             ssd: SsdProfile::tlc(),
             overlap_policy_with_ssd: true,
+            fault: FaultPlan::empty(),
         }
     }
 }
@@ -106,6 +113,11 @@ pub struct DataflowReport {
     /// replay engine (`None` on the streaming engine). Pure host-side
     /// diagnostics: the modeled timing above is bit-identical either way.
     pub spec: Option<SpecStats>,
+    /// Fault-injection and degradation counters (all-zero without an armed
+    /// [`DataflowConfig::fault`] plan): device failures/retries/spikes/
+    /// timeouts charged to the modeled timeline, plus circuit-breaker
+    /// telemetry from the batched host replay.
+    pub fault: FaultStats,
 }
 
 impl DataflowReport {
@@ -169,7 +181,7 @@ impl DataflowTimer {
             gmm_busy_us: 0.0,
             overlap_saved_us: 0.0,
             loader_stalls: 0,
-            ssd: SsdEmulator::new(config.ssd.clone()),
+            ssd: SsdEmulator::with_faults(config.ssd.clone(), config.fault),
         }
     }
 
@@ -242,10 +254,11 @@ impl DataflowTimer {
                 self.queue_sum / n as f64
             },
             gmm_busy_us: self.gmm_busy_us,
-            ssd: self.ssd.stats(),
             loader_stalls: self.loader_stalls,
             overlap_saved_us: self.overlap_saved_us,
             spec,
+            fault: *self.ssd.fault_stats(),
+            ssd: self.ssd.stats(),
         }
     }
 }
@@ -398,6 +411,12 @@ pub fn run_dataflow_batched_with_warmup(
     let mut cache = SetAssocCache::new(cache_cfg)?;
     let mut timer = DataflowTimer::new(config, warmup.len());
     let mut wsim = WindowedSimulator::with_params(params);
+    if config.fault.breaker_armed() {
+        wsim.set_breaker(
+            config.fault.breaker_storm_windows,
+            config.fault.breaker_cooldown_records,
+        );
+    }
     let scored = score.is_some();
     let sim = wsim.run_observed(
         warmup,
@@ -411,7 +430,10 @@ pub fn run_dataflow_batched_with_warmup(
         &mut timer,
     );
     let spec = scored.then(|| *wsim.spec_stats());
-    Ok(timer.into_report(sim.stats, measured.len(), spec))
+    let breaker = *wsim.fault_stats();
+    let mut report = timer.into_report(sim.stats, measured.len(), spec);
+    report.fault.merge(&breaker);
+    Ok(report)
 }
 
 #[cfg(test)]
