@@ -490,6 +490,40 @@ pub struct WindowedSimulator {
     breaker: Option<(u32, u32)>,
     /// Breaker telemetry of the most recent run (trips, streamed records).
     fault: FaultStats,
+    /// Adaptive-mode state carried across chunked continuations
+    /// ([`WindowedSimulator::run_observed_from`] with `seq_base > 0`):
+    /// the window depth, dense/sparse evidence, any unfinished streaming
+    /// span and the breaker's divergence streak. Outcomes are invariant
+    /// to all of it (the batcher's mode invariance), but resetting it per
+    /// chunk would make a chunked replay re-probe and re-speculate at
+    /// every chunk boundary — a hit-dominated trace served in chunks
+    /// would pay dense-scoring costs the uninterrupted run never pays.
+    cont: ContState,
+}
+
+/// See [`WindowedSimulator::cont`].
+#[derive(Clone, Copy, Debug)]
+struct ContState {
+    depth: usize,
+    dense_next: bool,
+    stream_pending: usize,
+    div_streak: u32,
+    breaker_cooling: bool,
+}
+
+impl ContState {
+    fn fresh(params: &SpecParams) -> Self {
+        ContState {
+            depth: params.window,
+            // Dense scoring needs miss-fraction evidence; the first
+            // window starts sparse and every window's replay updates the
+            // estimate.
+            dense_next: false,
+            stream_pending: 0,
+            div_streak: 0,
+            breaker_cooling: false,
+        }
+    }
 }
 
 impl Default for WindowedSimulator {
@@ -517,6 +551,7 @@ impl WindowedSimulator {
     pub fn with_params(params: SpecParams) -> Self {
         params.assert_valid();
         WindowedSimulator {
+            cont: ContState::fresh(&params),
             params,
             model: ShadowVictimModel::default(),
             shadow: Vec::new(),
@@ -596,6 +631,7 @@ impl WindowedSimulator {
         self.run_impl(
             warmup,
             measured,
+            0,
             cache,
             admission,
             eviction,
@@ -630,6 +666,7 @@ impl WindowedSimulator {
         self.run_impl(
             warmup,
             measured,
+            0,
             cache,
             admission,
             eviction,
@@ -640,11 +677,55 @@ impl WindowedSimulator {
         )
     }
 
+    /// [`WindowedSimulator::run_observed`] for *chunked* replay: record
+    /// sequence numbers start at `seq_base` instead of zero, and when
+    /// `seq_base > 0` the shadow's slot metadata survives from the
+    /// previous call — the chunk is treated as the continuation of one
+    /// logical run over the same cache and policies. This is the serving
+    /// workers' entry point: a shard worker drains its ingestion queue
+    /// into chunks and replays each at speculation speed, with recency
+    /// stamps, stored-score shadow metadata and the divergence bookkeeping
+    /// all continuous across chunk boundaries. Outcomes are bit-identical
+    /// to one uninterrupted run whatever the chunking (the batcher's
+    /// window-boundary invariance, which chunk boundaries piggyback on);
+    /// [`WindowedSimulator::spec_stats`] / `fault_stats` cover the last
+    /// chunk only, so accumulate them per call.
+    ///
+    /// The caller owns phase handling: pass the chunk as `measured` and
+    /// re-account outcomes downstream (the returned report covers just
+    /// this chunk).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_observed_from(
+        &mut self,
+        seq_base: u64,
+        chunk: &[TraceRecord],
+        cache: &mut SetAssocCache,
+        admission: &mut dyn AdmissionPolicy,
+        eviction: &mut dyn EvictionPolicy,
+        score: Option<&mut dyn ScoreSource>,
+        latency: &LatencyModel,
+        observer: &mut dyn ReplayObserver,
+    ) -> SimReport {
+        self.run_impl(
+            &[],
+            chunk,
+            seq_base,
+            cache,
+            admission,
+            eviction,
+            score,
+            latency,
+            None,
+            Some(observer),
+        )
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn run_impl(
         &mut self,
         warmup: &[TraceRecord],
         measured: &[TraceRecord],
+        seq_base: u64,
         cache: &mut SetAssocCache,
         admission: &mut dyn AdmissionPolicy,
         eviction: &mut dyn EvictionPolicy,
@@ -671,30 +752,38 @@ impl WindowedSimulator {
 
         self.model = eviction.shadow_victim_model();
         let n_blocks = cache.config().num_blocks();
-        self.meta.clear();
-        self.meta.resize(n_blocks, SlotMeta::default());
-        self.touch = 0;
+        // A chunked continuation (`seq_base > 0` with matching geometry)
+        // keeps the shadow's slot metadata — the stored scores and stamps
+        // it learned in earlier chunks still describe the same live cache
+        // and policies — and the adaptive-mode state, so a chunk picks up
+        // mid-streaming-span or at the learned window depth instead of
+        // re-probing from scratch (see [`WindowedSimulator::cont`]).
+        // Everything else starts fresh.
+        if seq_base == 0 || self.meta.len() != n_blocks {
+            self.meta.clear();
+            self.meta.resize(n_blocks, SlotMeta::default());
+            self.touch = 0;
+            self.cont = ContState::fresh(&self.params);
+        }
         self.horizon = 0;
-        // Dense scoring needs miss-fraction evidence; the first window
-        // starts sparse and every window's replay updates the estimate.
-        let mut dense_next = false;
+        let mut dense_next = self.cont.dense_next;
 
         let mut acct = Accounting::new(warmup.len(), latency, series_window, observer);
 
         let n = warmup.len() + measured.len();
         let min_depth = self.params.min_window.min(self.params.window);
-        let mut depth = self.params.window;
+        let mut depth = self.cont.depth;
         let mut pos = 0usize;
         // Streaming records left before the next speculation probe, and
         // whether the shadow must be re-snapshotted (on entry, and after
         // every streaming span — the shadow did not see those requests).
-        let mut stream_pending = 0usize;
+        let mut stream_pending = self.cont.stream_pending;
         let mut need_sync = true;
         // Circuit-breaker state: consecutive divergent windows, and whether
         // the current streaming span is a breaker cooldown (vs a mode-probe
         // span).
-        let mut div_streak = 0u32;
-        let mut breaker_cooling = false;
+        let mut div_streak = self.cont.div_streak;
+        let mut breaker_cooling = self.cont.breaker_cooling;
         while pos < n {
             // Windows never straddle the warm-up/measured boundary so each
             // batched `score_window` call sees one contiguous slice.
@@ -709,7 +798,7 @@ impl WindowedSimulator {
                 let take = stream_pending.min(phase.len() - local);
                 self.stream_chunk(
                     &phase[local..local + take],
-                    pos as u64,
+                    seq_base + pos as u64,
                     cache,
                     admission,
                     eviction,
@@ -739,7 +828,7 @@ impl WindowedSimulator {
             self.dense = dense_next || self.horizon > 0;
             let (consumed, diverged, misses) = self.run_window(
                 &phase[local..end],
-                pos as u64,
+                seq_base + pos as u64,
                 cache,
                 admission,
                 eviction,
@@ -797,6 +886,13 @@ impl WindowedSimulator {
                 }
             }
         }
+        self.cont = ContState {
+            depth,
+            dense_next,
+            stream_pending,
+            div_streak,
+            breaker_cooling,
+        };
 
         acct.into_report(measured.len(), eviction, admission)
     }
@@ -1920,5 +2016,64 @@ mod tests {
         let spec = sim.spec_stats();
         assert_eq!(spec.victim_divergences, 0, "{spec:?}");
         assert_eq!(spec.class_divergences(), 0, "{spec:?}");
+    }
+
+    #[test]
+    fn chunked_continuation_matches_one_shot_streaming() {
+        // The serving workers replay ragged queue-drain chunks through
+        // `run_observed_from`: sequence numbers and shadow metadata must
+        // be continuous across chunk boundaries, so the outcome stream is
+        // bit-identical to one uninterrupted replay.
+        use crate::sim::ReplayEvent;
+        struct Collect(Vec<AccessOutcome>);
+        impl ReplayObserver for Collect {
+            fn on_record(&mut self, ev: &ReplayEvent<'_>) {
+                self.0.push(*ev.outcome);
+            }
+        }
+        let trace = mixed_trace(3_000);
+        let lat = LatencyModel::paper_tlc();
+
+        let mut c1 = small_cache();
+        let mut ev1 = GmmScorePolicy::new(8, 2);
+        let mut s1 = FnScore::new(|page, seq| ((page * 37 + seq) % 100) as f64 / 100.0);
+        let mut a1 = ThresholdAdmit::new(0.4);
+        let mut reference = Collect(Vec::new());
+        let _ = crate::sim::simulate_streaming_observed_with_warmup(
+            &[],
+            &trace,
+            &mut c1,
+            &mut a1,
+            &mut ev1,
+            Some(&mut s1),
+            &lat,
+            None,
+            &mut reference,
+        );
+
+        let mut c2 = small_cache();
+        let mut ev2 = GmmScorePolicy::new(8, 2);
+        let mut s2 = FnScore::new(|page, seq| ((page * 37 + seq) % 100) as f64 / 100.0);
+        let mut a2 = ThresholdAdmit::new(0.4);
+        let mut sim = WindowedSimulator::new(256);
+        let mut got = Collect(Vec::new());
+        let sizes = [1usize, 7, 64, 513, 300];
+        let (mut base, mut k) = (0usize, 0usize);
+        while base < trace.len() {
+            let take = sizes[k % sizes.len()].min(trace.len() - base);
+            k += 1;
+            let _ = sim.run_observed_from(
+                base as u64,
+                &trace[base..base + take],
+                &mut c2,
+                &mut a2,
+                &mut ev2,
+                Some(&mut s2),
+                &lat,
+                &mut got,
+            );
+            base += take;
+        }
+        assert_eq!(reference.0, got.0, "chunk boundaries changed outcomes");
     }
 }

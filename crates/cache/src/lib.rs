@@ -45,6 +45,7 @@ mod cache;
 mod config;
 mod fault;
 mod latency;
+mod merge;
 mod score;
 mod shard;
 mod sim;
@@ -64,17 +65,18 @@ pub use fault::{
     ScorerHealth,
 };
 pub use latency::LatencyModel;
+pub use merge::{merge_streams, OutcomeStream, SeqOutcome, StreamingMerge};
 pub use policy::{
     AccessCtx, AdmissionPolicy, AlwaysAdmit, BeladyPolicy, EvictionPolicy, FifoPolicy,
     GmmScorePolicy, LfuPolicy, LruPolicy, RandomPolicy, ShadowVictimModel, ThresholdAdmit,
 };
 pub use score::{ConstantScore, FnScore, ScoreSource};
 pub use shard::{
-    ShardCtx, ShardPolicies, ShardRouting, ShardRunError, ShardedReport, ShardedSimulator,
+    GapScore, ShardCtx, ShardPolicies, ShardRouting, ShardRunError, ShardedReport, ShardedSimulator,
 };
 pub use sim::{
     simulate, simulate_streaming, simulate_streaming_observed_with_warmup,
-    simulate_streaming_with_warmup, simulate_with_warmup, ReplayEvent, ReplayObserver, ScoreOrigin,
-    SimReport,
+    simulate_streaming_with_warmup, simulate_with_warmup, streaming_step, ReplayEvent,
+    ReplayObserver, ScoreOrigin, SimReport,
 };
 pub use stats::{CacheStats, MissSeries};

@@ -32,9 +32,10 @@
 //!   batched kernel call per window.
 //! * **Accounting** is replayed, not summed: shard workers record their
 //!   per-record [`crate::AccessOutcome`]s through the replay-event stream,
-//!   and the merge walks the original trace in global order, pulling each
-//!   record's outcome from its shard's queue and feeding the same
-//!   [`Accounting`] the single-threaded loop uses. Integer counters,
+//!   each stamped with its global trace position, and a k-way
+//!   [`StreamingMerge`] re-accounts them in ascending-sequence order
+//!   through the same `Accounting` the single-threaded loop uses —
+//!   holding one pending outcome per shard. Integer counters,
 //!   the order-sensitive `f64` latency total and the windowed miss series
 //!   all see the identical operation sequence, so the merged
 //!   [`SimReport`] is bit-identical for *every* shard count — the
@@ -51,12 +52,10 @@ use crate::cache::{AccessOutcome, SetAssocCache};
 use crate::config::{CacheConfig, CacheConfigError};
 use crate::fault::{FaultPlan, FaultStats};
 use crate::latency::LatencyModel;
+use crate::merge::{merge_streams, OutcomeStream, SeqOutcome, StreamingMerge};
 use crate::policy::{AdmissionPolicy, EvictionPolicy};
 use crate::score::ScoreSource;
-use crate::sim::{
-    simulate_streaming_observed_with_warmup, Accounting, ReplayEvent, ReplayObserver, ScoreOrigin,
-    SimReport,
-};
+use crate::sim::{simulate_streaming_observed_with_warmup, ReplayEvent, ReplayObserver, SimReport};
 use icgmm_trace::TraceRecord;
 use std::any::Any;
 use std::error::Error;
@@ -203,6 +202,42 @@ pub struct ShardedSimulator {
     fault: Option<FaultPlan>,
 }
 
+/// [`OutcomeStream`] over one replayed shard's buffered outcomes: zips
+/// the shard's records (warm-up then measured, trace order) with their
+/// outcomes, reconstructing each record's global position from the
+/// foreign-record gap prefix sums.
+struct ReplayedShardStream<'a> {
+    warm: &'a [TraceRecord],
+    meas: &'a [TraceRecord],
+    outcomes: &'a [AccessOutcome],
+    gaps: &'a [u64],
+    idx: usize,
+    seq: u64,
+}
+
+impl OutcomeStream for ReplayedShardStream<'_> {
+    fn next_outcome(&mut self) -> Option<SeqOutcome> {
+        let j = self.idx;
+        if j >= self.outcomes.len() {
+            return None;
+        }
+        let record = if j < self.warm.len() {
+            self.warm[j]
+        } else {
+            self.meas[j - self.warm.len()]
+        };
+        self.seq += self.gaps[j];
+        let seq = self.seq;
+        self.seq += 1;
+        self.idx += 1;
+        Some(SeqOutcome {
+            seq,
+            record,
+            outcome: self.outcomes[j],
+        })
+    }
+}
+
 /// Outcome of one shard worker.
 struct ShardOutcome {
     outcomes: Vec<AccessOutcome>,
@@ -245,10 +280,31 @@ impl ReplayObserver for OutcomeRecorder {
 /// [`ScoreSource::observe_gap`]. A single linear cursor suffices because
 /// the replay engines observe each record exactly once, in trace order
 /// (the exactness invariant the batcher is property-tested for).
-struct GapScore<'a> {
+///
+/// Public for the serving front-end, whose shard workers replay the same
+/// set-partitioned subsequences chunk by chunk and need the identical
+/// clock discipline.
+pub struct GapScore<'a> {
     inner: &'a mut dyn ScoreSource,
     gaps: &'a [u64],
     cursor: usize,
+}
+
+impl<'a> GapScore<'a> {
+    /// Wraps `inner` so that `gaps[j]` foreign records are fast-forwarded
+    /// before the `j`-th shard record is observed.
+    pub fn new(inner: &'a mut dyn ScoreSource, gaps: &'a [u64]) -> Self {
+        GapScore {
+            inner,
+            gaps,
+            cursor: 0,
+        }
+    }
+
+    /// How many shard records have been observed through this adapter.
+    pub fn observed(&self) -> usize {
+        self.cursor
+    }
 }
 
 impl ScoreSource for GapScore<'_> {
@@ -529,22 +585,36 @@ impl ShardedSimulator {
             }
         }
 
-        // Merge by re-accounting in global trace order: identical
-        // operation sequence to the single-threaded loop, hence identical
-        // stats, f64 latency totals and miss series.
-        let mut acct = Accounting::new(warmup.len(), &lat, series_window, None);
-        let mut cursors = vec![0usize; s];
-        for (i, r) in warmup.iter().chain(measured).enumerate() {
-            let shard = self.shard_of(&cache_cfg, r);
-            let outcome = outcomes[shard].outcomes[cursors[shard]];
-            cursors[shard] += 1;
-            acct.record(i as u64, r, &outcome, None, ScoreOrigin::None);
+        // Merge by re-accounting in global sequence order through the
+        // streaming k-way merge: identical operation sequence to the
+        // single-threaded loop, hence identical stats, f64 latency totals
+        // and miss series — and a panic (not a skewed report) on any lost
+        // or duplicated outcome. The per-shard gap prefix sums recover
+        // each record's global position without re-walking the trace.
+        let mut merge = StreamingMerge::new(warmup.len(), &lat, series_window);
+        {
+            let mut streams: Vec<ReplayedShardStream<'_>> = (0..s)
+                .map(|shard| ReplayedShardStream {
+                    warm: &shard_warm[shard],
+                    meas: &shard_meas[shard],
+                    outcomes: &outcomes[shard].outcomes,
+                    gaps: &gaps[shard],
+                    idx: 0,
+                    seq: 0,
+                })
+                .collect();
+            let mut dyn_streams: Vec<&mut dyn OutcomeStream> = streams
+                .iter_mut()
+                .map(|st| st as &mut dyn OutcomeStream)
+                .collect();
+            let merged = merge_streams(&mut dyn_streams, &mut merge);
+            assert_eq!(
+                merged as usize,
+                warmup.len() + measured.len(),
+                "sharded replay merged fewer outcomes than the trace holds"
+            );
         }
-        debug_assert!(cursors
-            .iter()
-            .zip(&outcomes)
-            .all(|(&c, o)| c == o.outcomes.len()));
-        let mut sim = acct.into_report_named(
+        let mut sim = merge.finish(
             measured.len(),
             &outcomes[0].report.eviction,
             &outcomes[0].report.admission,

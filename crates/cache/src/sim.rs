@@ -346,13 +346,14 @@ pub(crate) fn simulate_streaming_impl(
 
 /// The canonical streaming replay step — observe, score the miss
 /// synchronously, access. One implementation shared by the reference loop,
-/// the speculative batcher's streaming spans and (through the observed
-/// entry points) the `icgmm-hw` dataflow warm-up, so the replay semantics
-/// cannot drift between engines: hits bypass the policy engine (the
-/// hardware triggers the GMM on miss only), and the score is computed with
-/// the Algorithm 1 clock exactly at the record.
+/// the speculative batcher's streaming spans, the serving shard workers
+/// and (through the observed entry points) the `icgmm-hw` dataflow
+/// warm-up, so the replay semantics cannot drift between engines: hits
+/// bypass the policy engine (the hardware triggers the GMM on miss only),
+/// and the score is computed with the Algorithm 1 clock exactly at the
+/// record.
 #[inline]
-pub(crate) fn streaming_step(
+pub fn streaming_step(
     r: &TraceRecord,
     seq: u64,
     cache: &mut SetAssocCache,

@@ -126,6 +126,18 @@ pub struct IcgmmConfig {
     /// [`crate::Icgmm::run`] at any value — sharding is pure host-side
     /// parallelism. `1` (the default) replays single-threaded.
     pub sim_shards: usize,
+    /// Client (submitter) thread count of [`crate::Icgmm::serve`]: how
+    /// many threads feed the serving front-end's per-shard ingestion
+    /// queues. Clients beyond `sim_shards` would own no shard and are
+    /// capped away at serve time. Results are bit-identical at any value —
+    /// concurrency is pure timing.
+    pub serve_clients: usize,
+    /// Bound of every serving ingestion and outcome queue
+    /// ([`crate::Icgmm::serve`]). Small depths exercise backpressure
+    /// (submission blocks, the wait lands in the admission-latency
+    /// percentiles); large depths amortize hand-off cost. Results are
+    /// bit-identical at any value.
+    pub serve_queue_depth: usize,
     /// Deterministic fault-injection plan spanning the whole replay stack:
     /// scorer faults (non-finite scores, engine outages), device faults
     /// (SSD failures, retries, tail-latency spikes on the modeled
@@ -152,6 +164,8 @@ impl Default for IcgmmConfig {
             sim_window_floor: icgmm_cache::MIN_SPEC_WINDOW,
             sim_stream_miss_div: icgmm_cache::STREAM_MISS_FRACTION_DIV,
             sim_shards: 1,
+            serve_clients: 1,
+            serve_queue_depth: 256,
             fault: FaultPlan::empty(),
         }
     }
@@ -202,6 +216,12 @@ impl IcgmmConfig {
             // More shards than sets is legal (the excess shards idle), so
             // only zero is rejected here.
             return Err(IcgmmError::Config("sim_shards must be >= 1".into()));
+        }
+        if self.serve_clients == 0 {
+            return Err(IcgmmError::Config("serve_clients must be >= 1".into()));
+        }
+        if self.serve_queue_depth == 0 {
+            return Err(IcgmmError::Config("serve_queue_depth must be >= 1".into()));
         }
         self.fault.validate().map_err(IcgmmError::Config)?;
         Ok(())
@@ -260,8 +280,22 @@ mod tests {
         c.sim_shards = 0;
         assert!(c.validate().is_err());
         c = IcgmmConfig::default();
+        c.serve_clients = 0;
+        assert!(c.validate().is_err());
+        c = IcgmmConfig::default();
+        c.serve_queue_depth = 0;
+        assert!(c.validate().is_err());
+        c = IcgmmConfig::default();
         c.fault.scorer_nan_per_mille = 1001;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn serve_defaults_are_single_client_deep_queue() {
+        let c = IcgmmConfig::default();
+        assert_eq!(c.serve_clients, 1);
+        assert_eq!(c.serve_queue_depth, 256);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

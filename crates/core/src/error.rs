@@ -66,6 +66,17 @@ impl From<icgmm_gmm::GmmError> for IcgmmError {
     }
 }
 
+impl From<icgmm_serve::ServeError> for IcgmmError {
+    fn from(e: icgmm_serve::ServeError) -> Self {
+        match e {
+            icgmm_serve::ServeError::Config(msg) => IcgmmError::Config(msg),
+            icgmm_serve::ServeError::ShardFailed { shard, message } => {
+                IcgmmError::ShardFailed { shard, message }
+            }
+        }
+    }
+}
+
 impl From<icgmm_cache::ShardRunError> for IcgmmError {
     fn from(e: icgmm_cache::ShardRunError) -> Self {
         match e {

@@ -58,10 +58,12 @@ pub mod report;
 pub use config::{IcgmmConfig, PolicyMode};
 pub use engine::{GmmPolicyEngine, TrainedModel};
 pub use error::IcgmmError;
+pub use icgmm_serve::ServeReport;
 pub use system::{FitSummary, Icgmm, RunReport};
 
 // Re-export the substrate crates so downstream users need one dependency.
 pub use icgmm_cache as cache;
 pub use icgmm_gmm as gmm;
 pub use icgmm_hw as hw;
+pub use icgmm_serve as serve;
 pub use icgmm_trace as trace;

@@ -5,13 +5,14 @@ use crate::config::{IcgmmConfig, PolicyMode};
 use crate::engine::{GmmPolicyEngine, TrainedModel};
 use crate::error::IcgmmError;
 use icgmm_cache::{
-    AlwaysAdmit, BeladyPolicy, FailoverAdmission, FailoverEviction, FaultSink, FaultyScore,
-    FifoPolicy, GmmScorePolicy, LatencyModel, LfuPolicy, LruPolicy, RandomPolicy, ScorerHealth,
-    SetAssocCache, ShardPolicies, ShardedSimulator, SimReport, SpecStats, ThresholdAdmit,
-    WindowedSimulator,
+    AlwaysAdmit, BeladyPolicy, FailoverAdmission, FailoverEviction, FaultPlan, FaultSink,
+    FaultyScore, FifoPolicy, GmmScorePolicy, LatencyModel, LfuPolicy, LruPolicy, RandomPolicy,
+    ScorerHealth, SetAssocCache, ShardCtx, ShardPolicies, ShardedSimulator, SimReport, SpecStats,
+    ThresholdAdmit, WindowedSimulator,
 };
 use icgmm_gmm::{calibrate_threshold, EmReport, EmTrainer, StandardScaler};
 use icgmm_hw::{DataflowConfig, DataflowReport};
+use icgmm_serve::{CacheServer, ServeConfig, ServeReport};
 use icgmm_trace::{extract_weighted_cells_range, trim, Trace, TraceRecord};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -405,8 +406,6 @@ impl Icgmm {
             )));
         }
         let (warmup, measured) = self.phases(trace);
-        let sets = self.cfg.cache.num_sets();
-        let ways = self.cfg.cache.ways;
         let engine = if mode.uses_gmm() {
             Some(self.policy_engine()?)
         } else {
@@ -428,74 +427,9 @@ impl Icgmm {
             measured,
             self.cfg.cache,
             &mut |ctx| {
-                let eviction: Box<dyn icgmm_cache::EvictionPolicy + Send> = match mode {
-                    PolicyMode::Fifo => Box::new(FifoPolicy::new(sets, ways)),
-                    PolicyMode::Random => Box::new(RandomPolicy::new(self.cfg.em.seed)),
-                    PolicyMode::Lfu => Box::new(LfuPolicy::new(sets, ways)),
-                    PolicyMode::Belady => {
-                        // The oracle sees exactly this shard's subsequence:
-                        // its positions are the shard-local sequence
-                        // numbers the replay will present, order-isomorphic
-                        // to the global ones.
-                        let mut recs = Vec::with_capacity(ctx.warmup.len() + ctx.measured.len());
-                        recs.extend_from_slice(ctx.warmup);
-                        recs.extend_from_slice(ctx.measured);
-                        Box::new(BeladyPolicy::from_records(&recs, sets, ways))
-                    }
-                    PolicyMode::GmmEvictionOnly | PolicyMode::GmmCachingEviction => {
-                        Box::new(self.score_eviction(sets, ways))
-                    }
-                    PolicyMode::Lru | PolicyMode::GmmCachingOnly => {
-                        Box::new(LruPolicy::new(sets, ways))
-                    }
-                };
-                let admission: Box<dyn icgmm_cache::AdmissionPolicy + Send> = match mode {
-                    PolicyMode::GmmCachingOnly | PolicyMode::GmmCachingEviction => {
-                        Box::new(self.admission(threshold))
-                    }
-                    _ => Box::new(AlwaysAdmit),
-                };
-                let score = engine
-                    .as_ref()
-                    .map(|e| Box::new(e.clone()) as Box<dyn icgmm_cache::ScoreSource + Send>);
-                let (mut admission, mut eviction, mut score) = (admission, eviction, score);
-                if score.is_some() && scorer_armed {
-                    let sink = FaultSink::new();
-                    let health = plan.monitor_armed().then(|| ScorerHealth::new(&plan));
-                    score = score.map(|s| {
-                        Box::new(FaultyScore::new(s, plan, health.clone(), sink.clone()))
-                            as Box<dyn icgmm_cache::ScoreSource + Send>
-                    });
-                    if let Some(h) = &health {
-                        if matches!(
-                            mode,
-                            PolicyMode::GmmEvictionOnly | PolicyMode::GmmCachingEviction
-                        ) {
-                            eviction = Box::new(FailoverEviction::new(
-                                eviction,
-                                Box::new(LruPolicy::new(sets, ways)),
-                                h.clone(),
-                                sink.clone(),
-                            ));
-                        }
-                        if matches!(
-                            mode,
-                            PolicyMode::GmmCachingOnly | PolicyMode::GmmCachingEviction
-                        ) {
-                            admission = Box::new(FailoverAdmission::new(
-                                admission,
-                                h.clone(),
-                                sink.clone(),
-                            ));
-                        }
-                    }
-                    shard_sinks.borrow_mut()[ctx.shard] = sink;
-                }
-                ShardPolicies {
-                    admission,
-                    eviction,
-                    score,
-                }
+                self.shard_policies(ctx, mode, engine.as_ref(), threshold, plan, scorer_armed, {
+                    &shard_sinks
+                })
             },
             latency,
             None,
@@ -517,6 +451,173 @@ impl Icgmm {
             gmm_inferences,
             spec: (engine.is_some() && rep.batched).then_some(rep.spec),
         })
+    }
+
+    /// Builds one shard's policy/scorer/fault stack — the single factory
+    /// shared by [`Icgmm::run_sharded`] and [`Icgmm::serve`], so the
+    /// offline replay and the serving front-end can never drift apart in
+    /// what they instantiate per shard.
+    #[allow(clippy::too_many_arguments)]
+    fn shard_policies(
+        &self,
+        ctx: &ShardCtx<'_>,
+        mode: PolicyMode,
+        engine: Option<&GmmPolicyEngine>,
+        threshold: f64,
+        plan: FaultPlan,
+        scorer_armed: bool,
+        shard_sinks: &std::cell::RefCell<Vec<FaultSink>>,
+    ) -> ShardPolicies {
+        let sets = self.cfg.cache.num_sets();
+        let ways = self.cfg.cache.ways;
+        let eviction: Box<dyn icgmm_cache::EvictionPolicy + Send> = match mode {
+            PolicyMode::Fifo => Box::new(FifoPolicy::new(sets, ways)),
+            PolicyMode::Random => Box::new(RandomPolicy::new(self.cfg.em.seed)),
+            PolicyMode::Lfu => Box::new(LfuPolicy::new(sets, ways)),
+            PolicyMode::Belady => {
+                // The oracle sees exactly this shard's subsequence:
+                // its positions are the shard-local sequence
+                // numbers the replay will present, order-isomorphic
+                // to the global ones.
+                let mut recs = Vec::with_capacity(ctx.warmup.len() + ctx.measured.len());
+                recs.extend_from_slice(ctx.warmup);
+                recs.extend_from_slice(ctx.measured);
+                Box::new(BeladyPolicy::from_records(&recs, sets, ways))
+            }
+            PolicyMode::GmmEvictionOnly | PolicyMode::GmmCachingEviction => {
+                Box::new(self.score_eviction(sets, ways))
+            }
+            PolicyMode::Lru | PolicyMode::GmmCachingOnly => Box::new(LruPolicy::new(sets, ways)),
+        };
+        let admission: Box<dyn icgmm_cache::AdmissionPolicy + Send> = match mode {
+            PolicyMode::GmmCachingOnly | PolicyMode::GmmCachingEviction => {
+                Box::new(self.admission(threshold))
+            }
+            _ => Box::new(AlwaysAdmit),
+        };
+        let score = engine.map(|e| Box::new(e.clone()) as Box<dyn icgmm_cache::ScoreSource + Send>);
+        let (mut admission, mut eviction, mut score) = (admission, eviction, score);
+        if score.is_some() && scorer_armed {
+            let sink = FaultSink::new();
+            let health = plan.monitor_armed().then(|| ScorerHealth::new(&plan));
+            score = score.map(|s| {
+                Box::new(FaultyScore::new(s, plan, health.clone(), sink.clone()))
+                    as Box<dyn icgmm_cache::ScoreSource + Send>
+            });
+            if let Some(h) = &health {
+                if matches!(
+                    mode,
+                    PolicyMode::GmmEvictionOnly | PolicyMode::GmmCachingEviction
+                ) {
+                    eviction = Box::new(FailoverEviction::new(
+                        eviction,
+                        Box::new(LruPolicy::new(sets, ways)),
+                        h.clone(),
+                        sink.clone(),
+                    ));
+                }
+                if matches!(
+                    mode,
+                    PolicyMode::GmmCachingOnly | PolicyMode::GmmCachingEviction
+                ) {
+                    admission =
+                        Box::new(FailoverAdmission::new(admission, h.clone(), sink.clone()));
+                }
+            }
+            shard_sinks.borrow_mut()[ctx.shard] = sink;
+        }
+        ShardPolicies {
+            admission,
+            eviction,
+            score,
+        }
+    }
+
+    /// Serves the (trimmed) trace through the concurrent
+    /// [`icgmm_serve::CacheServer`]: `serve_clients` submitter threads
+    /// feed `sim_shards` shard workers through bounded ingestion queues of
+    /// depth `serve_queue_depth`, the workers decide at speculation speed,
+    /// and a sequence-number merge re-accounts the outcome stream in
+    /// global trace order — incrementally, in O(shards) memory.
+    ///
+    /// The semantic half of the returned [`ServeReport`] (`sim`,
+    /// `scores_consumed`) is **bit-identical** to [`Icgmm::run_sharded`]
+    /// over the same trace and mode — concurrency buys throughput and
+    /// costs latency, never decisions (`tests/serve_differential.rs`
+    /// holds the line). On top, the report carries what an offline replay
+    /// cannot measure: requests/sec at saturation and p50/p99
+    /// admission-decision latencies.
+    ///
+    /// The configuration's [`icgmm_cache::FaultPlan`] plugs in unchanged:
+    /// shard-worker panics are supervisor-recovered mid-service, scorer
+    /// faults ride each worker's [`FaultyScore`] wrapper with the health
+    /// monitor and failover policies, and the speculation breaker guards
+    /// batched workers. (Scorer-fault runs are routed to the streaming
+    /// engine: injection interacts with speculative dense scoring, whose
+    /// window boundaries serving necessarily cuts differently.)
+    ///
+    /// # Errors
+    ///
+    /// As for [`Icgmm::run_sharded`] (including the `Random`-above-one-
+    /// shard rejection), plus [`IcgmmError::ShardFailed`] when a shard
+    /// worker dies *and* the supervisor's re-replay dies too.
+    pub fn serve(&self, trace: &Trace, mode: PolicyMode) -> Result<ServeReport, IcgmmError> {
+        self.serve_with_latency(trace, mode, &self.cfg.latency)
+    }
+
+    /// [`Icgmm::serve`] with an explicit latency model (SSD sweeps).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Icgmm::serve`].
+    pub fn serve_with_latency(
+        &self,
+        trace: &Trace,
+        mode: PolicyMode,
+        latency: &LatencyModel,
+    ) -> Result<ServeReport, IcgmmError> {
+        let shards = self.cfg.sim_shards;
+        if shards > 1 && mode == PolicyMode::Random {
+            return Err(IcgmmError::Config(format!(
+                "random eviction is not shard-deterministic; serve it at sim_shards = 1 \
+                 (requested {shards})"
+            )));
+        }
+        let (warmup, measured) = self.phases(trace);
+        let engine = if mode.uses_gmm() {
+            Some(self.policy_engine()?)
+        } else {
+            None
+        };
+        let threshold = self.model.as_ref().map(|m| m.threshold).unwrap_or(0.0);
+        let plan = self.cfg.fault;
+        let scorer_armed = plan.scorer_armed() || plan.monitor_armed();
+        let shard_sinks = std::cell::RefCell::new(vec![FaultSink::new(); shards]);
+        let server = CacheServer::new(ServeConfig {
+            shards,
+            clients: self.cfg.serve_clients,
+            queue_depth: self.cfg.serve_queue_depth,
+            params: self.cfg.spec_params(),
+            fault: plan,
+            ..ServeConfig::default()
+        })?;
+        let mut rep = server.serve(
+            warmup,
+            measured,
+            self.cfg.cache,
+            &mut |ctx| {
+                self.shard_policies(ctx, mode, engine.as_ref(), threshold, plan, scorer_armed, {
+                    &shard_sinks
+                })
+            },
+            latency,
+            None,
+        )?;
+        // Scorer-fault telemetry travels by sink, exactly as offline.
+        for sink in shard_sinks.into_inner() {
+            rep.sim.fault.merge(&sink.snapshot());
+        }
+        Ok(rep)
     }
 
     /// Runs one mode through the cycle-approximate dataflow hardware model

@@ -1,0 +1,163 @@
+//! Serving configuration and error types.
+
+use std::fmt;
+
+use icgmm_cache::{FaultPlan, ShardRouting, SpecParams};
+use serde::{Deserialize, Serialize};
+
+/// What a client does when its shard's ingestion queue is full.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SubmitMode {
+    /// Block until the queue drains — classic backpressure. No request is
+    /// ever dropped; the wait shows up in the admission-latency
+    /// percentiles instead.
+    #[default]
+    Block,
+    /// Count a shed, then submit anyway (blocking). The service tracks
+    /// how often it *would* have dropped ([`crate::ServeReport::sheds`])
+    /// while still replaying every request, so the merged report stays
+    /// comparable to the offline reference.
+    Shed,
+}
+
+/// Configuration of a [`crate::CacheServer`].
+///
+/// The shard partitioning, speculation parameters and routing mirror
+/// [`icgmm_cache::ShardedSimulator`] exactly — a served trace re-accounts
+/// bit-identically to the offline sharded replay of the same inputs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Shard (worker thread) count, `>= 1`. Sets are partitioned
+    /// `set mod shards`, exactly like the offline sharded replay.
+    pub shards: usize,
+    /// Client (submitter thread) count, `>= 1`. Shard `s` is owned by
+    /// client `s % min(clients, shards)`; clients beyond the shard count
+    /// would own nothing and are capped away.
+    pub clients: usize,
+    /// Bound of every ingestion and outcome queue, `>= 1`. Small depths
+    /// exercise backpressure; large depths amortize hand-off cost.
+    pub queue_depth: usize,
+    /// Full-queue behavior (see [`SubmitMode`]).
+    pub submit: SubmitMode,
+    /// How scored shard workers replay (see [`ShardRouting`]). Workers
+    /// fall back to [`ShardRouting::Streaming`] whenever the fault plan
+    /// arms scorer faults or the health monitor: those fault decisions
+    /// are window-boundary-sensitive, and serving windows cut at
+    /// ingestion boundaries rather than the offline batcher's.
+    pub routing: ShardRouting,
+    /// Speculation parameters for batched workers (window size doubles as
+    /// the per-chunk ingestion drain bound).
+    pub params: SpecParams,
+    /// Deterministic fault plan: shard-worker panic points (supervisor-
+    /// recovered), scorer faults, the health monitor and the speculation
+    /// breaker all plug in unchanged from the offline engine.
+    pub fault: FaultPlan,
+    /// Graceful-shutdown point: stop accepting after this many requests
+    /// (warm-up + measured, trace order), then drain and join. The report
+    /// equals an offline replay of the truncated trace. `None` serves
+    /// everything.
+    pub stop_after: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 1,
+            clients: 1,
+            queue_depth: 256,
+            submit: SubmitMode::Block,
+            routing: ShardRouting::Auto,
+            params: SpecParams::default(),
+            fault: FaultPlan::default(),
+            stop_after: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the thread and queue geometry and the fault plan.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.shards == 0 {
+            return Err(ServeError::Config("shard count must be >= 1".into()));
+        }
+        if self.clients == 0 {
+            return Err(ServeError::Config("client count must be >= 1".into()));
+        }
+        if self.queue_depth == 0 {
+            return Err(ServeError::Config("queue depth must be >= 1".into()));
+        }
+        self.fault.validate().map_err(ServeError::Config)?;
+        Ok(())
+    }
+}
+
+/// Serving failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// Invalid [`ServeConfig`] or cache geometry.
+    Config(String),
+    /// A shard worker died *and* the supervisor's offline re-replay of
+    /// its subtrace died too — the one non-recoverable fault class (a
+    /// lone worker panic is recovered transparently).
+    ShardFailed {
+        /// Index of the failed shard.
+        shard: usize,
+        /// Panic payload description.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Config(msg) => write!(f, "invalid serve configuration: {msg}"),
+            ServeError::ShardFailed { shard, message } => {
+                write!(f, "shard {shard} failed beyond recovery: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        assert!(ServeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_geometry_is_rejected() {
+        for cfg in [
+            ServeConfig {
+                shards: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                clients: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                queue_depth: 0,
+                ..ServeConfig::default()
+            },
+        ] {
+            assert!(matches!(cfg.validate(), Err(ServeError::Config(_))));
+        }
+    }
+
+    #[test]
+    fn errors_display_their_context() {
+        let e = ServeError::ShardFailed {
+            shard: 3,
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("shard 3"));
+        assert!(ServeError::Config("x".into())
+            .to_string()
+            .contains("invalid"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Log-bucketed latency histogram for admission-decision latencies.
+//!
+//! Serving latencies span five-plus decades (sub-microsecond queue hops
+//! to multi-millisecond backpressure stalls), so fixed-width buckets
+//! either blow up memory or lose the tail. This histogram buckets by
+//! value magnitude: 16 sub-buckets per octave (≤ ~6 % relative bucket
+//! width), values below 16 ns exact. Quantiles report each bucket's
+//! upper bound, so `p99` never under-states the tail.
+
+use serde::{Deserialize, Serialize};
+
+/// Sub-bucket resolution: 2^4 = 16 sub-buckets per octave.
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS;
+/// Exact buckets `0..SUB`, then 16 per octave for the remaining
+/// `64 - SUB_BITS` octaves of a `u64`.
+const BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// Mergeable log-bucketed histogram of nanosecond latencies.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize; // msb >= SUB_BITS
+    let sub = ((v >> (msb - SUB_BITS as usize)) - SUB as u64) as usize;
+    (msb - SUB_BITS as usize) * SUB + SUB + sub
+}
+
+/// Largest value mapping to bucket `b` — the value quantiles report.
+fn bucket_upper(b: usize) -> u64 {
+    if b < SUB {
+        return b as u64;
+    }
+    let exp = (b - SUB) / SUB;
+    let sub = ((b - SUB) % SUB) as u64;
+    // The topmost bucket's exclusive bound is 2^64; saturate it.
+    match (SUB as u64 + sub + 1).checked_shl(exp as u32) {
+        Some(bound) if bound != 0 => bound - 1,
+        _ => u64::MAX,
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+        }
+    }
+
+    /// Records one latency sample, in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.counts[bucket_of(ns)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn samples(&self) -> u64 {
+        self.total
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in nanoseconds — the upper bound
+    /// of the bucket holding the rank-`⌈q·n⌉` sample (0 when empty).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(b);
+            }
+        }
+        bucket_upper(BUCKETS - 1)
+    }
+
+    /// [`LatencyHistogram::quantile_ns`] converted to microseconds.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        self.quantile_ns(q) as f64 / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_monotone() {
+        let mut prev = 0;
+        for v in 0..100_000u64 {
+            let b = bucket_of(v);
+            assert!(b == prev || b == prev + 1, "bucket jump at {v}");
+            assert!(v <= bucket_upper(b), "v {v} above its bucket upper");
+            prev = b;
+        }
+        // Bucket upper bounds invert the mapping.
+        for b in 0..BUCKETS {
+            assert_eq!(bucket_of(bucket_upper(b)), b, "upper of {b} maps back");
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 1, 7, 15] {
+            h.record_ns(v);
+        }
+        assert_eq!(h.quantile_ns(0.0), 0);
+        assert_eq!(h.quantile_ns(1.0), 15);
+        assert_eq!(h.samples(), 4);
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_resolution() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100_000u64 {
+            h.record_ns(v);
+        }
+        let p50 = h.quantile_ns(0.50) as f64;
+        let p99 = h.quantile_ns(0.99) as f64;
+        // Upper-bound reporting: never below the true quantile, and at
+        // most one bucket (~6 %) above it.
+        assert!((50_000.0..=53_200.0).contains(&p50), "p50 {p50}");
+        assert!((99_000.0..=105_400.0).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut both = LatencyHistogram::new();
+        for v in 0..1_000u64 {
+            let sample = v * v % 7_777;
+            if v % 2 == 0 {
+                a.record_ns(sample);
+            } else {
+                b.record_ns(sample);
+            }
+            both.record_ns(sample);
+        }
+        a.merge(&b);
+        assert_eq!(a.samples(), both.samples());
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile_ns(q), both.quantile_ns(q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ns(0.5), 0);
+        assert_eq!(h.quantile_us(0.99), 0.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! # icgmm-serve
+//!
+//! Concurrent cache *service* over the ICGMM reproduction's sharded
+//! replay engine: N client threads submit trace requests into bounded
+//! per-shard ingestion queues, shard workers decide hit/miss/admit/evict
+//! at speculation speed, and a sequence-number merge re-accounts the
+//! outcome stream in global trace order — incrementally, in O(shards)
+//! memory.
+//!
+//! The service inherits the offline engine's headline property: the
+//! merged [`ServeReport::sim`] is **bit-identical** to
+//! [`icgmm_cache::ShardedSimulator::run`] (and hence to the
+//! single-threaded replay) over the same inputs, for every shard count,
+//! client count, queue depth and ingestion interleaving. Concurrency
+//! buys throughput and costs latency; it never changes a decision.
+//!
+//! On top of that the service adds what an offline replay cannot
+//! measure: explicit backpressure (bounded queues; blocking or
+//! shed-counting submission, [`SubmitMode`]), graceful shutdown
+//! ([`ServeConfig::stop_after`] — drain and join, report equal to the
+//! truncated offline replay), transparent worker-death recovery (the
+//! supervisor re-replays a dead shard's subtrace offline), and a timing
+//! surface: requests/sec at saturation plus log-bucketed p50/p99
+//! admission-decision latencies ([`ServeReport`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use icgmm_cache::{
+//!     AlwaysAdmit, CacheConfig, LatencyModel, LruPolicy, ShardPolicies,
+//! };
+//! use icgmm_serve::{CacheServer, ServeConfig};
+//! use icgmm_trace::TraceRecord;
+//!
+//! let trace: Vec<TraceRecord> = (0..4096u64).map(|i| TraceRecord::read((i % 64) << 12)).collect();
+//! let cfg = CacheConfig { capacity_bytes: 32 * 4096, block_bytes: 4096, ways: 4 };
+//! let server = CacheServer::new(ServeConfig {
+//!     shards: 4,
+//!     clients: 2,
+//!     queue_depth: 64,
+//!     ..ServeConfig::default()
+//! })?;
+//! let report = server.serve(
+//!     &[],
+//!     &trace,
+//!     cfg,
+//!     &mut |_ctx| ShardPolicies {
+//!         admission: Box::new(AlwaysAdmit),
+//!         eviction: Box::new(LruPolicy::new(cfg.num_sets(), cfg.ways)),
+//!         score: None,
+//!     },
+//!     &LatencyModel::paper_tlc(),
+//!     None,
+//! )?;
+//! assert_eq!(report.requests, 4096);
+//! assert!(report.requests_per_sec > 0.0);
+//! # Ok::<(), icgmm_serve::ServeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod hist;
+mod server;
+
+pub use config::{ServeConfig, ServeError, SubmitMode};
+pub use hist::LatencyHistogram;
+pub use server::{CacheServer, ServeReport};

@@ -1,0 +1,907 @@
+//! The concurrent cache service: clients → bounded per-shard ingestion
+//! queues → shard workers deciding at speculation speed → a sequence-
+//! number merge re-accounting outcomes in global order, incrementally.
+//!
+//! # Why the served stream re-accounts bit-identically
+//!
+//! Three offline invariants compose:
+//!
+//! 1. **Set partitioning** ([`icgmm_cache::ShardedSimulator`]'s argument): each shard
+//!    worker sees exactly the subsequence of requests whose sets it owns,
+//!    in trace order, so every per-record outcome equals the
+//!    single-threaded replay's outcome at the same global position —
+//!    regardless of *when* each request physically arrives.
+//! 2. **Chunked continuation** (the batcher's `run_observed_from`
+//!    property): replaying a shard's subsequence in arbitrarily ragged
+//!    ingestion chunks produces the same outcomes as one uninterrupted
+//!    replay, because the sequence clock and shadow policy state carry
+//!    across chunk boundaries.
+//! 3. **Streaming merge** ([`StreamingMerge`]): pushing outcomes through
+//!    the accounting in ascending global order reproduces the
+//!    single-threaded report bit-for-bit, and panics on any lost,
+//!    duplicated or reordered outcome rather than skewing silently.
+//!
+//! Concurrency therefore only decides *timing* (throughput, admission
+//! latency, shed counts) — never *results*. The equivalence suite pits
+//! every served report against [`icgmm_cache::ShardedSimulator::run`] to hold the
+//! line.
+//!
+//! # Deadlock freedom with bounded queues everywhere
+//!
+//! Each client owns a disjoint set of shards and submits its requests in
+//! ascending global order; the merger consumes outcomes in ascending
+//! global order. When the merger blocks for global position `t` (owned by
+//! shard `X`), every position `< t` is already merged, so `X`'s owning
+//! client has already submitted `t` (its earlier submissions all
+//! completed) — hence `X`'s worker either holds `t` or is blocked
+//! publishing an outcome `< t`… which the merger has already drained.
+//! Inductively the merger always makes progress, so bounded ingestion
+//! *and* outcome queues cannot cycle.
+//!
+//! Transport batching ([`SUBMIT_BATCH`]) preserves the argument: a
+//! client's batch only ever holds a run of consecutive records for the
+//! one shard it is about to send to (flushed before touching any other
+//! shard), and a worker flushes its buffered outcomes before parking on
+//! an empty ingestion queue — no decided outcome is ever held across a
+//! park ([`RecState::flush`]).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::thread;
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
+
+/// Rounds of [`thread::yield_now`] a *multi-shard* batched worker spends
+/// waiting for its ingestion queue to refill before replaying a partial
+/// chunk (see the drain loop in `run_worker`). Above one shard a
+/// client's submission batches are short runs (it flushes on every shard
+/// change), so a window's worth of records arrives in many small
+/// messages and yielding hands the clients the scheduler quanta to
+/// deliver the rest — measurably fuller chunks. With a single shard the
+/// entire trace is one run: the queue refills in full batches whenever
+/// the client runs at all, an empty queue means the client is parked or
+/// done, and burning yields only adds context switches.
+const DRY_YIELDS: u32 = 8;
+
+/// Transport batching factor: up to this many records ride one channel
+/// message, on both the ingestion and the outcome path. A bounded-queue
+/// hand-off costs a lock round-trip (and sometimes a wake) per message;
+/// per-record messages would spend several hundred ns/record on pure
+/// transport — more than the replay spends deciding. Batching amortises
+/// that to noise while `queue_depth` keeps its meaning in records: the
+/// per-shard batch size is `min(SUBMIT_BATCH, queue_depth)` and the slot
+/// count `queue_depth / batch`, so a queue never holds more records than
+/// configured (`queue_depth: 1` degenerates to per-record hand-off,
+/// which the backpressure tests rely on).
+const SUBMIT_BATCH: usize = 64;
+use icgmm_cache::{
+    simulate_streaming_observed_with_warmup, streaming_step, CacheConfig, FaultStats, GapScore,
+    LatencyModel, ReplayEvent, ReplayObserver, ScoreSource, SeqOutcome, SetAssocCache, ShardCtx,
+    ShardPolicies, ShardRouting, SimReport, SpecParams, SpecStats, StreamingMerge,
+    WindowedSimulator,
+};
+use icgmm_trace::TraceRecord;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{ServeConfig, ServeError, SubmitMode};
+use crate::hist::LatencyHistogram;
+
+/// One request in flight from a client to its shard worker.
+#[derive(Clone, Copy)]
+struct IngestMsg {
+    /// Global trace position (warm-up + measured, 0-based).
+    seq: u64,
+    record: TraceRecord,
+    /// Foreign-shard records since this shard's previous record — the
+    /// scorer clock fast-forward, exactly as in the offline replay.
+    gap: u64,
+    /// Submission instant, for the admission-latency histogram.
+    t_submit: Instant,
+}
+
+/// A client's pre-routed submission (the `t_submit` stamp is taken when
+/// the record enters its client's submission batch — queueing inside the
+/// client counts toward admission latency, like any other queueing).
+struct ClientItem {
+    shard: usize,
+    seq: u64,
+    record: TraceRecord,
+    gap: u64,
+}
+
+/// What a shard worker hands back at join time.
+struct WorkerDone {
+    hist: LatencyHistogram,
+    spec: SpecStats,
+    fault: FaultStats,
+    scored: u64,
+}
+
+/// The serving front-end. Construction validates the configuration;
+/// [`CacheServer::serve`] runs one serving session to completion.
+#[derive(Clone, Debug)]
+pub struct CacheServer {
+    cfg: ServeConfig,
+}
+
+/// Result of one serving session.
+///
+/// The semantic half (`sim`, `scores_consumed`) is bit-identical to the
+/// offline [`icgmm_cache::ShardedSimulator::run`] of the same (possibly
+/// `stop_after`-truncated) inputs; the timing half describes this
+/// particular serving run and is intentionally excluded from equality
+/// comparisons.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// The merged simulation report — equal to the offline replay's.
+    pub sim: SimReport,
+    /// Field-wise sum of per-worker speculation telemetry. Serving
+    /// windows cut at ingestion-chunk boundaries, so these counters
+    /// describe the serving run itself (offline batched replay cuts at
+    /// its own window boundaries); recovered shards contribute zero.
+    pub spec: SpecStats,
+    /// Whether scored workers rode the speculative miss-window batcher.
+    pub batched: bool,
+    /// Replay events that consumed a score — engine- and
+    /// chunking-invariant, hence equal to the offline replay's count.
+    pub scores_consumed: u64,
+    /// Requests served (warm-up + measured, after `stop_after`).
+    pub requests: u64,
+    /// Requests a [`SubmitMode::Shed`] client found a full queue for.
+    pub sheds: u64,
+    /// Shard workers this run used.
+    pub shards: usize,
+    /// Client threads this run used (after capping to the shard count).
+    pub clients: usize,
+    /// Wall-clock time from first submission to last merged outcome, µs.
+    pub wall_us: f64,
+    /// Sustained throughput at saturation: `requests / wall`.
+    pub requests_per_sec: f64,
+    /// Median admission-decision latency (submit → the decided outcome's
+    /// flush toward the merger) over the measured phase, µs. Queueing
+    /// delay included — backpressure is part of the number.
+    pub admission_p50_us: f64,
+    /// 99th-percentile admission-decision latency, µs (log-bucketed
+    /// upper bound: never under-states the tail).
+    pub admission_p99_us: f64,
+}
+
+impl CacheServer {
+    /// Creates a server over a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] for zero shard/client/queue geometry or an
+    /// inconsistent fault plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg.params` is invalid (same contract as
+    /// [`WindowedSimulator::with_params`]).
+    pub fn new(cfg: ServeConfig) -> Result<Self, ServeError> {
+        cfg.validate()?;
+        let _ = WindowedSimulator::with_params(cfg.params);
+        Ok(CacheServer { cfg })
+    }
+
+    /// The configuration this server runs.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Serves `warmup` + `measured` to completion and returns the merged
+    /// report. `make_shard` is called once per shard on the calling
+    /// thread, exactly as in [`icgmm_cache::ShardedSimulator::run`]; the same
+    /// shard-determinism contracts are asserted above one shard.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] for invalid cache geometry;
+    /// [`ServeError::ShardFailed`] when a worker dies and the
+    /// supervisor's offline re-replay of its subtrace dies too.
+    ///
+    /// # Panics
+    ///
+    /// Panics when running more than one shard with a non-
+    /// shard-deterministic eviction policy or a non-shardable score
+    /// source, and on any lost/duplicated outcome (the merge's ordering
+    /// assertion — a service bug, not an input error).
+    pub fn serve(
+        &self,
+        warmup: &[TraceRecord],
+        measured: &[TraceRecord],
+        cache_cfg: CacheConfig,
+        make_shard: &mut dyn FnMut(&ShardCtx<'_>) -> ShardPolicies,
+        latency: &LatencyModel,
+        series_window: Option<u64>,
+    ) -> Result<ServeReport, ServeError> {
+        cache_cfg
+            .validate()
+            .map_err(|e| ServeError::Config(e.to_string()))?;
+        let s = self.cfg.shards;
+        let clients = self.cfg.clients.min(s);
+        let plan = self.cfg.fault;
+
+        // Graceful shutdown = stop accepting: truncate at the cutoff and
+        // serve the prefix to completion. Drain-and-join then happens
+        // naturally, and the report equals an offline replay of the
+        // truncated trace (the seeded-shutdown property test).
+        let total = warmup.len() + measured.len();
+        let cut = self
+            .cfg
+            .stop_after
+            .map_or(total, |k| (k as usize).min(total));
+        let warmup = &warmup[..warmup.len().min(cut)];
+        let measured = &measured[..cut - warmup.len()];
+        let n = warmup.len() + measured.len();
+
+        // Fan out by owning shard — the identical partition (and gap
+        // prefix sums) the offline sharded replay computes — plus each
+        // record's routing for its owning client's submission list.
+        let mut shard_warm: Vec<Vec<TraceRecord>> = vec![Vec::new(); s];
+        let mut shard_meas: Vec<Vec<TraceRecord>> = vec![Vec::new(); s];
+        let mut gaps: Vec<Vec<u64>> = vec![Vec::new(); s];
+        let mut seqs: Vec<Vec<u64>> = vec![Vec::new(); s];
+        let mut shard_of: Vec<usize> = Vec::with_capacity(n);
+        let mut client_items: Vec<Vec<ClientItem>> = (0..clients).map(|_| Vec::new()).collect();
+        let mut last_seen: Vec<u64> = vec![0; s];
+        for (i, r) in warmup.iter().chain(measured).enumerate() {
+            let shard = cache_cfg.set_of(r.page()) % s;
+            if i < warmup.len() {
+                shard_warm[shard].push(*r);
+            } else {
+                shard_meas[shard].push(*r);
+            }
+            let gap = i as u64 - last_seen[shard];
+            gaps[shard].push(gap);
+            seqs[shard].push(i as u64);
+            last_seen[shard] = i as u64 + 1;
+            shard_of.push(shard);
+            client_items[shard % clients].push(ClientItem {
+                shard,
+                seq: i as u64,
+                record: *r,
+                gap,
+            });
+        }
+
+        // Per-shard policies, built serially with the sharding contracts
+        // asserted — shared verbatim with the offline engine.
+        let mut policies: Vec<ShardPolicies> = Vec::with_capacity(s);
+        for shard in 0..s {
+            let ctx = ShardCtx {
+                shard,
+                shards: s,
+                warmup: &shard_warm[shard],
+                measured: &shard_meas[shard],
+            };
+            let p = make_shard(&ctx);
+            if s > 1 {
+                assert!(
+                    p.eviction.shard_deterministic(),
+                    "eviction policy {:?} is not shard-deterministic: set-partitioned serving \
+                     cannot reproduce the single-threaded run above one shard",
+                    p.eviction.name()
+                );
+                if let Some(score) = &p.score {
+                    assert!(
+                        score.shardable(),
+                        "score source cannot keep its clock exact across foreign-shard records \
+                         (ScoreSource::shardable is false); sharded serving would change scores"
+                    );
+                }
+            }
+            policies.push(p);
+        }
+        let ev_name = policies[0].eviction.name().to_string();
+        let adm_name = policies[0].admission.name().to_string();
+
+        // Routing, resolved as offline — then forced to streaming under
+        // scorer/monitor faults: those decisions depend on window
+        // boundaries, and serving windows cut at ingestion boundaries.
+        let mut batched = match self.cfg.routing {
+            ShardRouting::Auto => policies
+                .iter()
+                .any(|p| p.score.as_ref().is_some_and(|sc| sc.prefers_batching())),
+            ShardRouting::Batched => policies.iter().any(|p| p.score.is_some()),
+            ShardRouting::Streaming => false,
+        };
+        if plan.scorer_armed() || plan.monitor_armed() {
+            batched = false;
+        }
+
+        let panic_at: Vec<Option<u64>> = (0..s)
+            .map(|shard| {
+                plan.shard_panic_point(shard, shard_warm[shard].len() + shard_meas[shard].len())
+            })
+            .collect();
+        let breaker = plan
+            .breaker_armed()
+            .then_some((plan.breaker_storm_windows, plan.breaker_cooldown_records));
+
+        // Channels: one bounded ingestion queue and one bounded outcome
+        // queue per shard, carrying batches of up to `batch` records per
+        // message; `slots × batch ≤ queue_depth` keeps the configured
+        // bound counted in records (see [`SUBMIT_BATCH`]). Each
+        // sender/receiver half has exactly one owner, so disconnection
+        // cleanly signals "peer done/dead".
+        let depth = self.cfg.queue_depth;
+        let batch = depth.clamp(1, SUBMIT_BATCH);
+        let slots = (depth / batch).max(1);
+        let mut ingest_rx: Vec<Option<Receiver<Vec<IngestMsg>>>> = Vec::with_capacity(s);
+        let mut out_tx: Vec<Option<Sender<Vec<SeqOutcome>>>> = Vec::with_capacity(s);
+        let mut out_rx: Vec<Receiver<Vec<SeqOutcome>>> = Vec::with_capacity(s);
+        let mut client_senders: Vec<Vec<Option<Sender<Vec<IngestMsg>>>>> = (0..clients)
+            .map(|_| (0..s).map(|_| None).collect())
+            .collect();
+        for shard in 0..s {
+            let (itx, irx) = bounded::<Vec<IngestMsg>>(slots);
+            let (otx, orx) = bounded::<Vec<SeqOutcome>>(slots);
+            client_senders[shard % clients][shard] = Some(itx);
+            ingest_rx.push(Some(irx));
+            out_tx.push(Some(otx));
+            out_rx.push(orx);
+        }
+
+        let params = self.cfg.params;
+        let dry_budget = if s > 1 { DRY_YIELDS } else { 0 };
+        let lat = *latency;
+        let shed = self.cfg.submit == SubmitMode::Shed;
+        let warmup_len = warmup.len() as u64;
+
+        let mut fault = FaultStats::default();
+        // Outcomes recovered by the supervisor for dead shards, minus the
+        // prefix the worker already delivered; and each recovered shard's
+        // full scored count (replacing the dead worker's partial one).
+        let mut replacement: Vec<VecDeque<SeqOutcome>> = (0..s).map(|_| VecDeque::new()).collect();
+        let mut recovered_scored: Vec<Option<u64>> = vec![None; s];
+        let mut delivered: Vec<usize> = vec![0; s];
+        // Outcome batches received from live workers, not yet merged.
+        let mut pending: Vec<VecDeque<SeqOutcome>> = (0..s).map(|_| VecDeque::new()).collect();
+
+        let start = Instant::now();
+        let served = crossbeam::thread::scope(|scope| {
+            let worker_handles: Vec<_> = policies
+                .into_iter()
+                .enumerate()
+                .map(|(shard, pol)| {
+                    let rx = ingest_rx[shard].take().expect("one worker per shard");
+                    let tx = out_tx[shard].take().expect("one worker per shard");
+                    let at = panic_at[shard];
+                    scope.spawn(move |_| {
+                        run_worker(
+                            rx, tx, pol, cache_cfg, params, batched, lat, at, breaker, warmup_len,
+                            batch, dry_budget,
+                        )
+                    })
+                })
+                .collect();
+            let client_handles: Vec<_> = client_items
+                .into_iter()
+                .zip(client_senders)
+                .map(|(items, senders)| {
+                    scope.spawn(move |_| run_client(items, senders, shed, batch))
+                })
+                .collect();
+
+            // The merger runs here, on the calling thread: pull each
+            // global position's outcome from its owning shard and
+            // re-account it immediately — O(shards) live outcomes.
+            let mut merge = StreamingMerge::new(warmup.len(), &lat, series_window);
+            let mut merge_err: Option<ServeError> = None;
+            'merge: for (i, r) in warmup.iter().chain(measured).enumerate() {
+                let shard = shard_of[i];
+                let out = loop {
+                    if let Some(o) = replacement[shard].pop_front() {
+                        break o;
+                    }
+                    if let Some(o) = pending[shard].pop_front() {
+                        break o;
+                    }
+                    match out_rx[shard].recv() {
+                        Ok(outs) => pending[shard].extend(outs),
+                        Err(_) => {
+                            // The worker died before delivering this
+                            // outcome. Graceful degradation, exactly as
+                            // offline: re-replay the shard's subtrace on
+                            // this thread (panic point disarmed, fresh
+                            // policies) and keep serving from the
+                            // replayed outcomes past the delivered
+                            // prefix.
+                            fault.shard_panics += 1;
+                            let ctx = ShardCtx {
+                                shard,
+                                shards: s,
+                                warmup: &shard_warm[shard],
+                                measured: &shard_meas[shard],
+                            };
+                            let pol = make_shard(&ctx);
+                            let replay = catch_unwind(AssertUnwindSafe(|| {
+                                replay_shard_offline(
+                                    &shard_warm[shard],
+                                    &shard_meas[shard],
+                                    &gaps[shard],
+                                    &seqs[shard],
+                                    cache_cfg,
+                                    &lat,
+                                    pol,
+                                )
+                            }));
+                            match replay {
+                                Ok((outs, scored)) => {
+                                    fault.shard_recoveries += 1;
+                                    recovered_scored[shard] = Some(scored);
+                                    replacement[shard] =
+                                        outs.into_iter().skip(delivered[shard]).collect();
+                                    break replacement[shard]
+                                        .pop_front()
+                                        .expect("re-replay covers every undelivered record");
+                                }
+                                Err(p) => {
+                                    merge_err = Some(ServeError::ShardFailed {
+                                        shard,
+                                        message: format!(
+                                            "worker died; supervisor re-replay panicked too ({})",
+                                            panic_payload(p)
+                                        ),
+                                    });
+                                    break 'merge;
+                                }
+                            }
+                        }
+                    }
+                };
+                let _ = r;
+                delivered[shard] += 1;
+                merge.push(&out);
+            }
+            let wall = start.elapsed();
+
+            // Unblock any worker still parked on a full outcome queue
+            // (only possible on the error path), then join everything —
+            // the scope must not exit with unjoined panicked threads.
+            drop(out_rx);
+            let mut sheds = 0u64;
+            for h in client_handles {
+                sheds += h.join().expect("clients never panic");
+            }
+            let mut hist = LatencyHistogram::new();
+            let mut spec = SpecStats::default();
+            let mut scores_consumed = 0u64;
+            for (shard, h) in worker_handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(done) => {
+                        hist.merge(&done.hist);
+                        spec.merge(&done.spec);
+                        fault.merge(&done.fault);
+                        scores_consumed += done.scored;
+                    }
+                    Err(payload) => match recovered_scored[shard] {
+                        // Recovered: the offline re-replay's scored count
+                        // stands in for the dead worker's partial one
+                        // (score consumption is engine-invariant).
+                        Some(scored) => scores_consumed += scored,
+                        None => {
+                            if merge_err.is_none() {
+                                merge_err = Some(ServeError::ShardFailed {
+                                    shard,
+                                    message: panic_payload(payload),
+                                });
+                            }
+                        }
+                    },
+                }
+            }
+            if let Some(e) = merge_err {
+                return Err(e);
+            }
+            let sim = merge.finish(measured.len(), &ev_name, &adm_name);
+            Ok((sim, spec, scores_consumed, sheds, hist, wall))
+        })
+        .expect("serve scope joins every handle");
+        let (mut sim, spec, scores_consumed, sheds, hist, wall) = served?;
+        sim.fault = fault;
+
+        let wall_us = wall.as_secs_f64() * 1e6;
+        let requests_per_sec = if wall_us > 0.0 {
+            n as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        Ok(ServeReport {
+            sim,
+            spec,
+            batched,
+            scores_consumed,
+            requests: n as u64,
+            sheds,
+            shards: s,
+            clients,
+            wall_us,
+            requests_per_sec,
+            admission_p50_us: hist.quantile_us(0.50),
+            admission_p99_us: hist.quantile_us(0.99),
+        })
+    }
+}
+
+/// One client thread: submit the owned shards' requests in ascending
+/// global order, grouped into per-shard batches. A batch only ever holds
+/// a *run* of consecutive records for one shard and is flushed before the
+/// client touches any other shard, so "submitted in ascending order"
+/// (the deadlock-freedom invariant) survives batching: whenever a client
+/// blocks on a full queue, every earlier global position it owns has
+/// already been enqueued. Returns the shed count. Sends to a dead shard
+/// error out and are ignored — the supervisor's re-replay covers those
+/// records.
+fn run_client(
+    items: Vec<ClientItem>,
+    senders: Vec<Option<Sender<Vec<IngestMsg>>>>,
+    shed: bool,
+    batch: usize,
+) -> u64 {
+    let mut sheds = 0u64;
+    let mut cur: Option<usize> = None;
+    let mut buf: Vec<IngestMsg> = Vec::with_capacity(batch);
+    let mut stamp = Instant::now();
+    for it in items {
+        if cur != Some(it.shard) || buf.len() >= batch {
+            if let Some(shard) = cur {
+                let tx = senders[shard].as_ref().expect("client owns this shard");
+                flush_submissions(tx, &mut buf, shed, &mut sheds, batch);
+            }
+            cur = Some(it.shard);
+        }
+        if buf.is_empty() {
+            // One clock read per batch: records accumulated into the same
+            // batch share its opening stamp (they are pushed within a few
+            // ns of each other; sharing only rounds latency *up*).
+            stamp = Instant::now();
+        }
+        buf.push(IngestMsg {
+            seq: it.seq,
+            record: it.record,
+            gap: it.gap,
+            t_submit: stamp,
+        });
+    }
+    if let Some(shard) = cur {
+        let tx = senders[shard].as_ref().expect("client owns this shard");
+        flush_submissions(tx, &mut buf, shed, &mut sheds, batch);
+    }
+    sheds
+}
+
+/// Ships one client batch. Shed mode counts every record of a batch that
+/// found its queue full (what a lossy service would have dropped), then
+/// submits anyway so the merged report stays exact.
+fn flush_submissions(
+    tx: &Sender<Vec<IngestMsg>>,
+    buf: &mut Vec<IngestMsg>,
+    shed: bool,
+    sheds: &mut u64,
+    batch: usize,
+) {
+    if buf.is_empty() {
+        return;
+    }
+    let msgs = std::mem::replace(buf, Vec::with_capacity(batch));
+    if shed {
+        match tx.try_send(msgs) {
+            Ok(()) => {}
+            Err(TrySendError::Full(m)) => {
+                *sheds += m.len() as u64;
+                let _ = tx.send(m);
+            }
+            Err(TrySendError::Disconnected(_)) => {}
+        }
+    } else {
+        let _ = tx.send(msgs);
+    }
+}
+
+/// Shared per-record bookkeeping of a shard worker: the shard-local
+/// sequence clock, the armed panic point, the latency histogram and the
+/// outcome publisher.
+struct RecState {
+    seen: u64,
+    scored: u64,
+    panic_at: Option<u64>,
+    hist: LatencyHistogram,
+    tx: Sender<Vec<SeqOutcome>>,
+    /// Decided outcomes not yet shipped to the merger (at most `obatch`).
+    obuf: Vec<SeqOutcome>,
+    /// Submission stamps of buffered *measured* outcomes, turned into
+    /// histogram entries at flush time with a single clock read — a
+    /// record's admission latency runs submit → outcome flush, so sharing
+    /// the flush instant only rounds the tail *up*, never under-states it
+    /// (consistent with the histogram's upper-bound bucket semantics).
+    lat_pending: Vec<Instant>,
+    obatch: usize,
+    warmup_len: u64,
+}
+
+impl RecState {
+    /// Publishes one decided record: panic-point check first (mirroring
+    /// the offline `OutcomeRecorder` — the scorer has observed the record
+    /// but no outcome escapes), then histogram + outcome buffering. An
+    /// armed panic drops the buffer with the worker — exactly the "died
+    /// before delivering" prefix the supervisor's re-replay covers.
+    fn publish(&mut self, msg: &IngestMsg, outcome: icgmm_cache::AccessOutcome, scored: bool) {
+        if self.panic_at == Some(self.seen) {
+            // resume_unwind skips the panic hook: an armed panic is an
+            // expected, supervisor-recovered event, not stderr noise.
+            resume_unwind(Box::new(format!(
+                "fault-plan armed panic at shard-local record {}",
+                self.seen
+            )));
+        }
+        self.seen += 1;
+        self.scored += u64::from(scored);
+        if msg.seq >= self.warmup_len {
+            self.lat_pending.push(msg.t_submit);
+        }
+        self.obuf.push(SeqOutcome {
+            seq: msg.seq,
+            record: msg.record,
+            outcome,
+        });
+        if self.obuf.len() >= self.obatch {
+            self.flush();
+        }
+    }
+
+    /// Ships the buffered outcomes as one batch. Called when the buffer
+    /// fills and — crucially for deadlock freedom — before the worker
+    /// blocks on an empty ingestion queue: a decided outcome held across
+    /// a park could starve the merger (which drains shards in global
+    /// order) while the owning client is blocked on a different full
+    /// queue. A send to a gone merger is ignored; the worker finishes
+    /// draining and exits.
+    fn flush(&mut self) {
+        if self.obuf.is_empty() {
+            return;
+        }
+        if !self.lat_pending.is_empty() {
+            let now = Instant::now();
+            for t in self.lat_pending.drain(..) {
+                self.hist
+                    .record_ns(now.saturating_duration_since(t).as_nanos() as u64);
+            }
+        }
+        let outs = std::mem::replace(&mut self.obuf, Vec::with_capacity(self.obatch));
+        let _ = self.tx.send(outs);
+    }
+}
+
+/// Observer adapter for the batched worker path: forwards each replayed
+/// event of the current ingestion chunk through [`RecState::publish`].
+struct ChunkRecorder<'a> {
+    state: &'a mut RecState,
+    msgs: &'a [IngestMsg],
+    idx: usize,
+}
+
+impl ReplayObserver for ChunkRecorder<'_> {
+    fn on_record(&mut self, ev: &ReplayEvent<'_>) {
+        debug_assert_eq!(ev.seq, self.state.seen, "batched worker lost its seq clock");
+        let msg = self.msgs[self.idx];
+        self.idx += 1;
+        self.state.publish(&msg, *ev.outcome, ev.score.is_some());
+    }
+}
+
+/// One shard worker: drain the ingestion queue, decide, publish.
+///
+/// Streaming workers run the canonical [`streaming_step`] per request;
+/// batched workers drain up to a window of queued requests and push the
+/// chunk through the speculative batcher's continuation entry point
+/// ([`WindowedSimulator::run_observed_from`]), whose chunked replay is
+/// property-proven bit-identical to one uninterrupted run. Either way the
+/// shard-local sequence clock (`seen`) runs continuously, so policy
+/// recency stamps and Belady positions match the offline replay exactly.
+#[allow(clippy::too_many_arguments)]
+fn run_worker(
+    rx: Receiver<Vec<IngestMsg>>,
+    tx: Sender<Vec<SeqOutcome>>,
+    mut pol: ShardPolicies,
+    cache_cfg: CacheConfig,
+    params: SpecParams,
+    batched: bool,
+    latency: LatencyModel,
+    panic_at: Option<u64>,
+    breaker: Option<(u32, u32)>,
+    warmup_len: u64,
+    batch: usize,
+    dry_budget: u32,
+) -> WorkerDone {
+    let mut cache = SetAssocCache::new(cache_cfg).expect("geometry validated by serve()");
+    let mut state = RecState {
+        seen: 0,
+        scored: 0,
+        panic_at,
+        hist: LatencyHistogram::new(),
+        tx,
+        obuf: Vec::with_capacity(batch),
+        lat_pending: Vec::with_capacity(batch),
+        obatch: batch,
+        warmup_len,
+    };
+    let mut spec = SpecStats::default();
+    let mut fault = FaultStats::default();
+
+    let batched_score = if batched { pol.score.take() } else { None };
+    if let Some(mut score) = batched_score {
+        let mut wsim = WindowedSimulator::with_params(params);
+        if let Some((storm, cooldown)) = breaker {
+            wsim.set_breaker(storm, cooldown);
+        }
+        let mut msgs: Vec<IngestMsg> = Vec::with_capacity(params.window);
+        let mut records: Vec<TraceRecord> = Vec::with_capacity(params.window);
+        let mut chunk_gaps: Vec<u64> = Vec::with_capacity(params.window);
+        loop {
+            msgs.clear();
+            // Flush decided outcomes before a potential park (see
+            // RecState::flush); a no-op when the buffer is empty.
+            state.flush();
+            match rx.recv() {
+                Ok(m) => msgs.extend(m),
+                Err(_) => break,
+            }
+            // Drain up to a full speculation window. When the queue runs
+            // dry mid-drain, yield a few times before settling for a
+            // partial chunk: on few-core hosts each yield hands the
+            // clients a scheduler quantum to refill the queue, and fuller
+            // chunks keep the batcher's dense-scoring segments from
+            // fragmenting (outcomes are chunking-invariant — this trades
+            // microseconds of admission latency for batching throughput).
+            let mut dry_yields = 0u32;
+            while msgs.len() < params.window {
+                match rx.try_recv() {
+                    Ok(m) => msgs.extend(m),
+                    Err(TryRecvError::Empty) if dry_yields < dry_budget => {
+                        dry_yields += 1;
+                        thread::yield_now();
+                    }
+                    Err(_) => break,
+                }
+            }
+            records.clear();
+            records.extend(msgs.iter().map(|m| m.record));
+            chunk_gaps.clear();
+            chunk_gaps.extend(msgs.iter().map(|m| m.gap));
+            let seq_base = state.seen;
+            let mut rec = ChunkRecorder {
+                state: &mut state,
+                msgs: &msgs,
+                idx: 0,
+            };
+            let mut gap_score = GapScore::new(score.as_mut(), &chunk_gaps);
+            let _ = wsim.run_observed_from(
+                seq_base,
+                &records,
+                &mut cache,
+                pol.admission.as_mut(),
+                pol.eviction.as_mut(),
+                Some(&mut gap_score),
+                &latency,
+                &mut rec,
+            );
+            // The batcher's telemetry resets per call; accumulate.
+            spec.merge(wsim.spec_stats());
+            fault.merge(wsim.fault_stats());
+        }
+    } else {
+        let mut score = pol.score;
+        loop {
+            state.flush();
+            let msgs = match rx.recv() {
+                Ok(m) => m,
+                Err(_) => break,
+            };
+            for msg in msgs {
+                if msg.gap > 0 {
+                    if let Some(sc) = score.as_deref_mut() {
+                        sc.observe_gap(msg.gap);
+                    }
+                }
+                let mut sref = score.as_deref_mut().map(|sc| sc as &mut dyn ScoreSource);
+                let (outcome, score_val) = streaming_step(
+                    &msg.record,
+                    state.seen,
+                    &mut cache,
+                    pol.admission.as_mut(),
+                    pol.eviction.as_mut(),
+                    &mut sref,
+                );
+                state.publish(&msg, outcome, score_val.is_some());
+            }
+        }
+    }
+    state.flush();
+    WorkerDone {
+        hist: state.hist,
+        spec,
+        fault,
+        scored: state.scored,
+    }
+}
+
+/// Supervisor fallback for a dead shard: deterministically re-replay its
+/// subtrace on the calling thread (streaming engine, panic disarmed) and
+/// return every outcome stamped with its global position, plus the full
+/// scored count. Score consumption is engine-invariant, so the streaming
+/// replay stands in for a batched worker exactly.
+fn replay_shard_offline(
+    warm: &[TraceRecord],
+    meas: &[TraceRecord],
+    gaps: &[u64],
+    seqs: &[u64],
+    cache_cfg: CacheConfig,
+    latency: &LatencyModel,
+    mut pol: ShardPolicies,
+) -> (Vec<SeqOutcome>, u64) {
+    struct Collect<'a> {
+        seqs: &'a [u64],
+        outs: Vec<SeqOutcome>,
+        scored: u64,
+    }
+    impl ReplayObserver for Collect<'_> {
+        fn on_record(&mut self, ev: &ReplayEvent<'_>) {
+            self.outs.push(SeqOutcome {
+                seq: self.seqs[self.outs.len()],
+                record: *ev.record,
+                outcome: *ev.outcome,
+            });
+            self.scored += u64::from(ev.score.is_some());
+        }
+    }
+    let mut cache = SetAssocCache::new(cache_cfg).expect("geometry validated by serve()");
+    let mut collect = Collect {
+        seqs,
+        outs: Vec::with_capacity(seqs.len()),
+        scored: 0,
+    };
+    match pol.score.as_mut() {
+        Some(score) => {
+            let mut gap_score = GapScore::new(score.as_mut(), gaps);
+            simulate_streaming_observed_with_warmup(
+                warm,
+                meas,
+                &mut cache,
+                pol.admission.as_mut(),
+                pol.eviction.as_mut(),
+                Some(&mut gap_score),
+                latency,
+                None,
+                &mut collect,
+            );
+        }
+        None => {
+            simulate_streaming_observed_with_warmup(
+                warm,
+                meas,
+                &mut cache,
+                pol.admission.as_mut(),
+                pol.eviction.as_mut(),
+                None,
+                latency,
+                None,
+                &mut collect,
+            );
+        }
+    }
+    (collect.outs, collect.scored)
+}
+
+/// Human-readable panic payload (mirrors the offline engine's handling).
+fn panic_payload(p: Box<dyn std::any::Any + Send>) -> String {
+    match p.downcast::<String>() {
+        Ok(s) => *s,
+        Err(p) => match p.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}

@@ -1,0 +1,342 @@
+//! Differential property suite for the serving front-end: a served trace
+//! re-accounts **bit-identically** to the offline sharded replay (and
+//! hence to the single-threaded simulator) for every shard count in
+//! {1, 2, 4, 8} × client count × queue depth × submit mode — plus the
+//! seeded-shutdown and backpressure properties, and transparent recovery
+//! from armed worker panics.
+
+use icgmm_cache::{
+    FaultPlan, FnScore, LatencyModel, ShardPolicies, ShardRouting, ShardedSimulator, SimReport,
+    SpecParams,
+};
+use icgmm_serve::{CacheServer, ServeConfig, ServeError, ServeReport, SubmitMode};
+use icgmm_testutil::{admission_for, eviction_for, score_for, small_cfg, zipf_trace};
+use icgmm_trace::TraceRecord;
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Serves the trace through a [`CacheServer`] over the grid fixtures.
+fn serve(
+    cfg: ServeConfig,
+    eviction: &str,
+    admission: &str,
+    score: &str,
+    trace: &[TraceRecord],
+    warmup_len: usize,
+) -> Result<ServeReport, ServeError> {
+    let cache_cfg = small_cfg();
+    let lat = LatencyModel::paper_tlc();
+    let (warm, meas) = trace.split_at(warmup_len);
+    CacheServer::new(cfg)?.serve(
+        warm,
+        meas,
+        cache_cfg,
+        &mut |ctx| {
+            // Belady's oracle must see this shard's subsequence.
+            let mut recs = Vec::with_capacity(ctx.warmup.len() + ctx.measured.len());
+            recs.extend_from_slice(ctx.warmup);
+            recs.extend_from_slice(ctx.measured);
+            ShardPolicies {
+                admission: admission_for(admission),
+                eviction: eviction_for(eviction, cache_cfg, &recs),
+                score: score_for(score),
+            }
+        },
+        &lat,
+        Some(64),
+    )
+}
+
+/// The offline reference: [`ShardedSimulator`] over the same inputs,
+/// routing and speculation parameters.
+#[allow(clippy::too_many_arguments)]
+fn offline(
+    shards: usize,
+    routing: ShardRouting,
+    window: usize,
+    eviction: &str,
+    admission: &str,
+    score: &str,
+    trace: &[TraceRecord],
+    warmup_len: usize,
+) -> (SimReport, u64) {
+    let cache_cfg = small_cfg();
+    let lat = LatencyModel::paper_tlc();
+    let (warm, meas) = trace.split_at(warmup_len);
+    let rep = ShardedSimulator::with_params(shards, SpecParams::with_window(window))
+        .with_routing(routing)
+        .run(
+            warm,
+            meas,
+            cache_cfg,
+            &mut |ctx| {
+                let mut recs = Vec::with_capacity(ctx.warmup.len() + ctx.measured.len());
+                recs.extend_from_slice(ctx.warmup);
+                recs.extend_from_slice(ctx.measured);
+                ShardPolicies {
+                    admission: admission_for(admission),
+                    eviction: eviction_for(eviction, cache_cfg, &recs),
+                    score: score_for(score),
+                }
+            },
+            &lat,
+            Some(64),
+        )
+        .expect("valid geometry");
+    (rep.sim, rep.scores_consumed)
+}
+
+proptest! {
+    /// Served report == offline sharded replay, bit for bit, across
+    /// {score-free LRU, Belady oracle, scored GMM-threshold} × every
+    /// shard count × varying client counts, queue depths and submit
+    /// modes over random Zipf traces.
+    #[test]
+    fn served_stream_matches_offline_replay(
+        params in (0u64..1_000_000, 300usize..1000, 24u64..160, 60u64..140, 0u8..45, 1usize..700)
+    ) {
+        let (seed, n, pages, skew_pct, write_pct, window) = params;
+        let trace = zipf_trace(seed, n, pages, skew_pct as f64 / 100.0, write_pct);
+        let warmup_len = (seed as usize) % (n / 2);
+        let grid = [
+            ("lru", "always", "none"),
+            ("belady", "always", "none"),
+            ("gmm-score", "threshold", "fn"),
+        ];
+        for (i, (eviction, admission, score)) in grid.into_iter().enumerate() {
+            for shards in SHARD_COUNTS {
+                let (reference, ref_scores) = offline(
+                    shards, ShardRouting::Auto, window,
+                    eviction, admission, score, &trace, warmup_len,
+                );
+                // Vary the serving-only knobs with the case seed: they
+                // must never show up in the merged report.
+                let clients = 1 + (seed as usize + shards + i) % 3;
+                let queue_depth = [1, 2, 7, 64][(seed as usize + shards) % 4];
+                let submit = if (seed + shards as u64).is_multiple_of(2) {
+                    SubmitMode::Block
+                } else {
+                    SubmitMode::Shed
+                };
+                let rep = serve(
+                    ServeConfig {
+                        shards,
+                        clients,
+                        queue_depth,
+                        submit,
+                        params: SpecParams::with_window(window),
+                        ..ServeConfig::default()
+                    },
+                    eviction, admission, score, &trace, warmup_len,
+                ).expect("serving succeeds");
+                prop_assert_eq!(
+                    &rep.sim, &reference,
+                    "serving changed the report: {} shards, {} clients, depth {}, {:?}",
+                    shards, clients, queue_depth, submit
+                );
+                prop_assert_eq!(rep.scores_consumed, ref_scores);
+                prop_assert_eq!(rep.requests as usize, n);
+                if submit == SubmitMode::Block {
+                    prop_assert_eq!(rep.sheds, 0);
+                }
+            }
+        }
+    }
+
+    /// Seeded graceful shutdown: stopping intake after K requests (K at
+    /// random points, including 0, mid-warm-up and past the end) serves
+    /// exactly the first K records — the report re-accounts
+    /// bit-identically to the offline replay of the truncated trace, with
+    /// no lost or duplicated outcome (the merge asserts contiguity).
+    #[test]
+    fn seeded_shutdown_prefixes_match_truncated_replay(
+        params in (0u64..1_000_000, 200usize..700, 24u64..96, 1usize..400)
+    ) {
+        let (seed, n, pages, window) = params;
+        let trace = zipf_trace(seed, n, pages, 0.3, 20);
+        let warmup_len = (seed as usize) % (n / 2);
+        for (eviction, admission, score) in
+            [("lru", "always", "none"), ("gmm-score", "threshold", "fn")]
+        {
+            for i in 0..4u64 {
+                let k = match i {
+                    0 => 0,
+                    1 => (seed.wrapping_mul(31).wrapping_add(i)) % (warmup_len.max(1) as u64),
+                    2 => warmup_len as u64
+                        + (seed.wrapping_mul(37).wrapping_add(i)) % ((n - warmup_len) as u64),
+                    _ => n as u64 + 10, // past the end: serves everything
+                };
+                let cut = (k as usize).min(n);
+                let cut_warm = warmup_len.min(cut);
+                let (reference, _) = offline(
+                    2, ShardRouting::Auto, window, eviction, admission, score,
+                    &trace[..cut], cut_warm,
+                );
+                let rep = serve(
+                    ServeConfig {
+                        shards: 2,
+                        clients: 2,
+                        queue_depth: 8,
+                        stop_after: Some(k),
+                        params: SpecParams::with_window(window),
+                        ..ServeConfig::default()
+                    },
+                    eviction, admission, score, &trace, warmup_len,
+                ).expect("serving succeeds");
+                prop_assert_eq!(rep.requests, cut as u64, "stop_after {}", k);
+                prop_assert_eq!(
+                    &rep.sim, &reference,
+                    "shutdown at {} diverged from the truncated replay", k
+                );
+            }
+        }
+    }
+
+    /// Armed shard-worker panics are recovered transparently: the report
+    /// is still bit-identical to the undisturbed offline replay, and the
+    /// fault telemetry shows every panic matched by a recovery.
+    #[test]
+    fn worker_deaths_are_recovered_bit_identically(
+        params in (0u64..1_000_000, 200usize..600, 24u64..96)
+    ) {
+        let (seed, n, pages) = params;
+        let trace = zipf_trace(seed, n, pages, 0.4, 25);
+        let warmup_len = n / 4;
+        let plan = FaultPlan {
+            seed,
+            shard_panic_per_mille: 1000, // every shard dies once
+            ..FaultPlan::default()
+        };
+        for (eviction, admission, score) in
+            [("lru", "always", "none"), ("gmm-score", "threshold", "fn")]
+        {
+            let (reference, ref_scores) = offline(
+                4, ShardRouting::Auto, 128, eviction, admission, score, &trace, warmup_len,
+            );
+            let rep = serve(
+                ServeConfig {
+                    shards: 4,
+                    clients: 2,
+                    queue_depth: 4,
+                    fault: plan,
+                    ..ServeConfig::default()
+                },
+                eviction, admission, score, &trace, warmup_len,
+            ).expect("recovery masks every armed panic");
+            prop_assert_eq!(&rep.sim.stats, &reference.stats);
+            prop_assert_eq!(rep.sim.total_us, reference.total_us);
+            prop_assert_eq!(&rep.sim.miss_series, &reference.miss_series);
+            prop_assert_eq!(rep.scores_consumed, ref_scores);
+            prop_assert!(rep.sim.fault.shard_panics > 0, "plan must fire");
+            prop_assert_eq!(rep.sim.fault.shard_panics, rep.sim.fault.shard_recoveries);
+        }
+    }
+}
+
+/// Backpressure: a depth-1 queue in front of a deliberately slow scorer
+/// forces the submitter ahead of the worker. In `Shed` mode the report
+/// counts every would-be drop while still serving every request — the
+/// merged report stays bit-identical to the offline reference.
+#[test]
+fn backpressure_sheds_are_counted_and_harmless() {
+    let trace = zipf_trace(7, 400, 48, 0.3, 10);
+    let warmup_len = 100;
+    let cache_cfg = small_cfg();
+    let lat = LatencyModel::paper_tlc();
+    let (warm, meas) = trace.split_at(warmup_len);
+
+    // ~50 µs of busy work per observation: the client outruns the worker
+    // by construction, so the depth-1 queue is full almost always.
+    let slow_score = || {
+        Some(Box::new(FnScore::new(|page, seq| {
+            let mut acc = page ^ seq;
+            for i in 0..20_000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            (acc % 100) as f64 / 100.0
+        })) as Box<dyn icgmm_cache::ScoreSource + Send>)
+    };
+
+    let reference = {
+        let rep = ShardedSimulator::new(1)
+            .run(
+                warm,
+                meas,
+                cache_cfg,
+                &mut |_ctx| ShardPolicies {
+                    admission: admission_for("threshold"),
+                    eviction: eviction_for("lru", cache_cfg, &trace),
+                    score: slow_score(),
+                },
+                &lat,
+                Some(64),
+            )
+            .expect("valid geometry");
+        rep.sim
+    };
+
+    let rep = CacheServer::new(ServeConfig {
+        shards: 1,
+        clients: 1,
+        queue_depth: 1,
+        submit: SubmitMode::Shed,
+        ..ServeConfig::default()
+    })
+    .unwrap()
+    .serve(
+        warm,
+        meas,
+        cache_cfg,
+        &mut |_ctx| ShardPolicies {
+            admission: admission_for("threshold"),
+            eviction: eviction_for("lru", cache_cfg, &trace),
+            score: slow_score(),
+        },
+        &lat,
+        Some(64),
+    )
+    .expect("serving succeeds");
+
+    assert_eq!(rep.sim, reference, "sheds must never change outcomes");
+    assert!(
+        rep.sheds > 0,
+        "a depth-1 queue before a ~50 µs/request worker must shed"
+    );
+    assert!(rep.sheds <= rep.requests);
+    assert!(rep.admission_p99_us > 0.0, "histogram must have samples");
+    assert!(rep.admission_p50_us <= rep.admission_p99_us);
+}
+
+/// Block mode under the same slow worker: nobody sheds, nothing changes.
+#[test]
+fn blocking_backpressure_serves_exactly() {
+    let trace = zipf_trace(11, 300, 32, 0.2, 15);
+    let rep = serve(
+        ServeConfig {
+            shards: 2,
+            clients: 2,
+            queue_depth: 1,
+            submit: SubmitMode::Block,
+            ..ServeConfig::default()
+        },
+        "gmm-score",
+        "threshold",
+        "fn",
+        &trace,
+        75,
+    )
+    .expect("serving succeeds");
+    let (reference, _) = offline(
+        2,
+        ShardRouting::Auto,
+        256,
+        "gmm-score",
+        "threshold",
+        "fn",
+        &trace,
+        75,
+    );
+    assert_eq!(rep.sim, reference);
+    assert_eq!(rep.sheds, 0);
+}
