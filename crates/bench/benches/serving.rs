@@ -14,9 +14,13 @@
 //! geometry replays the identical decision sequence through the identical
 //! batcher, so the ratio isolates the service machinery itself — queue
 //! hand-off, per-request admission timestamping, sequence-numbered
-//! outcome streaming and the incremental merge. Wider geometries
-//! (4 shards × 2 clients) are archived for trend tracking: CI's
-//! single-core runners measure machinery there, not scaling.
+//! outcome streaming and the incremental merge. The wide geometries
+//! (4 shards × 2 clients, 8 shards × 4 clients) exercise the per-shard
+//! client transport buffers on interleaved traffic — a scan routes
+//! consecutive records to consecutive shards, so without buffering every
+//! message degenerates to one record. CI additionally gates the 4×2
+//! pair (0.8× tenants, 0.6× scan); 8×4 is archived for trend tracking,
+//! since CI's single-core runners measure machinery there, not scaling.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use icgmm::{GmmPolicyEngine, TrainedModel};
@@ -125,10 +129,19 @@ fn bench_serving(c: &mut Criterion) {
         ..ServeConfig::default()
     })
     .expect("valid serve config");
-    // The archived wide geometry: 4 workers fed by 2 clients.
+    // The gated wide geometry: 4 workers fed by 2 clients.
     let wide = CacheServer::new(ServeConfig {
         shards: 4,
         clients: 2,
+        queue_depth: 256,
+        ..ServeConfig::default()
+    })
+    .expect("valid serve config");
+    // The archived wider geometry: 8 workers fed by 4 clients, each
+    // client juggling two per-shard transport buffers.
+    let wider = CacheServer::new(ServeConfig {
+        shards: 8,
+        clients: 4,
         queue_depth: 256,
         ..ServeConfig::default()
     })
@@ -171,6 +184,10 @@ fn bench_serving(c: &mut Criterion) {
 
         group.bench_function(format!("serve4x2_{name}_k256"), |b| {
             b.iter(|| black_box(serve_once(&wide, black_box(trace), cfg, &eng, &lat)))
+        });
+
+        group.bench_function(format!("serve8x4_{name}_k256"), |b| {
+            b.iter(|| black_box(serve_once(&wider, black_box(trace), cfg, &eng, &lat)))
         });
     }
 

@@ -1,0 +1,198 @@
+//! Adversarial-interleaving property suite for [`StreamingMerge`] /
+//! [`merge_streams`]: however the global sequence is partitioned into
+//! per-stream subsequences — single-stream bursts, ragged tails, streams
+//! handed to the driver in reverse discovery order — the k-way merge
+//! re-accounts bit-identically to a sort-based oracle that pushes every
+//! outcome in ascending global order. The outcomes mix hits, insertions
+//! with clean and dirty victims and bypasses, so the order-sensitive
+//! `f64` latency accumulation would expose any reordering the sequence
+//! assertion somehow let through.
+
+use icgmm_cache::{
+    merge_streams, AccessOutcome, Eviction, LatencyModel, OutcomeStream, SeqOutcome, SimReport,
+    StreamingMerge,
+};
+use icgmm_trace::{PageIndex, TraceRecord};
+use proptest::prelude::*;
+
+/// Deterministic outcome zoo keyed off the global position: every
+/// variant shows up, and dirty evictions perturb the latency total
+/// enough that a swapped pair of outcomes changes the `f64` sum.
+fn outcome_at(seq: u64, salt: u64) -> SeqOutcome {
+    let h = seq.wrapping_mul(6364136223846793005).wrapping_add(salt | 1);
+    let record = if h.is_multiple_of(3) {
+        TraceRecord::write((seq % 97) << 12)
+    } else {
+        TraceRecord::read((seq % 97) << 12)
+    };
+    let outcome = match h % 5 {
+        0 => AccessOutcome::Hit {
+            way: (h % 4) as usize,
+        },
+        1 => AccessOutcome::MissBypassed,
+        2 => AccessOutcome::MissInserted {
+            way: (h % 4) as usize,
+            evicted: None,
+        },
+        3 => AccessOutcome::MissInserted {
+            way: (h % 4) as usize,
+            evicted: Some(Eviction {
+                page: PageIndex::new(h % 131),
+                dirty: false,
+            }),
+        },
+        _ => AccessOutcome::MissInserted {
+            way: (h % 4) as usize,
+            evicted: Some(Eviction {
+                page: PageIndex::new(h % 131),
+                dirty: true,
+            }),
+        },
+    };
+    SeqOutcome {
+        seq,
+        record,
+        outcome,
+    }
+}
+
+struct VecStream(std::vec::IntoIter<SeqOutcome>);
+
+impl OutcomeStream for VecStream {
+    fn next_outcome(&mut self) -> Option<SeqOutcome> {
+        self.0.next()
+    }
+}
+
+/// The sort-based oracle: every outcome in ascending global order
+/// through one [`StreamingMerge`].
+fn oracle(n: u64, salt: u64, warmup_len: usize, window: Option<u64>) -> SimReport {
+    let lat = LatencyModel::paper_tlc();
+    let mut merge = StreamingMerge::new(warmup_len, &lat, window);
+    for seq in 0..n {
+        merge.push(&outcome_at(seq, salt));
+    }
+    merge.finish(n as usize - warmup_len, "lru", "always")
+}
+
+/// Merges an explicit partition of `0..n` through [`merge_streams`].
+fn merged(
+    partition: Vec<Vec<u64>>,
+    salt: u64,
+    n: u64,
+    warmup_len: usize,
+    window: Option<u64>,
+) -> SimReport {
+    let lat = LatencyModel::paper_tlc();
+    let mut merge = StreamingMerge::new(warmup_len, &lat, window);
+    let mut streams: Vec<VecStream> = partition
+        .into_iter()
+        .map(|seqs| {
+            VecStream(
+                seqs.into_iter()
+                    .map(|s| outcome_at(s, salt))
+                    .collect::<Vec<_>>()
+                    .into_iter(),
+            )
+        })
+        .collect();
+    let mut refs: Vec<&mut dyn OutcomeStream> = streams
+        .iter_mut()
+        .map(|s| s as &mut dyn OutcomeStream)
+        .collect();
+    let count = merge_streams(&mut refs, &mut merge);
+    assert_eq!(count, n, "merge must consume every outcome exactly once");
+    merge.finish(n as usize - warmup_len, "lru", "always")
+}
+
+proptest! {
+    /// Random ownership partitions (the sharded-serving shape: position i
+    /// belongs to stream `hash(i) % k`, each stream ascending), including
+    /// heavily skewed ones, match the oracle bit for bit — and so does
+    /// the same partition with the streams handed over in reverse.
+    #[test]
+    fn random_partitions_match_the_sorted_oracle(
+        params in (0u64..1_000_000, 50u64..400, 1usize..9, 0u64..50)
+    ) {
+        let (salt, n, k, warm) = params;
+        let warmup_len = (warm % n) as usize;
+        let window = if salt % 2 == 0 { Some(16) } else { None };
+        let reference = oracle(n, salt, warmup_len, window);
+        let mut partition: Vec<Vec<u64>> = vec![Vec::new(); k];
+        for seq in 0..n {
+            let owner = (seq.wrapping_mul(2654435761).wrapping_add(salt) >> 3) as usize % k;
+            partition[owner].push(seq);
+        }
+        let forward = merged(partition.clone(), salt, n, warmup_len, window);
+        prop_assert_eq!(&forward, &reference);
+        // Reverse-order delivery: the driver discovers the streams in the
+        // opposite order. Stream identity must be irrelevant.
+        partition.reverse();
+        let reversed = merged(partition, salt, n, warmup_len, window);
+        prop_assert_eq!(&reversed, &reference);
+    }
+
+    /// Single-stream bursts: long runs of consecutive positions owned by
+    /// one stream (run lengths drawn from the seed), so one stream floods
+    /// the merge while the others sit idle — then control flips.
+    #[test]
+    fn single_stream_bursts_match_the_sorted_oracle(
+        params in (0u64..1_000_000, 60u64..300, 2usize..6, 1u64..40)
+    ) {
+        let (salt, n, k, max_run) = params;
+        let reference = oracle(n, salt, 0, Some(8));
+        let mut partition: Vec<Vec<u64>> = vec![Vec::new(); k];
+        let mut seq = 0u64;
+        let mut owner = 0usize;
+        let mut x = salt;
+        while seq < n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let run = 1 + x % max_run;
+            for _ in 0..run {
+                if seq >= n {
+                    break;
+                }
+                partition[owner].push(seq);
+                seq += 1;
+            }
+            owner = (owner + 1 + (x >> 33) as usize % (k - 1)) % k;
+        }
+        let report = merged(partition, salt, n, 0, Some(8));
+        prop_assert_eq!(&report, &reference);
+    }
+
+    /// Duplicate-free ragged tails: stream j owns every position up to
+    /// its own cutoff (round-robin below the cutoffs), so streams run dry
+    /// one after another while the survivors keep delivering — the k-way
+    /// driver must keep reconstructing the global order as heads vanish.
+    #[test]
+    fn ragged_tails_match_the_sorted_oracle(
+        params in (0u64..1_000_000, 80u64..300, 2usize..7)
+    ) {
+        let (salt, n, k) = params;
+        let reference = oracle(n, salt, 10, None);
+        // Cutoffs strictly inside the run, pseudo-random but distinct in
+        // effect: stream j stops owning anything past cut[j].
+        let cuts: Vec<u64> = (0..k)
+            .map(|j| {
+                let h = (j as u64 + 1).wrapping_mul(salt | 3);
+                n / 4 + h % (3 * n / 4)
+            })
+            .collect();
+        let mut partition: Vec<Vec<u64>> = vec![Vec::new(); k];
+        for seq in 0..n {
+            // Round-robin over the streams still alive at this position;
+            // every position owned exactly once, no duplicates.
+            let alive: Vec<usize> = (0..k).filter(|&j| seq < cuts[j]).collect();
+            let owner = if alive.is_empty() {
+                // Past every cutoff: the longest-lived stream owns the rest.
+                (0..k).max_by_key(|&j| cuts[j]).unwrap()
+            } else {
+                alive[(seq % alive.len() as u64) as usize]
+            };
+            partition[owner].push(seq);
+        }
+        let report = merged(partition, salt, n, 10, None);
+        prop_assert_eq!(&report, &reference);
+    }
+}

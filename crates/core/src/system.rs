@@ -597,6 +597,7 @@ impl Icgmm {
             shards,
             clients: self.cfg.serve_clients,
             queue_depth: self.cfg.serve_queue_depth,
+            completion_depth: self.cfg.serve_completion_depth,
             params: self.cfg.spec_params(),
             fault: plan,
             ..ServeConfig::default()

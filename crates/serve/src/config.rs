@@ -57,6 +57,16 @@ pub struct ServeConfig {
     /// equals an offline replay of the truncated trace. `None` serves
     /// everything.
     pub stop_after: Option<u64>,
+    /// Depth of each worker's simulated backend-completion queue, `>= 1`:
+    /// how many modeled SSD accesses may be in flight before the next
+    /// admission decision stalls on the oldest completion. Depth 1
+    /// serializes consecutive misses exactly like the inline charge (the
+    /// PR 7 behavior — only hit decisions can hide under the lone
+    /// in-flight op); deeper queues overlap admission decisions with
+    /// in-flight modeled misses and report the saving in
+    /// [`crate::OverlapStats`]. Pure telemetry — replay outcomes never
+    /// depend on it.
+    pub completion_depth: usize,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +80,7 @@ impl Default for ServeConfig {
             params: SpecParams::default(),
             fault: FaultPlan::default(),
             stop_after: None,
+            completion_depth: 8,
         }
     }
 }
@@ -85,6 +96,9 @@ impl ServeConfig {
         }
         if self.queue_depth == 0 {
             return Err(ServeError::Config("queue depth must be >= 1".into()));
+        }
+        if self.completion_depth == 0 {
+            return Err(ServeError::Config("completion depth must be >= 1".into()));
         }
         self.fault.validate().map_err(ServeError::Config)?;
         Ok(())
@@ -142,6 +156,10 @@ mod tests {
             },
             ServeConfig {
                 queue_depth: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                completion_depth: 0,
                 ..ServeConfig::default()
             },
         ] {

@@ -6,6 +6,27 @@
 //! value magnitude: 16 sub-buckets per octave (≤ ~6 % relative bucket
 //! width), values below 16 ns exact. Quantiles report each bucket's
 //! upper bound, so `p99` never under-states the tail.
+//!
+//! # Rounding direction, end to end
+//!
+//! Every approximation in the admission-latency pipeline rounds the
+//! *same way — up*, so reported percentiles are honest upper bounds:
+//!
+//! * **Submit stamps** are taken once per flush-run, when a batch leaves
+//!   its client's per-shard buffer for the transport (before any
+//!   full-queue wait). Sharing one clock read across the batch starts
+//!   every record's clock at the earliest record's instant, which can
+//!   only lengthen the others' measured latency. Client-buffer dwell is
+//!   deliberately *excluded*: with per-shard buffers a record can sit
+//!   buffered for an unbounded stretch of foreign-shard traffic, which
+//!   is a transport-batching artifact, not admission queueing — while
+//!   blocking backpressure (stamped before the wait) is real queueing
+//!   and *is* included.
+//! * **Flush stamps** on the worker side are likewise shared: every
+//!   outcome of a flushed batch is charged the flush instant of the
+//!   batch's *last* record, rounding each earlier record's latency up.
+//! * **Buckets** absorb up to ~6 % relative error, and quantiles report
+//!   the holding bucket's upper bound — again never under-stating.
 
 use serde::{Deserialize, Serialize};
 
@@ -173,5 +194,97 @@ mod tests {
         let h = LatencyHistogram::new();
         assert_eq!(h.quantile_ns(0.5), 0);
         assert_eq!(h.quantile_us(0.99), 0.0);
+    }
+
+    /// Boundary values round-trip `bucket_of`/`bucket_upper`: the exact
+    /// range's edges, the first bucketed value, exact powers of two
+    /// across the full width, and saturation at `u64::MAX`.
+    #[test]
+    fn boundary_values_round_trip() {
+        // Exact range: 0..16 each own a bucket whose upper is the value.
+        for v in [0u64, 1, 15] {
+            assert_eq!(bucket_upper(bucket_of(v)), v);
+        }
+        // 16 is the first approximated value: first sub-bucket of the
+        // first octave, upper bound 16 (width-1 bucket at this octave).
+        assert_eq!(bucket_of(16), SUB);
+        assert_eq!(bucket_upper(SUB), 16);
+        // Exact powers of two open a fresh sub-bucket in every octave.
+        for e in SUB_BITS..64 {
+            let v = 1u64 << e;
+            let b = bucket_of(v);
+            assert!(v <= bucket_upper(b), "2^{e} above its bucket upper");
+            assert!(b > bucket_of(v - 1), "2^{e} shares a bucket with 2^{e}-1");
+        }
+        // The top of the range saturates instead of wrapping: u64::MAX
+        // lands in the last bucket, whose upper bound is u64::MAX.
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+        assert_eq!(bucket_of(bucket_upper(BUCKETS - 1)), BUCKETS - 1);
+    }
+
+    /// Bucketed quantiles never under-state: for every probe quantile of
+    /// a deterministic pseudo-random sample set, the histogram's answer
+    /// is >= the exact order-statistic.
+    #[test]
+    fn quantiles_never_under_state() {
+        let mut h = LatencyHistogram::new();
+        let mut samples: Vec<u64> = Vec::new();
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for _ in 0..5_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Spread over ~6 decades, including the exact range.
+            let v = x % 10u64.pow(1 + (x >> 60) as u32 % 6);
+            samples.push(v);
+            h.record_ns(v);
+        }
+        samples.sort_unstable();
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            assert!(
+                h.quantile_ns(q) >= exact,
+                "q={q}: reported {} under-states exact {exact}",
+                h.quantile_ns(q)
+            );
+        }
+    }
+
+    /// Merge is associative and commutative: any grouping of per-worker
+    /// histograms yields the same quantiles.
+    #[test]
+    fn merge_is_associative() {
+        let mk = |seed: u64| {
+            let mut h = LatencyHistogram::new();
+            let mut x = seed;
+            for _ in 0..800 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(seed | 1);
+                h.record_ns(x % 1_000_000);
+            }
+            h
+        };
+        let (a, b, c) = (mk(1), mk(2), mk(3));
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        // c + (b + a) — commuted grouping.
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut comm = c.clone();
+        comm.merge(&ba);
+        assert_eq!(left.samples(), right.samples());
+        assert_eq!(left.samples(), comm.samples());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(left.quantile_ns(q), right.quantile_ns(q));
+            assert_eq!(left.quantile_ns(q), comm.quantile_ns(q));
+        }
     }
 }

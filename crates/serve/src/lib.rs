@@ -62,8 +62,10 @@
 
 mod config;
 mod hist;
+mod overlap;
 mod server;
 
 pub use config::{ServeConfig, ServeError, SubmitMode};
 pub use hist::LatencyHistogram;
+pub use overlap::OverlapStats;
 pub use server::{CacheServer, ServeReport};

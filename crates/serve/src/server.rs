@@ -38,30 +38,48 @@
 //! Inductively the merger always makes progress, so bounded ingestion
 //! *and* outcome queues cannot cycle.
 //!
-//! Transport batching ([`SUBMIT_BATCH`]) preserves the argument: a
-//! client's batch only ever holds a run of consecutive records for the
-//! one shard it is about to send to (flushed before touching any other
-//! shard), and a worker flushes its buffered outcomes before parking on
-//! an empty ingestion queue — no decided outcome is ever held across a
-//! park ([`RecState::flush`]).
+//! Per-shard transport buffering ([`SUBMIT_BATCH`]) needs one refinement
+//! of the argument. A client keeps one open batch per owned shard (so
+//! interleaved traffic still fills ≤64-record batches instead of
+//! degenerating to run-length-1 sends), which means a record can sit
+//! buffered client-side while later records ship. The invariant that
+//! matters is narrower than "submitted in ascending order": *whenever a
+//! client blocks on a full queue, every record it owns with a global
+//! position below the blocked batch's minimum has already been
+//! enqueued.* The ordered-flush protocol in [`flush_shard`] restores it
+//! on demand: non-blocking sends need no ordering (they cannot
+//! deadlock), and before any *blocking* send of a batch with min-seq
+//! watermark `m`, every other open batch whose watermark is `< m` is
+//! flushed first, in ascending watermark order. Records append to a
+//! buffer in ascending order, so a buffer's head seq *is* its watermark,
+//! and after the sweep no buffered record precedes `m`. The merger-
+//! progress induction then goes through unchanged: if the merger waits
+//! on position `t` (shard `X`) while `X`'s client blocks on shard `Y`,
+//! the blocked batch's watermark is `> t` (positions `< t` are merged,
+//! hence submitted), so the sweep already flushed `t` toward `X`.
+//! Workers still flush their buffered outcomes before parking on an
+//! empty ingestion queue — no decided outcome is ever held across a park
+//! ([`RecState::flush`]).
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::thread;
 use std::time::Instant;
 
-use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
+use crossbeam::channel::{bounded_with_spin, Receiver, Sender, TryRecvError, TrySendError};
 
 /// Rounds of [`thread::yield_now`] a *multi-shard* batched worker spends
 /// waiting for its ingestion queue to refill before replaying a partial
-/// chunk (see the drain loop in `run_worker`). Above one shard a
-/// client's submission batches are short runs (it flushes on every shard
-/// change), so a window's worth of records arrives in many small
-/// messages and yielding hands the clients the scheduler quanta to
-/// deliver the rest — measurably fuller chunks. With a single shard the
-/// entire trace is one run: the queue refills in full batches whenever
-/// the client runs at all, an empty queue means the client is parked or
-/// done, and burning yields only adds context switches.
+/// chunk (see the drain loop in `run_worker`). Above one shard a shard
+/// sees only every S-th record on interleaved traffic, so even with
+/// per-shard client buffers a speculation window's worth of records
+/// spans several batches in flight; yielding hands the clients the
+/// scheduler quanta to deliver the rest — measurably fuller chunks. With
+/// a single shard the entire trace funnels into one buffer: the queue
+/// refills in full batches whenever the client runs at all, an empty
+/// queue means the client is parked or done, and burning yields only
+/// adds context switches.
 const DRY_YIELDS: u32 = 8;
 
 /// Transport batching factor: up to this many records ride one channel
@@ -75,6 +93,29 @@ const DRY_YIELDS: u32 = 8;
 /// configured (`queue_depth: 1` degenerates to per-record hand-off,
 /// which the backpressure tests rely on).
 const SUBMIT_BATCH: usize = 64;
+
+/// Spin budget of the serving transport's channels (a shim extension —
+/// see `bounded_with_spin`). Every message carries up to
+/// [`SUBMIT_BATCH`] records, so a park/wake round-trip is amortised to
+/// noise — while the generous spin default, tuned for the sharded
+/// replay engine's per-record hand-off, actively hurts here: on
+/// few-core hosts several idle workers yielding in lock-step starve
+/// the one runnable client between batches.
+const CHANNEL_SPIN: usize = 16;
+
+/// Cap on how many queued records a scored worker drains into one replay
+/// chunk. The batcher re-evaluates its dense/sparse scoring mode and its
+/// adaptive depth once per *window*, and a window never outgrows the
+/// chunk that feeds it — so a worker that greedily drained a whole
+/// speculation window (4096 records; on a busy host the dry-yield loop
+/// readily accumulates that much) replays hit-interleaved traffic as one
+/// giant sparse window, issuing a tiny `score_window` call per ~2-record
+/// miss run and paying the per-call overhead thousands of times. Capped
+/// chunks keep the mode probe sampling: after one sparse chunk the miss
+/// fraction flips dense and every later chunk scores in one batched call.
+/// Outcomes are chunking-invariant (the batcher's window-boundary
+/// invariance), so this is a pure throughput knob.
+const DRAIN_CHUNK: usize = 256;
 use icgmm_cache::{
     simulate_streaming_observed_with_warmup, streaming_step, CacheConfig, FaultStats, GapScore,
     LatencyModel, ReplayEvent, ReplayObserver, ScoreSource, SeqOutcome, SetAssocCache, ShardCtx,
@@ -86,6 +127,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::{ServeConfig, ServeError, SubmitMode};
 use crate::hist::LatencyHistogram;
+use crate::overlap::{CompletionQueue, OverlapStats};
 
 /// One request in flight from a client to its shard worker.
 #[derive(Clone, Copy)]
@@ -96,13 +138,15 @@ struct IngestMsg {
     /// Foreign-shard records since this shard's previous record — the
     /// scorer clock fast-forward, exactly as in the offline replay.
     gap: u64,
-    /// Submission instant, for the admission-latency histogram.
+    /// Transport-entry instant for the admission-latency histogram:
+    /// stamped once per flush-run when the batch leaves its client
+    /// buffer, *before* any full-queue wait. Client-buffer dwell is a
+    /// batching artifact and is excluded; blocking backpressure is real
+    /// queueing and is included.
     t_submit: Instant,
 }
 
-/// A client's pre-routed submission (the `t_submit` stamp is taken when
-/// the record enters its client's submission batch — queueing inside the
-/// client counts toward admission latency, like any other queueing).
+/// A client's pre-routed submission.
 struct ClientItem {
     shard: usize,
     seq: u64,
@@ -116,6 +160,7 @@ struct WorkerDone {
     spec: SpecStats,
     fault: FaultStats,
     scored: u64,
+    overlap: OverlapStats,
 }
 
 /// The serving front-end. Construction validates the configuration;
@@ -165,6 +210,12 @@ pub struct ServeReport {
     /// 99th-percentile admission-decision latency, µs (log-bucketed
     /// upper bound: never under-states the tail).
     pub admission_p99_us: f64,
+    /// Simulated backend-completion telemetry: modeled SSD accesses
+    /// retired through each worker's bounded completion queue and the
+    /// modeled time saved by overlapping admission decisions with
+    /// in-flight misses (see [`OverlapStats`]). Telemetry only — `sim`
+    /// never depends on it.
+    pub overlap: OverlapStats,
 }
 
 impl CacheServer {
@@ -336,8 +387,8 @@ impl CacheServer {
             .map(|_| (0..s).map(|_| None).collect())
             .collect();
         for shard in 0..s {
-            let (itx, irx) = bounded::<Vec<IngestMsg>>(slots);
-            let (otx, orx) = bounded::<Vec<SeqOutcome>>(slots);
+            let (itx, irx) = bounded_with_spin::<Vec<IngestMsg>>(slots, CHANNEL_SPIN);
+            let (otx, orx) = bounded_with_spin::<Vec<SeqOutcome>>(slots, CHANNEL_SPIN);
             client_senders[shard % clients][shard] = Some(itx);
             ingest_rx.push(Some(irx));
             out_tx.push(Some(otx));
@@ -349,6 +400,14 @@ impl CacheServer {
         let lat = *latency;
         let shed = self.cfg.submit == SubmitMode::Shed;
         let warmup_len = warmup.len() as u64;
+        let comp_depth = self.cfg.completion_depth;
+        // Advisory in-flight record count per ingestion queue (adds by
+        // the owning client after a successful send, subs by the worker
+        // after a receive): record-granular observed occupancy for shed
+        // accounting, which slot-granular channel state cannot provide.
+        // i64 because the add and the sub race benignly — the worker can
+        // drain a message before its sender's add lands.
+        let inflight: Vec<AtomicI64> = (0..s).map(|_| AtomicI64::new(0)).collect();
 
         let mut fault = FaultStats::default();
         // Outcomes recovered by the supervisor for dead shards, minus the
@@ -369,19 +428,21 @@ impl CacheServer {
                     let rx = ingest_rx[shard].take().expect("one worker per shard");
                     let tx = out_tx[shard].take().expect("one worker per shard");
                     let at = panic_at[shard];
+                    let infl = &inflight[shard];
                     scope.spawn(move |_| {
                         run_worker(
                             rx, tx, pol, cache_cfg, params, batched, lat, at, breaker, warmup_len,
-                            batch, dry_budget,
+                            batch, dry_budget, infl, comp_depth,
                         )
                     })
                 })
                 .collect();
+            let infl_all: &[AtomicI64] = &inflight;
             let client_handles: Vec<_> = client_items
                 .into_iter()
                 .zip(client_senders)
                 .map(|(items, senders)| {
-                    scope.spawn(move |_| run_client(items, senders, shed, batch))
+                    scope.spawn(move |_| run_client(items, senders, shed, batch, infl_all, depth))
                 })
                 .collect();
 
@@ -468,6 +529,7 @@ impl CacheServer {
             }
             let mut hist = LatencyHistogram::new();
             let mut spec = SpecStats::default();
+            let mut overlap = OverlapStats::default();
             let mut scores_consumed = 0u64;
             for (shard, h) in worker_handles.into_iter().enumerate() {
                 match h.join() {
@@ -475,6 +537,7 @@ impl CacheServer {
                         hist.merge(&done.hist);
                         spec.merge(&done.spec);
                         fault.merge(&done.fault);
+                        overlap.merge(&done.overlap);
                         scores_consumed += done.scored;
                     }
                     Err(payload) => match recovered_scored[shard] {
@@ -497,10 +560,10 @@ impl CacheServer {
                 return Err(e);
             }
             let sim = merge.finish(measured.len(), &ev_name, &adm_name);
-            Ok((sim, spec, scores_consumed, sheds, hist, wall))
+            Ok((sim, spec, scores_consumed, sheds, hist, wall, overlap))
         })
         .expect("serve scope joins every handle");
-        let (mut sim, spec, scores_consumed, sheds, hist, wall) = served?;
+        let (mut sim, spec, scores_consumed, sheds, hist, wall, overlap) = served?;
         sim.fault = fault;
 
         let wall_us = wall.as_secs_f64() * 1e6;
@@ -522,83 +585,178 @@ impl CacheServer {
             requests_per_sec,
             admission_p50_us: hist.quantile_us(0.50),
             admission_p99_us: hist.quantile_us(0.99),
+            overlap,
         })
     }
 }
 
 /// One client thread: submit the owned shards' requests in ascending
-/// global order, grouped into per-shard batches. A batch only ever holds
-/// a *run* of consecutive records for one shard and is flushed before the
-/// client touches any other shard, so "submitted in ascending order"
-/// (the deadlock-freedom invariant) survives batching: whenever a client
-/// blocks on a full queue, every earlier global position it owns has
-/// already been enqueued. Returns the shed count. Sends to a dead shard
-/// error out and are ignored — the supervisor's re-replay covers those
-/// records.
+/// global order, with one open transport batch *per owned shard* — on
+/// interleaved traffic every shard still fills ≤[`SUBMIT_BATCH`]-record
+/// batches instead of degenerating to run-length-1 sends. Deadlock
+/// freedom rests on the ordered-flush protocol in [`flush_shard`] (see
+/// the module docs); the tail drains the remaining open batches in
+/// ascending watermark order for the same reason. Returns the shed
+/// count. Sends to a dead shard error out and are ignored — the
+/// supervisor's re-replay covers those records.
 fn run_client(
     items: Vec<ClientItem>,
     senders: Vec<Option<Sender<Vec<IngestMsg>>>>,
     shed: bool,
     batch: usize,
+    inflight: &[AtomicI64],
+    depth: usize,
 ) -> u64 {
     let mut sheds = 0u64;
-    let mut cur: Option<usize> = None;
-    let mut buf: Vec<IngestMsg> = Vec::with_capacity(batch);
-    let mut stamp = Instant::now();
+    // One open batch per shard (unowned shards simply stay empty).
+    // Records append in ascending global order, so a buffer's head seq is
+    // its min-seq watermark.
+    let mut bufs: Vec<Vec<IngestMsg>> = (0..senders.len()).map(|_| Vec::new()).collect();
+    // Placeholder stamp, overwritten for the whole batch at flush time.
+    let epoch = Instant::now();
     for it in items {
-        if cur != Some(it.shard) || buf.len() >= batch {
-            if let Some(shard) = cur {
-                let tx = senders[shard].as_ref().expect("client owns this shard");
-                flush_submissions(tx, &mut buf, shed, &mut sheds, batch);
-            }
-            cur = Some(it.shard);
-        }
-        if buf.is_empty() {
-            // One clock read per batch: records accumulated into the same
-            // batch share its opening stamp (they are pushed within a few
-            // ns of each other; sharing only rounds latency *up*).
-            stamp = Instant::now();
-        }
-        buf.push(IngestMsg {
+        bufs[it.shard].push(IngestMsg {
             seq: it.seq,
             record: it.record,
             gap: it.gap,
-            t_submit: stamp,
+            t_submit: epoch,
         });
+        if bufs[it.shard].len() >= batch {
+            flush_shard(
+                it.shard, &mut bufs, &senders, shed, &mut sheds, batch, inflight, depth,
+            );
+        }
     }
-    if let Some(shard) = cur {
-        let tx = senders[shard].as_ref().expect("client owns this shard");
-        flush_submissions(tx, &mut buf, shed, &mut sheds, batch);
+    // Tail flush: lowest-watermark buffer first, so any blocking send
+    // satisfies the ordering invariant exactly like the steady state.
+    loop {
+        let next = bufs
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .min_by_key(|(_, b)| b[0].seq)
+            .map(|(shard, _)| shard);
+        match next {
+            Some(shard) => flush_shard(
+                shard, &mut bufs, &senders, shed, &mut sheds, batch, inflight, depth,
+            ),
+            None => break,
+        }
     }
     sheds
 }
 
-/// Ships one client batch. Shed mode counts every record of a batch that
-/// found its queue full (what a lossy service would have dropped), then
-/// submits anyway so the merged report stays exact.
-fn flush_submissions(
-    tx: &Sender<Vec<IngestMsg>>,
-    buf: &mut Vec<IngestMsg>,
+/// Flushes shard `shard`'s open batch. The try-send fast path needs no
+/// ordering (a non-blocking hand-off cannot deadlock). When the queue is
+/// full — the one case a blocking send follows — the ordering invariant
+/// is restored first: every other open batch whose min-seq watermark
+/// precedes this batch's is shipped, in ascending watermark order, so no
+/// buffered record precedes the batch the client then blocks on.
+#[allow(clippy::too_many_arguments)]
+fn flush_shard(
+    shard: usize,
+    bufs: &mut [Vec<IngestMsg>],
+    senders: &[Option<Sender<Vec<IngestMsg>>>],
     shed: bool,
     sheds: &mut u64,
     batch: usize,
+    inflight: &[AtomicI64],
+    depth: usize,
 ) {
-    if buf.is_empty() {
+    if bufs[shard].is_empty() {
         return;
     }
-    let msgs = std::mem::replace(buf, Vec::with_capacity(batch));
-    if shed {
-        match tx.try_send(msgs) {
-            Ok(()) => {}
-            Err(TrySendError::Full(m)) => {
-                *sheds += m.len() as u64;
-                let _ = tx.send(m);
-            }
-            Err(TrySendError::Disconnected(_)) => {}
+    let mut msgs = std::mem::replace(&mut bufs[shard], Vec::with_capacity(batch));
+    let tx = senders[shard].as_ref().expect("client owns this shard");
+    stamp_flush_run(&mut msgs);
+    let n = msgs.len();
+    match tx.try_send(msgs) {
+        Ok(()) => {
+            inflight[shard].fetch_add(n as i64, Ordering::Relaxed);
         }
-    } else {
-        let _ = tx.send(msgs);
+        Err(TrySendError::Disconnected(_)) => {}
+        Err(TrySendError::Full(m)) => {
+            if shed {
+                *sheds += records_shed(n, free_records(&inflight[shard], depth));
+            }
+            // About to block: ordered flush of every earlier open batch.
+            let head = m[0].seq;
+            let mut earlier: Vec<usize> = (0..bufs.len())
+                .filter(|&t| t != shard && !bufs[t].is_empty() && bufs[t][0].seq < head)
+                .collect();
+            earlier.sort_unstable_by_key(|&t| bufs[t][0].seq);
+            for t in earlier {
+                let em = std::mem::replace(&mut bufs[t], Vec::with_capacity(batch));
+                ship(
+                    senders[t].as_ref().expect("client owns this shard"),
+                    em,
+                    shed,
+                    sheds,
+                    &inflight[t],
+                    depth,
+                );
+            }
+            if tx.send(m).is_ok() {
+                inflight[shard].fetch_add(n as i64, Ordering::Relaxed);
+            }
+        }
     }
+}
+
+/// Ships one already-taken batch: stamp, try-send, and on a full queue
+/// count the observed shed and fall back to a blocking send. Only called
+/// from the ordered-flush sweep, in ascending watermark order — which is
+/// exactly what makes its blocking send deadlock-safe.
+fn ship(
+    tx: &Sender<Vec<IngestMsg>>,
+    mut msgs: Vec<IngestMsg>,
+    shed: bool,
+    sheds: &mut u64,
+    inflight: &AtomicI64,
+    depth: usize,
+) {
+    stamp_flush_run(&mut msgs);
+    let n = msgs.len();
+    match tx.try_send(msgs) {
+        Ok(()) => {
+            inflight.fetch_add(n as i64, Ordering::Relaxed);
+        }
+        Err(TrySendError::Disconnected(_)) => {}
+        Err(TrySendError::Full(m)) => {
+            if shed {
+                *sheds += records_shed(n, free_records(inflight, depth));
+            }
+            if tx.send(m).is_ok() {
+                inflight.fetch_add(n as i64, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// One clock read per flush-run, shared by every record of the batch:
+/// admission latency runs transport entry → outcome flush, so buffering
+/// dwell inside the client is excluded by construction rather than
+/// inflating the percentiles as buffers live longer.
+fn stamp_flush_run(msgs: &mut [IngestMsg]) {
+    let now = Instant::now();
+    for m in msgs {
+        m.t_submit = now;
+    }
+}
+
+/// Records of an `len`-record batch a lossy service would actually have
+/// dropped at `free` observed free record slots: the overflow only, not
+/// the whole batch.
+fn records_shed(len: usize, free: usize) -> u64 {
+    len.saturating_sub(free) as u64
+}
+
+/// Observed free record capacity of a queue: configured depth minus the
+/// advisory in-flight count (clamped — the worker's subtract can land
+/// before the sender's add, leaving the counter transiently negative).
+fn free_records(inflight: &AtomicI64, depth: usize) -> usize {
+    let load = inflight.load(Ordering::Relaxed).max(0) as usize;
+    depth.saturating_sub(load)
 }
 
 /// Shared per-record bookkeeping of a shard worker: the shard-local
@@ -620,6 +778,9 @@ struct RecState {
     lat_pending: Vec<Instant>,
     obatch: usize,
     warmup_len: u64,
+    /// Simulated backend-completion queue over the measured phase — the
+    /// modeled-time analogue of the replay's `overlap_saved_us`.
+    comp: CompletionQueue,
 }
 
 impl RecState {
@@ -641,6 +802,10 @@ impl RecState {
         self.scored += u64::from(scored);
         if msg.seq >= self.warmup_len {
             self.lat_pending.push(msg.t_submit);
+            // Same measured-phase gate as the accounting: the completion
+            // model covers exactly the records `SimReport::total_us`
+            // charges.
+            self.comp.on_decided(msg.record.op, &outcome);
         }
         self.obuf.push(SeqOutcome {
             seq: msg.seq,
@@ -715,6 +880,8 @@ fn run_worker(
     warmup_len: u64,
     batch: usize,
     dry_budget: u32,
+    inflight: &AtomicI64,
+    comp_depth: usize,
 ) -> WorkerDone {
     let mut cache = SetAssocCache::new(cache_cfg).expect("geometry validated by serve()");
     let mut state = RecState {
@@ -727,6 +894,7 @@ fn run_worker(
         lat_pending: Vec::with_capacity(batch),
         obatch: batch,
         warmup_len,
+        comp: CompletionQueue::new(comp_depth, latency),
     };
     let mut spec = SpecStats::default();
     let mut fault = FaultStats::default();
@@ -737,16 +905,20 @@ fn run_worker(
         if let Some((storm, cooldown)) = breaker {
             wsim.set_breaker(storm, cooldown);
         }
-        let mut msgs: Vec<IngestMsg> = Vec::with_capacity(params.window);
-        let mut records: Vec<TraceRecord> = Vec::with_capacity(params.window);
-        let mut chunk_gaps: Vec<u64> = Vec::with_capacity(params.window);
+        let chunk_cap = params.window.min(DRAIN_CHUNK);
+        let mut msgs: Vec<IngestMsg> = Vec::with_capacity(chunk_cap);
+        let mut records: Vec<TraceRecord> = Vec::with_capacity(chunk_cap);
+        let mut chunk_gaps: Vec<u64> = Vec::with_capacity(chunk_cap);
         loop {
             msgs.clear();
             // Flush decided outcomes before a potential park (see
             // RecState::flush); a no-op when the buffer is empty.
             state.flush();
             match rx.recv() {
-                Ok(m) => msgs.extend(m),
+                Ok(m) => {
+                    inflight.fetch_sub(m.len() as i64, Ordering::Relaxed);
+                    msgs.extend(m);
+                }
                 Err(_) => break,
             }
             // Drain up to a full speculation window. When the queue runs
@@ -757,9 +929,12 @@ fn run_worker(
             // fragmenting (outcomes are chunking-invariant — this trades
             // microseconds of admission latency for batching throughput).
             let mut dry_yields = 0u32;
-            while msgs.len() < params.window {
+            while msgs.len() < chunk_cap {
                 match rx.try_recv() {
-                    Ok(m) => msgs.extend(m),
+                    Ok(m) => {
+                        inflight.fetch_sub(m.len() as i64, Ordering::Relaxed);
+                        msgs.extend(m);
+                    }
                     Err(TryRecvError::Empty) if dry_yields < dry_budget => {
                         dry_yields += 1;
                         thread::yield_now();
@@ -797,7 +972,10 @@ fn run_worker(
         loop {
             state.flush();
             let msgs = match rx.recv() {
-                Ok(m) => m,
+                Ok(m) => {
+                    inflight.fetch_sub(m.len() as i64, Ordering::Relaxed);
+                    m
+                }
                 Err(_) => break,
             };
             for msg in msgs {
@@ -825,6 +1003,7 @@ fn run_worker(
         spec,
         fault,
         scored: state.scored,
+        overlap: state.comp.finish(),
     }
 }
 
@@ -903,5 +1082,69 @@ fn panic_payload(p: Box<dyn std::any::Any + Send>) -> String {
             Ok(s) => (*s).to_string(),
             Err(_) => "non-string panic payload".to_string(),
         },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+
+    /// A full queue sheds only the overflow at the observed free record
+    /// capacity — never the whole batch (the PR 7 over-count).
+    #[test]
+    fn sheds_count_the_overflow_not_the_batch() {
+        assert_eq!(records_shed(64, 0), 64);
+        assert_eq!(records_shed(64, 10), 54);
+        assert_eq!(records_shed(5, 5), 0);
+        assert_eq!(records_shed(3, 100), 0);
+        assert_eq!(records_shed(0, 0), 0);
+    }
+
+    #[test]
+    fn free_capacity_clamps_transient_negatives() {
+        let infl = AtomicI64::new(-3);
+        assert_eq!(free_records(&infl, 8), 8);
+        infl.store(5, Ordering::Relaxed);
+        assert_eq!(free_records(&infl, 8), 3);
+        infl.store(20, Ordering::Relaxed);
+        assert_eq!(free_records(&infl, 8), 0);
+    }
+
+    /// End-to-end over a real bounded channel: with `free` observed
+    /// records of headroom, a `len`-record batch sheds `len - free`.
+    #[test]
+    fn ship_sheds_only_records_beyond_observed_capacity() {
+        let depth = 64usize;
+        let (tx, rx) = bounded::<Vec<IngestMsg>>(1);
+        let infl = AtomicI64::new(0);
+        let rec = TraceRecord::read(0);
+        let mk = |n: usize| {
+            (0..n)
+                .map(|i| IngestMsg {
+                    seq: i as u64,
+                    record: rec,
+                    gap: 0,
+                    t_submit: Instant::now(),
+                })
+                .collect::<Vec<_>>()
+        };
+        // Occupy the single slot with 40 records: 24 records of headroom
+        // remain at the configured 64-record depth.
+        let mut sheds = 0u64;
+        ship(&tx, mk(40), true, &mut sheds, &infl, depth);
+        assert_eq!(sheds, 0);
+        assert_eq!(infl.load(Ordering::Relaxed), 40);
+        // The next 64-record batch finds the queue full. The Full arm of
+        // `ship`/`flush_shard` charges records_shed(len, observed free):
+        // 64 - 24 = 40 would-be drops — not all 64 (the old over-count).
+        match tx.try_send(mk(64)) {
+            Err(TrySendError::Full(m)) => {
+                sheds += records_shed(m.len(), free_records(&infl, depth));
+            }
+            _ => panic!("single-slot queue must be full"),
+        }
+        assert_eq!(sheds, 40);
+        assert_eq!(rx.recv().map(|m| m.len()), Ok(40));
     }
 }

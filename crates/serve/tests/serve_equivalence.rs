@@ -114,6 +114,7 @@ proptest! {
                 // must never show up in the merged report.
                 let clients = 1 + (seed as usize + shards + i) % 3;
                 let queue_depth = [1, 2, 7, 64][(seed as usize + shards) % 4];
+                let completion_depth = [1, 2, 8, 32][(seed as usize + shards + i) % 4];
                 let submit = if (seed + shards as u64).is_multiple_of(2) {
                     SubmitMode::Block
                 } else {
@@ -125,6 +126,7 @@ proptest! {
                         clients,
                         queue_depth,
                         submit,
+                        completion_depth,
                         params: SpecParams::with_window(window),
                         ..ServeConfig::default()
                     },
@@ -139,6 +141,22 @@ proptest! {
                 prop_assert_eq!(rep.requests as usize, n);
                 if submit == SubmitMode::Block {
                     prop_assert_eq!(rep.sheds, 0);
+                }
+                // Overlap telemetry invariants: one completion per
+                // measured miss, in-flight bounded by the configured
+                // depth, and the overlapped makespan never exceeds the
+                // inline total (savings are never negative).
+                prop_assert_eq!(rep.overlap.backend_completions, rep.sim.stats.misses());
+                prop_assert!(rep.overlap.backend_inflight_peak <= completion_depth as u64);
+                prop_assert!(rep.overlap.overlap_saved_us >= 0.0);
+                prop_assert!(
+                    rep.overlap.modeled_overlapped_us <= rep.overlap.modeled_inline_us
+                );
+                if completion_depth > 1 && rep.sim.stats.misses() > 1 {
+                    prop_assert!(
+                        rep.overlap.overlap_saved_us > 0.0,
+                        "consecutive misses under a deep completion queue must overlap"
+                    );
                 }
             }
         }
@@ -306,6 +324,94 @@ fn backpressure_sheds_are_counted_and_harmless() {
     assert!(rep.sheds <= rep.requests);
     assert!(rep.admission_p99_us > 0.0, "histogram must have samples");
     assert!(rep.admission_p50_us <= rep.admission_p99_us);
+}
+
+/// Wide-geometry interleave stress for the ordered-flush transport: a
+/// sequential scan routes consecutive records to consecutive shards, so
+/// every per-shard client buffer is non-empty almost always and tiny
+/// queue depths force constant blocking sends — the exact regime where a
+/// mis-ordered flush would deadlock (this test hanging) or corrupt the
+/// merge (a panic). More shards than clients makes each client juggle
+/// several buffers at once.
+#[test]
+fn interleaved_scan_ordered_flush_is_deadlock_free_and_exact() {
+    let n = 2000u64;
+    let scan: Vec<TraceRecord> = (0..n).map(|i| TraceRecord::read((i % 509) << 12)).collect();
+    let warmup_len = 250;
+    for shards in [4usize, 8] {
+        for clients in [1usize, 2, 3] {
+            for queue_depth in [1usize, 2, 7] {
+                let (reference, _) = offline(
+                    shards,
+                    ShardRouting::Auto,
+                    128,
+                    "lru",
+                    "always",
+                    "none",
+                    &scan,
+                    warmup_len,
+                );
+                let rep = serve(
+                    ServeConfig {
+                        shards,
+                        clients,
+                        queue_depth,
+                        submit: SubmitMode::Block,
+                        params: SpecParams::with_window(128),
+                        ..ServeConfig::default()
+                    },
+                    "lru",
+                    "always",
+                    "none",
+                    &scan,
+                    warmup_len,
+                )
+                .expect("serving succeeds");
+                assert_eq!(
+                    rep.sim, reference,
+                    "scan diverged at {shards} shards, {clients} clients, depth {queue_depth}"
+                );
+                assert_eq!(rep.sheds, 0);
+            }
+        }
+    }
+}
+
+/// At one shard the worker decides every measured record in global order,
+/// so the completion queue's inline accumulator adds exactly the same
+/// `f64` values in the same order as the merge's accounting: the modeled
+/// inline total is bit-identical to `sim.total_us`, pinning the
+/// decision/backend split to the inline latency model.
+#[test]
+fn single_shard_inline_model_matches_accounted_total() {
+    for (eviction, admission, score) in
+        [("lru", "always", "none"), ("gmm-score", "threshold", "fn")]
+    {
+        let trace = zipf_trace(23, 900, 64, 0.35, 30);
+        for completion_depth in [1usize, 4, 16] {
+            let rep = serve(
+                ServeConfig {
+                    shards: 1,
+                    clients: 1,
+                    queue_depth: 32,
+                    completion_depth,
+                    ..ServeConfig::default()
+                },
+                eviction,
+                admission,
+                score,
+                &trace,
+                200,
+            )
+            .expect("serving succeeds");
+            assert_eq!(
+                rep.overlap.modeled_inline_us, rep.sim.total_us,
+                "inline completion model drifted from the accounting \
+                 ({eviction}/{admission}/{score}, depth {completion_depth})"
+            );
+            assert!(rep.overlap.modeled_overlapped_us <= rep.overlap.modeled_inline_us);
+        }
+    }
 }
 
 /// Block mode under the same slow worker: nobody sheds, nothing changes.

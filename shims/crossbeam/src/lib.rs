@@ -106,6 +106,9 @@ pub mod channel {
         not_full: Condvar,
         /// Signalled when a message arrives or all senders disconnect.
         not_empty: Condvar,
+        /// Rounds of `yield_now` a blocking operation on this channel
+        /// spends polling before parking (see [`SPIN_YIELDS`]).
+        spins: usize,
     }
 
     /// Error returned by [`Sender::send`]: every receiver disconnected.
@@ -151,13 +154,16 @@ pub mod channel {
         Disconnected,
     }
 
-    /// Rounds of `yield_now` a blocking operation spends polling before
-    /// parking on the condvar. Parking is a correctness fallback, not the
-    /// steady state: on few-core hosts (CI runners included) a parked
-    /// pipeline stage gets woken — and preempts its producer — once per
-    /// message, serialising the pipeline into one context switch per
-    /// record. Yielding instead hands the counterpart a full scheduler
-    /// quantum, so queues fill and drain in bulk between switches.
+    /// Default rounds of `yield_now` a blocking operation spends polling
+    /// before parking on the condvar. The right budget depends on the
+    /// message granularity, so it is per-channel
+    /// ([`bounded_with_spin`]): fine-grained hand-off (one record per
+    /// message, the sharded replay engine's shape) wants a generous
+    /// budget — a park/wake round-trip per message would serialise the
+    /// pipeline into a context switch per record — while batched
+    /// transport (64 records per message) amortises the park and is
+    /// instead hurt by long spins on few-core hosts, where several idle
+    /// consumers yielding in lock-step starve the one runnable producer.
     const SPIN_YIELDS: usize = 1024;
 
     /// Sending half of a bounded channel. Cloning adds a sender.
@@ -173,6 +179,16 @@ pub mod channel {
     /// Creates a bounded MPMC channel holding at most `cap` messages.
     /// Zero-capacity rendezvous channels are not supported by the shim.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        bounded_with_spin(cap, SPIN_YIELDS)
+    }
+
+    /// [`bounded`] with an explicit spin budget (shim extension, not a
+    /// crossbeam API): rounds of `yield_now` a blocking `send`/`recv` on
+    /// this channel polls before parking. Batched transports pass a
+    /// small budget (the park is amortised over the whole message and
+    /// long spins starve few-core producers); fine-grained transports
+    /// keep the generous default.
+    pub fn bounded_with_spin<T>(cap: usize, spins: usize) -> (Sender<T>, Receiver<T>) {
         assert!(cap >= 1, "shim bounded channel requires capacity >= 1");
         let inner = Arc::new(Inner {
             shared: Mutex::new(Shared {
@@ -185,6 +201,7 @@ pub mod channel {
             }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
+            spins,
         });
         (
             Sender {
@@ -199,7 +216,7 @@ pub mod channel {
         /// has disconnected.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
             let mut msg = msg;
-            for _ in 0..SPIN_YIELDS {
+            for _ in 0..self.inner.spins {
                 match self.try_send(msg) {
                     Ok(()) => return Ok(()),
                     Err(TrySendError::Disconnected(m)) => return Err(SendError(m)),
@@ -276,7 +293,7 @@ pub mod channel {
         /// Blocks until a message arrives. Buffered messages are still
         /// delivered after the last sender disconnects.
         pub fn recv(&self) -> Result<T, RecvError> {
-            for _ in 0..SPIN_YIELDS {
+            for _ in 0..self.inner.spins {
                 match self.try_recv() {
                     Ok(msg) => return Ok(msg),
                     Err(TryRecvError::Disconnected) => return Err(RecvError),
