@@ -102,7 +102,7 @@ fn serve_once(
             &[],
             trace,
             cfg,
-            &mut |_ctx| ShardPolicies {
+            &|_ctx| ShardPolicies {
                 admission: Box::new(ThresholdAdmit::new(f64::NEG_INFINITY)),
                 eviction: Box::new(LruPolicy::new(cfg.num_sets(), cfg.ways)),
                 score: Some(Box::new(eng.clone())),

@@ -2,13 +2,17 @@
 //! the scaling story behind `BENCH_shard.json` and CI's no-regression
 //! gate.
 //!
-//! Two scenario families at paper-scale K = 256:
+//! Three scenario families at paper-scale K = 256:
 //!
 //! * the all-miss scan from `sim_batch` (every request scores, the
 //!   batched-kernel regime) at shard counts {1, 2, 4, 8} against the
-//!   unsharded `WindowedSimulator`; and
+//!   unsharded `WindowedSimulator`;
 //! * the multi-tenant pooled workload (16 tenants, Zipf-interleaved) —
-//!   the trace shape sharding exists for.
+//!   the trace shape sharding exists for; and
+//! * setup-only scenarios: the index fan-out in isolation
+//!   (`fanout_partition8_tenants`) and the Belady occurrence-map build
+//!   serial vs chunked — the costs the zero-copy fan-out and
+//!   worker-side construction moved off the critical path.
 //!
 //! CI gates only the S = 1 pair: sharded replay at one shard must stay
 //! within noise of the unsharded path (the refactor's overhead — fan-out,
@@ -21,8 +25,8 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use icgmm::{GmmPolicyEngine, TrainedModel};
 use icgmm_cache::{
-    CacheConfig, LatencyModel, LruPolicy, ScoreSource, SetAssocCache, ShardPolicies,
-    ShardedSimulator, ThresholdAdmit, WindowedSimulator,
+    BeladyPolicy, CacheConfig, LatencyModel, LruPolicy, ScoreSource, SetAssocCache, ShardPartition,
+    ShardPolicies, ShardedSimulator, ThresholdAdmit, WindowedSimulator,
 };
 use icgmm_gmm::{Gaussian2, Gmm, Mat2, StandardScaler};
 use icgmm_trace::synth::{MultiTenantWorkload, Workload};
@@ -126,7 +130,7 @@ fn bench_sharded(c: &mut Criterion) {
                         &[],
                         black_box(&scan),
                         cfg,
-                        &mut |_ctx| ShardPolicies {
+                        &|_ctx| ShardPolicies {
                             admission: Box::new(ThresholdAdmit::new(f64::NEG_INFINITY)),
                             eviction: Box::new(LruPolicy::new(cfg.num_sets(), cfg.ways)),
                             score: Some(Box::new(eng.clone())),
@@ -170,7 +174,7 @@ fn bench_sharded(c: &mut Criterion) {
                         &[],
                         black_box(&tenants),
                         cfg,
-                        &mut |_ctx| ShardPolicies {
+                        &|_ctx| ShardPolicies {
                             admission: Box::new(ThresholdAdmit::new(f64::NEG_INFINITY)),
                             eviction: Box::new(LruPolicy::new(cfg.num_sets(), cfg.ways)),
                             score: Some(Box::new(eng.clone())),
@@ -183,6 +187,39 @@ fn bench_sharded(c: &mut Criterion) {
             })
         });
     }
+
+    // The fan-out in isolation: routing REQUESTS records into 8 shards'
+    // u32 index lists — the ~4 B/record representation every consumer
+    // (offline replay, serving clients, supervisor recovery) now walks.
+    // The pre-index fan-out paid per-shard record + gap copies here.
+    group.bench_function("fanout_partition8_tenants", |b| {
+        b.iter(|| black_box(ShardPartition::build(8, &cfg, &[], black_box(&tenants))))
+    });
+
+    // Oracle setup cost, serial vs chunked build: the Belady occurrence
+    // map is the most expensive policy constructor the worker threads
+    // now amortize. Chunked must win at scale; at this trace size it
+    // must at least not regress (CI archives both for trend tracking).
+    group.bench_function("belady_build_serial_tenants", |b| {
+        b.iter(|| {
+            black_box(BeladyPolicy::from_records_chunked(
+                black_box(&tenants),
+                cfg.num_sets(),
+                cfg.ways,
+                1,
+            ))
+        })
+    });
+    group.bench_function("belady_build_chunked4_tenants", |b| {
+        b.iter(|| {
+            black_box(BeladyPolicy::from_records_chunked(
+                black_box(&tenants),
+                cfg.num_sets(),
+                cfg.ways,
+                4,
+            ))
+        })
+    });
 
     group.finish();
 }

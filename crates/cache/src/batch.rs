@@ -151,6 +151,7 @@ use crate::score::ScoreSource;
 use crate::sim::{
     simulate_streaming_impl, streaming_step, Accounting, ReplayObserver, ScoreOrigin, SimReport,
 };
+use crate::view::RecordsRef;
 use icgmm_trace::{PageIndex, TraceRecord};
 use serde::{Deserialize, Serialize};
 
@@ -483,6 +484,10 @@ pub struct WindowedSimulator {
     /// `(window record index, slot)` of speculated inserts in the current
     /// un-prefetched miss run, awaiting their scores.
     pending_fills: Vec<(usize, usize)>,
+    /// Reusable gather scratch for [`ScoreSource::score_window`] calls on
+    /// indexed (non-contiguous) record views — `O(window)` bounded, and a
+    /// no-op borrow for contiguous slices (see [`RecordsRef::contiguous`]).
+    gather: Vec<TraceRecord>,
     outcome_buf: Vec<AccessOutcome>,
     spec: SpecStats,
     /// Armed circuit breaker: `(storm windows, cooldown records)`. `None`
@@ -564,6 +569,7 @@ impl WindowedSimulator {
             horizon: 0,
             undo: Vec::new(),
             pending_fills: Vec::new(),
+            gather: Vec::new(),
             outcome_buf: Vec::new(),
             spec: SpecStats::default(),
             breaker: None,
@@ -629,8 +635,8 @@ impl WindowedSimulator {
         series_window: Option<u64>,
     ) -> SimReport {
         self.run_impl(
-            warmup,
-            measured,
+            RecordsRef::from_slice(warmup),
+            RecordsRef::from_slice(measured),
             0,
             cache,
             admission,
@@ -655,6 +661,41 @@ impl WindowedSimulator {
         &mut self,
         warmup: &[TraceRecord],
         measured: &[TraceRecord],
+        cache: &mut SetAssocCache,
+        admission: &mut dyn AdmissionPolicy,
+        eviction: &mut dyn EvictionPolicy,
+        score: Option<&mut dyn ScoreSource>,
+        latency: &LatencyModel,
+        series_window: Option<u64>,
+        observer: &mut dyn ReplayObserver,
+    ) -> SimReport {
+        self.run_impl(
+            RecordsRef::from_slice(warmup),
+            RecordsRef::from_slice(measured),
+            0,
+            cache,
+            admission,
+            eviction,
+            score,
+            latency,
+            series_window,
+            Some(observer),
+        )
+    }
+
+    /// [`WindowedSimulator::run_observed`] over [`RecordsRef`] views — the
+    /// zero-copy entry point the sharded engines replay their indexed
+    /// subtraces through, in one uninterrupted call (so per-shard
+    /// speculation telemetry stays exactly the single-threaded batcher's
+    /// at one shard). The speculation machinery is representation-
+    /// agnostic; only [`ScoreSource::score_window`] needs contiguity,
+    /// which indexed views provide through a reusable `O(window)` gather
+    /// buffer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_observed_records(
+        &mut self,
+        warmup: RecordsRef<'_>,
+        measured: RecordsRef<'_>,
         cache: &mut SetAssocCache,
         admission: &mut dyn AdmissionPolicy,
         eviction: &mut dyn EvictionPolicy,
@@ -707,8 +748,8 @@ impl WindowedSimulator {
         observer: &mut dyn ReplayObserver,
     ) -> SimReport {
         self.run_impl(
-            &[],
-            chunk,
+            RecordsRef::from_slice(&[]),
+            RecordsRef::from_slice(chunk),
             seq_base,
             cache,
             admission,
@@ -723,8 +764,8 @@ impl WindowedSimulator {
     #[allow(clippy::too_many_arguments)]
     fn run_impl(
         &mut self,
-        warmup: &[TraceRecord],
-        measured: &[TraceRecord],
+        warmup: RecordsRef<'_>,
+        measured: RecordsRef<'_>,
         seq_base: u64,
         cache: &mut SetAssocCache,
         admission: &mut dyn AdmissionPolicy,
@@ -797,7 +838,7 @@ impl WindowedSimulator {
                 debug_assert_eq!(self.horizon, 0, "cannot stream over observed records");
                 let take = stream_pending.min(phase.len() - local);
                 self.stream_chunk(
-                    &phase[local..local + take],
+                    phase.slice(local..local + take),
                     seq_base + pos as u64,
                     cache,
                     admission,
@@ -827,7 +868,7 @@ impl WindowedSimulator {
             // scores are on hand and they must not be re-observed.
             self.dense = dense_next || self.horizon > 0;
             let (consumed, diverged, misses) = self.run_window(
-                &phase[local..end],
+                phase.slice(local..end),
                 seq_base + pos as u64,
                 cache,
                 admission,
@@ -906,7 +947,7 @@ impl WindowedSimulator {
     #[allow(clippy::too_many_arguments)]
     fn stream_chunk(
         &mut self,
-        chunk: &[TraceRecord],
+        chunk: RecordsRef<'_>,
         base: u64,
         cache: &mut SetAssocCache,
         admission: &mut dyn AdmissionPolicy,
@@ -945,7 +986,7 @@ impl WindowedSimulator {
     #[allow(clippy::too_many_arguments)]
     fn run_window(
         &mut self,
-        win: &[TraceRecord],
+        win: RecordsRef<'_>,
         base: u64,
         cache: &mut SetAssocCache,
         admission: &mut dyn AdmissionPolicy,
@@ -971,7 +1012,8 @@ impl WindowedSimulator {
             self.spec.dense_windows += 1;
             if self.horizon < win.len() {
                 score.score_window(
-                    &win[self.horizon..],
+                    win.slice(self.horizon..win.len())
+                        .contiguous(&mut self.gather),
                     &mut self.scores[self.horizon..win.len()],
                 );
                 self.spec.batch_calls += 1;
@@ -1007,7 +1049,7 @@ impl WindowedSimulator {
                 }
                 return (win.len(), false, misses);
             }
-            match self.classify(c, &win[c], cache) {
+            match self.classify(c, win.get(c), cache) {
                 Classified::Pred(p) => {
                     let boundary = c > k
                         && (matches!(self.pred[k], Pred::Miss { .. })
@@ -1069,7 +1111,7 @@ impl WindowedSimulator {
     #[allow(clippy::too_many_arguments)]
     fn replay_run(
         &mut self,
-        win: &[TraceRecord],
+        win: RecordsRef<'_>,
         k: usize,
         j: usize,
         base: u64,
@@ -1098,7 +1140,7 @@ impl WindowedSimulator {
     #[allow(clippy::too_many_arguments)]
     fn replay_miss_run(
         &mut self,
-        win: &[TraceRecord],
+        win: RecordsRef<'_>,
         k: usize,
         j: usize,
         base: u64,
@@ -1110,7 +1152,10 @@ impl WindowedSimulator {
         misses: &mut u64,
     ) -> Result<(), usize> {
         if !self.dense {
-            score.score_window(&win[k..j], &mut self.scores[k..j]);
+            score.score_window(
+                win.slice(k..j).contiguous(&mut self.gather),
+                &mut self.scores[k..j],
+            );
             self.spec.batch_calls += 1;
             self.spec.batched_scores += (j - k) as u64;
             self.score_batch[k..j].fill(self.spec.batch_calls);
@@ -1133,7 +1178,7 @@ impl WindowedSimulator {
         }
 
         let mut first_div: Option<usize> = None;
-        for (off, r) in win[k..j].iter().enumerate() {
+        for (off, r) in win.slice(k..j).iter().enumerate() {
             let t = k + off;
             let hit = cache.lookup(r.page()).is_some();
             *misses += u64::from(!hit);
@@ -1196,7 +1241,7 @@ impl WindowedSimulator {
             // the next window re-speculate from that exact state.
             self.roll_back(t0);
             let outcomes = std::mem::take(&mut self.outcome_buf);
-            for (off, (r, oc)) in win[t0..j].iter().zip(outcomes.iter()).enumerate() {
+            for (off, (r, oc)) in win.slice(t0..j).iter().zip(outcomes.iter()).enumerate() {
                 let sv = Some(self.scores[t0 + off]);
                 self.apply_real(r, oc, sv, cache);
             }
@@ -1212,7 +1257,7 @@ impl WindowedSimulator {
     #[allow(clippy::too_many_arguments)]
     fn replay_hit_run(
         &mut self,
-        win: &[TraceRecord],
+        win: RecordsRef<'_>,
         k: usize,
         j: usize,
         base: u64,
@@ -1223,7 +1268,7 @@ impl WindowedSimulator {
         acct: &mut Accounting<'_, '_>,
         misses: &mut u64,
     ) -> Result<(), usize> {
-        for (off, r) in win[k..j].iter().enumerate() {
+        for (off, r) in win.slice(k..j).iter().enumerate() {
             let t = k + off;
             if !self.dense {
                 score.observe(r);

@@ -50,6 +50,7 @@ mod score;
 mod shard;
 mod sim;
 mod stats;
+mod view;
 
 pub mod policy;
 
@@ -72,11 +73,13 @@ pub use policy::{
 };
 pub use score::{ConstantScore, FnScore, ScoreSource};
 pub use shard::{
-    GapScore, ShardCtx, ShardPolicies, ShardRouting, ShardRunError, ShardedReport, ShardedSimulator,
+    resolve_shard_routing, shard_contract, shard_gap_before, GapScore, ShardCtx, ShardPartition,
+    ShardPolicies, ShardRouting, ShardRunError, ShardedReport, ShardedSimulator,
 };
 pub use sim::{
-    simulate, simulate_streaming, simulate_streaming_observed_with_warmup,
-    simulate_streaming_with_warmup, simulate_with_warmup, streaming_step, ReplayEvent,
-    ReplayObserver, ScoreOrigin, SimReport,
+    simulate, simulate_streaming, simulate_streaming_observed_records,
+    simulate_streaming_observed_with_warmup, simulate_streaming_with_warmup, simulate_with_warmup,
+    streaming_step, ReplayEvent, ReplayObserver, ScoreOrigin, SimReport,
 };
 pub use stats::{CacheStats, MissSeries};
+pub use view::{RecordsIter, RecordsRef};

@@ -46,6 +46,25 @@
 //! shard-index order — deterministic for a given shard count, and exactly
 //! the single-threaded batcher's telemetry at `S = 1` (the shard then
 //! replays the whole trace through the same code path).
+//!
+//! # Zero-copy fan-out and parallel setup
+//!
+//! The fan-out never copies the trace. One routing pass builds a
+//! [`ShardPartition`] — per-shard ascending lists of `u32` global trace
+//! positions, ~4 bytes per record — and each worker replays its
+//! subsequence through [`RecordsRef`] *indexed views* over the caller's
+//! original slices. Foreign-record gaps (the scorer clock fast-forward)
+//! are derived on the fly from consecutive index entries, so the old
+//! per-shard record copies and standalone `gaps` vectors (~2× trace +
+//! 8 B/record of peak fan-out memory) are gone entirely; the
+//! tracking-allocator test `tests/shard_alloc.rs` pins the routing cost
+//! down. Policy construction (`make_shard` — including full Belady oracle
+//! passes over the shard subtrace) runs *inside* each worker, in
+//! parallel, instead of serially on the calling thread; the supervisor
+//! re-runs it on the calling thread only when recovering a dead shard.
+//! The shard-determinism contract checks run on the worker too, with the
+//! refusal re-asserted deterministically on the calling thread so callers
+//! still observe a plain panic.
 
 use crate::batch::{SpecParams, SpecStats, WindowedSimulator};
 use crate::cache::{AccessOutcome, SetAssocCache};
@@ -55,7 +74,8 @@ use crate::latency::LatencyModel;
 use crate::merge::{merge_streams, OutcomeStream, SeqOutcome, StreamingMerge};
 use crate::policy::{AdmissionPolicy, EvictionPolicy};
 use crate::score::ScoreSource;
-use crate::sim::{simulate_streaming_observed_with_warmup, ReplayEvent, ReplayObserver, SimReport};
+use crate::sim::{ReplayEvent, ReplayObserver, SimReport};
+use crate::view::RecordsRef;
 use icgmm_trace::TraceRecord;
 use std::any::Any;
 use std::error::Error;
@@ -110,21 +130,124 @@ fn panic_message(payload: Box<dyn Any + Send>) -> String {
     }
 }
 
+/// The index-based fan-out: for each shard, the ascending list of global
+/// trace positions (over warm-up ⧺ measured) whose sets it owns.
+///
+/// This is the entire routing cost of a sharded replay — ~4 bytes per
+/// record, built in one two-pass sweep (exact-size allocation, no
+/// re-growth) — replacing the per-shard `TraceRecord` copies of earlier
+/// revisions. Everything else derives from it: per-phase [`RecordsRef`]
+/// indexed views (split at [`ShardPartition::warm_count`]), foreign-record
+/// gaps (differences of consecutive entries, see [`shard_gap_before`]) and each
+/// outcome's global merge position (the entry itself).
+#[derive(Clone, Debug)]
+pub struct ShardPartition {
+    index: Vec<Vec<u32>>,
+    warmup_len: usize,
+}
+
+impl ShardPartition {
+    /// Routes every record of `warmup` ⧺ `measured` to its owning shard
+    /// (`set mod shards`) and records only its global position.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trace does not fit `u32` positions (4 billion
+    /// records would mean a >64 GiB trace — far beyond any in-memory
+    /// replay this engine targets).
+    pub fn build(
+        shards: usize,
+        cache_cfg: &CacheConfig,
+        warmup: &[TraceRecord],
+        measured: &[TraceRecord],
+    ) -> Self {
+        assert!(shards > 0, "shard count must be >= 1");
+        let n = warmup.len() + measured.len();
+        assert!(
+            u32::try_from(n).is_ok(),
+            "trace too long for u32 index-based fan-out ({n} records)"
+        );
+        // Two passes: count, then fill exact-capacity lists — the routing
+        // allocation is precisely Σ len(shard) × 4 bytes, which the
+        // tracking-allocator test asserts.
+        let mut counts = vec![0usize; shards];
+        for r in warmup.iter().chain(measured) {
+            counts[cache_cfg.set_of(r.page()) % shards] += 1;
+        }
+        let mut index: Vec<Vec<u32>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        for (i, r) in warmup.iter().chain(measured).enumerate() {
+            index[cache_cfg.set_of(r.page()) % shards].push(i as u32);
+        }
+        ShardPartition {
+            index,
+            warmup_len: warmup.len(),
+        }
+    }
+
+    /// The shard count.
+    pub fn shards(&self) -> usize {
+        self.index.len()
+    }
+
+    /// The ascending global positions shard `shard` owns.
+    pub fn positions(&self, shard: usize) -> &[u32] {
+        &self.index[shard]
+    }
+
+    /// How many of shard `shard`'s records fall in the warm-up phase
+    /// (its index entries are ascending, so this is a binary search).
+    pub fn warm_count(&self, shard: usize) -> usize {
+        self.index[shard].partition_point(|&i| (i as usize) < self.warmup_len)
+    }
+
+    /// Per-phase indexed views of shard `shard`'s subsequence over the
+    /// caller's original slices — the worker-side replay inputs.
+    pub fn views<'a>(
+        &'a self,
+        shard: usize,
+        warmup: &'a [TraceRecord],
+        measured: &'a [TraceRecord],
+    ) -> (RecordsRef<'a>, RecordsRef<'a>) {
+        debug_assert_eq!(warmup.len(), self.warmup_len);
+        let index = self.positions(shard);
+        let wc = self.warm_count(shard);
+        (
+            RecordsRef::indexed(warmup, &index[..wc], 0),
+            RecordsRef::indexed(measured, &index[wc..], self.warmup_len as u32),
+        )
+    }
+}
+
+/// Foreign records preceding the `j`-th entry of an ascending shard index
+/// list: the gap the scorer clock fast-forwards before observing that
+/// record. Derived, not stored — the index list is the single source of
+/// truth for both routing and clock bookkeeping (the serving front-end's
+/// clients call this to stamp per-record gaps onto their transport
+/// batches from the same representation).
+#[inline]
+pub fn shard_gap_before(index: &[u32], j: usize) -> u64 {
+    let prev = if j == 0 { 0 } else { index[j - 1] as u64 + 1 };
+    index[j] as u64 - prev
+}
+
 /// What one shard sees when its policies are built: its index, the shard
-/// count, and the subsequences of the warm-up and measured phases whose
-/// sets it owns (in trace order). Belady-style oracles must be constructed
-/// from exactly these records — their positions are the shard-local
-/// sequence numbers the replay will present.
+/// count, and zero-copy views of the warm-up and measured subsequences
+/// whose sets it owns (in trace order). Belady-style oracles must be
+/// constructed from exactly these records — their positions are the
+/// shard-local sequence numbers the replay will present. Use
+/// [`BeladyPolicy::from_pages`](crate::BeladyPolicy::from_pages) over
+/// `ctx.warmup.iter().chain(ctx.measured.iter())` to build one without
+/// materializing the subtrace.
 #[derive(Debug)]
 pub struct ShardCtx<'a> {
     /// This shard's index in `0..shards`.
     pub shard: usize,
     /// Total shard count.
     pub shards: usize,
-    /// This shard's slice of the warm-up phase.
-    pub warmup: &'a [TraceRecord],
-    /// This shard's slice of the measured phase.
-    pub measured: &'a [TraceRecord],
+    /// This shard's view of the warm-up phase.
+    pub warmup: RecordsRef<'a>,
+    /// This shard's view of the measured phase.
+    pub measured: RecordsRef<'a>,
 }
 
 /// The per-shard replay state a [`ShardedSimulator`] caller provides:
@@ -143,6 +266,53 @@ pub struct ShardPolicies {
     pub eviction: Box<dyn EvictionPolicy + Send>,
     /// Scorer clone for this shard (`None` for score-free baselines).
     pub score: Option<Box<dyn ScoreSource + Send>>,
+}
+
+/// The shard-determinism contract (see the module docs), shared by the
+/// offline engine and the serving front-end so the two can never drift in
+/// what they refuse. Checked on each worker right after `make_shard`; a
+/// violation is re-asserted on the calling thread so the caller observes
+/// one deterministic panic.
+///
+/// # Errors
+///
+/// The refusal message (stable "not shard-deterministic" / "shardable"
+/// wording the contract tests match on) when `shards > 1` and the
+/// policies cannot reproduce the single-threaded replay.
+pub fn shard_contract(shards: usize, p: &ShardPolicies) -> Result<(), String> {
+    if shards <= 1 {
+        return Ok(());
+    }
+    if !p.eviction.shard_deterministic() {
+        return Err(format!(
+            "eviction policy {:?} is not shard-deterministic: its decisions depend on \
+             cross-set interleaving, so set-partitioned replay cannot reproduce the \
+             single-threaded run above one shard",
+            p.eviction.name()
+        ));
+    }
+    if let Some(score) = &p.score {
+        if !score.shardable() {
+            return Err(
+                "score source cannot keep its clock exact across foreign-shard records \
+                 (ScoreSource::shardable is false); sharded replay would change scores"
+                    .to_string(),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Resolves whether a shard's replay rides the speculative batcher.
+/// Routing is uniform in practice (every shard holds a clone of the same
+/// source), so resolving it per worker — off the calling thread — cannot
+/// disagree across shards. Shared with the serving front-end.
+pub fn resolve_shard_routing(routing: ShardRouting, p: &ShardPolicies) -> bool {
+    match routing {
+        ShardRouting::Auto => p.score.as_ref().is_some_and(|s| s.prefers_batching()),
+        ShardRouting::Batched => p.score.is_some(),
+        ShardRouting::Streaming => false,
+    }
 }
 
 /// Result of one sharded replay.
@@ -202,17 +372,16 @@ pub struct ShardedSimulator {
     fault: Option<FaultPlan>,
 }
 
-/// [`OutcomeStream`] over one replayed shard's buffered outcomes: zips
-/// the shard's records (warm-up then measured, trace order) with their
-/// outcomes, reconstructing each record's global position from the
-/// foreign-record gap prefix sums.
+/// [`OutcomeStream`] over one replayed shard's buffered outcomes: each
+/// outcome's global position *is* its shard-index entry, and the record
+/// itself is looked up in the caller's original slices — no per-shard
+/// copies, no gap prefix sums.
 struct ReplayedShardStream<'a> {
-    warm: &'a [TraceRecord],
-    meas: &'a [TraceRecord],
+    warmup: &'a [TraceRecord],
+    measured: &'a [TraceRecord],
+    index: &'a [u32],
     outcomes: &'a [AccessOutcome],
-    gaps: &'a [u64],
     idx: usize,
-    seq: u64,
 }
 
 impl OutcomeStream for ReplayedShardStream<'_> {
@@ -221,17 +390,15 @@ impl OutcomeStream for ReplayedShardStream<'_> {
         if j >= self.outcomes.len() {
             return None;
         }
-        let record = if j < self.warm.len() {
-            self.warm[j]
+        let pos = self.index[j] as usize;
+        let record = if pos < self.warmup.len() {
+            self.warmup[pos]
         } else {
-            self.meas[j - self.warm.len()]
+            self.measured[pos - self.warmup.len()]
         };
-        self.seq += self.gaps[j];
-        let seq = self.seq;
-        self.seq += 1;
         self.idx += 1;
         Some(SeqOutcome {
-            seq,
+            seq: pos as u64,
             record,
             outcome: self.outcomes[j],
         })
@@ -245,6 +412,9 @@ struct ShardOutcome {
     spec: SpecStats,
     fault: FaultStats,
     report: SimReport,
+    /// Whether this shard rode the speculative batcher (resolved on the
+    /// worker from its own policies; uniform across shards in practice).
+    batched: bool,
 }
 
 /// Observer that records every replayed outcome (warm-up included) in
@@ -274,6 +444,25 @@ impl ReplayObserver for OutcomeRecorder {
     }
 }
 
+/// How a [`GapScore`] learns its foreign-record gaps: an explicit slice
+/// (the serving transport ships per-record gaps over its channels) or a
+/// shard index list to derive them from on the fly (the offline engine's
+/// zero-copy representation).
+enum GapSource<'a> {
+    Slice(&'a [u64]),
+    Index(&'a [u32]),
+}
+
+impl GapSource<'_> {
+    #[inline]
+    fn at(&self, j: usize) -> u64 {
+        match self {
+            GapSource::Slice(g) => g[j],
+            GapSource::Index(ix) => shard_gap_before(ix, j),
+        }
+    }
+}
+
 /// Keeps a shard scorer clone's observation clock in *global* trace
 /// order: before each shard record is observed, the foreign-shard gap
 /// preceding it is fast-forwarded through the inner source's
@@ -286,8 +475,12 @@ impl ReplayObserver for OutcomeRecorder {
 /// clock discipline.
 pub struct GapScore<'a> {
     inner: &'a mut dyn ScoreSource,
-    gaps: &'a [u64],
+    gaps: GapSource<'a>,
     cursor: usize,
+    /// Reusable scratch materializing window gaps for
+    /// [`ScoreSource::score_window_gapped`] in the index-derived case —
+    /// `O(window)` bounded, recycled across calls.
+    gap_buf: Vec<u64>,
 }
 
 impl<'a> GapScore<'a> {
@@ -296,8 +489,21 @@ impl<'a> GapScore<'a> {
     pub fn new(inner: &'a mut dyn ScoreSource, gaps: &'a [u64]) -> Self {
         GapScore {
             inner,
-            gaps,
+            gaps: GapSource::Slice(gaps),
             cursor: 0,
+            gap_buf: Vec::new(),
+        }
+    }
+
+    /// Wraps `inner` with gaps derived from an ascending shard index list
+    /// (`index[j]` is the global position of the `j`-th shard record):
+    /// zero stored gap state, one subtraction per record.
+    pub fn from_index(inner: &'a mut dyn ScoreSource, index: &'a [u32]) -> Self {
+        GapScore {
+            inner,
+            gaps: GapSource::Index(index),
+            cursor: 0,
+            gap_buf: Vec::new(),
         }
     }
 
@@ -309,7 +515,7 @@ impl<'a> GapScore<'a> {
 
 impl ScoreSource for GapScore<'_> {
     fn observe(&mut self, record: &TraceRecord) {
-        let gap = self.gaps[self.cursor];
+        let gap = self.gaps.at(self.cursor);
         if gap > 0 {
             self.inner.observe_gap(gap);
         }
@@ -322,9 +528,20 @@ impl ScoreSource for GapScore<'_> {
     }
 
     fn score_window(&mut self, records: &[TraceRecord], out: &mut [f64]) {
-        let gaps = &self.gaps[self.cursor..self.cursor + records.len()];
-        self.inner.score_window_gapped(records, gaps, out);
-        self.cursor += records.len();
+        let n = records.len();
+        match self.gaps {
+            GapSource::Slice(g) => {
+                self.inner
+                    .score_window_gapped(records, &g[self.cursor..self.cursor + n], out);
+            }
+            GapSource::Index(ix) => {
+                self.gap_buf.clear();
+                self.gap_buf
+                    .extend((self.cursor..self.cursor + n).map(|j| shard_gap_before(ix, j)));
+                self.inner.score_window_gapped(records, &self.gap_buf, out);
+            }
+        }
+        self.cursor += n;
     }
 
     fn prefers_batching(&self) -> bool {
@@ -396,9 +613,11 @@ impl ShardedSimulator {
     /// deterministically merged report (see the module docs for the
     /// bit-identity argument).
     ///
-    /// `make_shard` is called once per shard, in shard order, on the
-    /// calling thread; the policies and scorer clone it returns are moved
-    /// into that shard's worker. Scored shards whose source
+    /// `make_shard` is called once per shard *on that shard's worker
+    /// thread* (hence `Fn + Sync` — policy construction, including Belady
+    /// oracle builds over the shard subtrace, runs in parallel); the
+    /// supervisor calls it again on the calling thread only when
+    /// recovering a dead shard. Scored shards whose source
     /// [`ScoreSource::prefers_batching`] ride the speculative miss-window
     /// batcher (with this simulator's [`SpecParams`]); other shards take
     /// the streaming loop — the same routing as
@@ -424,76 +643,24 @@ impl ShardedSimulator {
         warmup: &[TraceRecord],
         measured: &[TraceRecord],
         cache_cfg: CacheConfig,
-        make_shard: &mut dyn FnMut(&ShardCtx<'_>) -> ShardPolicies,
+        make_shard: &(dyn Fn(&ShardCtx<'_>) -> ShardPolicies + Sync),
         latency: &LatencyModel,
         series_window: Option<u64>,
     ) -> Result<ShardedReport, ShardRunError> {
         cache_cfg.validate()?;
         let s = self.shards;
 
-        // Fan the trace out by owning shard. Gaps count the foreign
-        // records between consecutive shard records (phase-agnostic: the
-        // clock runs continuously across the warm-up boundary).
-        let mut shard_warm: Vec<Vec<TraceRecord>> = vec![Vec::new(); s];
-        let mut shard_meas: Vec<Vec<TraceRecord>> = vec![Vec::new(); s];
-        let mut gaps: Vec<Vec<u64>> = vec![Vec::new(); s];
-        let mut last_seen: Vec<u64> = vec![0; s];
-        for (i, r) in warmup.iter().chain(measured).enumerate() {
-            let shard = self.shard_of(&cache_cfg, r);
-            if i < warmup.len() {
-                shard_warm[shard].push(*r);
-            } else {
-                shard_meas[shard].push(*r);
-            }
-            gaps[shard].push(i as u64 - last_seen[shard]);
-            last_seen[shard] = i as u64 + 1;
-        }
-
-        // Build per-shard policies serially on this thread.
-        let mut policies: Vec<ShardPolicies> = Vec::with_capacity(s);
-        for shard in 0..s {
-            let ctx = ShardCtx {
-                shard,
-                shards: s,
-                warmup: &shard_warm[shard],
-                measured: &shard_meas[shard],
-            };
-            let p = make_shard(&ctx);
-            if s > 1 {
-                assert!(
-                    p.eviction.shard_deterministic(),
-                    "eviction policy {:?} is not shard-deterministic: its decisions depend on \
-                     cross-set interleaving, so set-partitioned replay cannot reproduce the \
-                     single-threaded run above one shard",
-                    p.eviction.name()
-                );
-                if let Some(score) = &p.score {
-                    assert!(
-                        score.shardable(),
-                        "score source cannot keep its clock exact across foreign-shard records \
-                         (ScoreSource::shardable is false); sharded replay would change scores"
-                    );
-                }
-            }
-            policies.push(p);
-        }
-        // Routing is uniform across shards (every shard holds a clone of
-        // the same source).
-        let batched = match self.routing {
-            ShardRouting::Auto => policies
-                .iter()
-                .any(|p| p.score.as_ref().is_some_and(|s| s.prefers_batching())),
-            ShardRouting::Batched => policies.iter().any(|p| p.score.is_some()),
-            ShardRouting::Streaming => false,
-        };
+        // Zero-copy fan-out: 4 bytes of routing per record, gaps and
+        // global merge positions derived from the index entries.
+        let part = ShardPartition::build(s, &cache_cfg, warmup, measured);
 
         // Fault arming: a per-shard panic point (the shard-worker fault
         // class) and the per-shard speculation circuit breaker.
         let panic_at: Vec<Option<u64>> = (0..s)
             .map(|shard| {
-                self.fault.as_ref().and_then(|p| {
-                    p.shard_panic_point(shard, shard_warm[shard].len() + shard_meas[shard].len())
-                })
+                self.fault
+                    .as_ref()
+                    .and_then(|p| p.shard_panic_point(shard, part.positions(shard).len()))
             })
             .collect();
         let breaker = self
@@ -501,25 +668,48 @@ impl ShardedSimulator {
             .filter(|p| p.breaker_armed())
             .map(|p| (p.breaker_storm_windows, p.breaker_cooldown_records));
 
-        // Replay shards on scoped threads. Workers are fully independent
-        // (own cache, own policies, own scorer clone), so join order —
+        // Replay shards on scoped threads. Each worker builds its own
+        // policies (make_shard), checks the shard-determinism contract,
+        // resolves its routing and replays — fully independent (own
+        // cache, own policies, own scorer clone), so join order —
         // shard-index order — is the only ordering that matters. Worker
         // panics are captured at join, never propagated: degradation
         // (supervisor re-replay) happens below.
         let params = self.params;
+        let routing = self.routing;
         let lat = *latency;
+        let part_ref = &part;
         let joined: Vec<Result<ShardOutcome, String>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = policies
-                .into_iter()
-                .enumerate()
-                .map(|(shard, pol)| {
-                    let warm = &shard_warm[shard];
-                    let meas = &shard_meas[shard];
-                    let gap = &gaps[shard];
+            let handles: Vec<_> = (0..s)
+                .map(|shard| {
                     let at = panic_at[shard];
                     scope.spawn(move |_| {
+                        let (warm, meas) = part_ref.views(shard, warmup, measured);
+                        let ctx = ShardCtx {
+                            shard,
+                            shards: s,
+                            warmup: warm,
+                            measured: meas,
+                        };
+                        let pol = make_shard(&ctx);
+                        if let Err(msg) = shard_contract(s, &pol) {
+                            // resume_unwind skips the panic hook: the
+                            // refusal is re-asserted (and panics plainly)
+                            // on the calling thread below.
+                            resume_unwind(Box::new(msg));
+                        }
+                        let batched = resolve_shard_routing(routing, &pol);
                         run_shard(
-                            warm, meas, gap, cache_cfg, params, batched, &lat, pol, at, breaker,
+                            warm,
+                            meas,
+                            part_ref.positions(shard),
+                            cache_cfg,
+                            params,
+                            batched,
+                            &lat,
+                            pol,
+                            at,
+                            breaker,
                         )
                     })
                 })
@@ -536,7 +726,9 @@ impl ShardedSimulator {
         // point), so the supervisor re-replays that shard's subtrace on
         // this thread with fresh policies and the panic point disarmed.
         // The replay is deterministic, so the merged report is
-        // bit-identical to a run where the worker never died.
+        // bit-identical to a run where the worker never died. A
+        // contract refusal also reproduces deterministically — as a plain
+        // panic on this thread, which is what callers observe.
         let mut fault = FaultStats::default();
         let mut outcomes: Vec<ShardOutcome> = Vec::with_capacity(s);
         for (shard, res) in joined.into_iter().enumerate() {
@@ -544,18 +736,23 @@ impl ShardedSimulator {
                 Ok(o) => outcomes.push(o),
                 Err(worker_msg) => {
                     fault.shard_panics += 1;
+                    let (warm, meas) = part.views(shard, warmup, measured);
                     let ctx = ShardCtx {
                         shard,
                         shards: s,
-                        warmup: &shard_warm[shard],
-                        measured: &shard_meas[shard],
+                        warmup: warm,
+                        measured: meas,
                     };
                     let pol = make_shard(&ctx);
+                    if let Err(msg) = shard_contract(s, &pol) {
+                        panic!("{msg}");
+                    }
+                    let batched = resolve_shard_routing(routing, &pol);
                     let replay = catch_unwind(AssertUnwindSafe(|| {
                         run_shard(
-                            &shard_warm[shard],
-                            &shard_meas[shard],
-                            &gaps[shard],
+                            warm,
+                            meas,
+                            part.positions(shard),
                             cache_cfg,
                             params,
                             batched,
@@ -589,18 +786,17 @@ impl ShardedSimulator {
         // streaming k-way merge: identical operation sequence to the
         // single-threaded loop, hence identical stats, f64 latency totals
         // and miss series — and a panic (not a skewed report) on any lost
-        // or duplicated outcome. The per-shard gap prefix sums recover
-        // each record's global position without re-walking the trace.
+        // or duplicated outcome. Each outcome's global position is its
+        // shard-index entry — no gap prefix sums, no trace re-walk.
         let mut merge = StreamingMerge::new(warmup.len(), &lat, series_window);
         {
             let mut streams: Vec<ReplayedShardStream<'_>> = (0..s)
                 .map(|shard| ReplayedShardStream {
-                    warm: &shard_warm[shard],
-                    meas: &shard_meas[shard],
+                    warmup,
+                    measured,
+                    index: part.positions(shard),
                     outcomes: &outcomes[shard].outcomes,
-                    gaps: &gaps[shard],
                     idx: 0,
-                    seq: 0,
                 })
                 .collect();
             let mut dyn_streams: Vec<&mut dyn OutcomeStream> = streams
@@ -620,6 +816,7 @@ impl ShardedSimulator {
             &outcomes[0].report.admission,
         );
 
+        let batched = outcomes.iter().any(|o| o.batched);
         let mut spec = SpecStats::default();
         let mut scores_consumed = 0;
         for o in &outcomes {
@@ -648,14 +845,16 @@ impl ShardedSimulator {
 }
 
 /// One shard's replay — batcher or streaming per the resolved routing —
-/// with an [`OutcomeRecorder`] on the replay-event stream. `panic_at`
-/// arms the fault-injection panic point; `breaker` arms the per-shard
-/// speculation circuit breaker.
+/// over zero-copy indexed views, with an [`OutcomeRecorder`] on the
+/// replay-event stream. `index` is the shard's full ascending position
+/// list (warm-up ⧺ measured), the source of the scorer clock's
+/// foreign-record gaps; `panic_at` arms the fault-injection panic point;
+/// `breaker` arms the per-shard speculation circuit breaker.
 #[allow(clippy::too_many_arguments)]
 fn run_shard(
-    warm: &[TraceRecord],
-    meas: &[TraceRecord],
-    gaps: &[u64],
+    warm: RecordsRef<'_>,
+    meas: RecordsRef<'_>,
+    index: &[u32],
     cache_cfg: CacheConfig,
     params: SpecParams,
     batched: bool,
@@ -666,7 +865,7 @@ fn run_shard(
 ) -> ShardOutcome {
     let mut cache = SetAssocCache::new(cache_cfg).expect("geometry validated by run()");
     let mut recorder = OutcomeRecorder {
-        outcomes: Vec::with_capacity(warm.len() + meas.len()),
+        outcomes: Vec::with_capacity(index.len()),
         scored: 0,
         panic_at,
         seen: 0,
@@ -675,17 +874,13 @@ fn run_shard(
     let mut fault = FaultStats::default();
     let report = match pol.score.as_mut() {
         Some(score) => {
-            let mut gap_score = GapScore {
-                inner: score.as_mut(),
-                gaps,
-                cursor: 0,
-            };
+            let mut gap_score = GapScore::from_index(score.as_mut(), index);
             if batched {
                 let mut wsim = WindowedSimulator::with_params(params);
                 if let Some((storm, cooldown)) = breaker {
                     wsim.set_breaker(storm, cooldown);
                 }
-                let report = wsim.run_observed(
+                let report = wsim.run_observed_records(
                     warm,
                     meas,
                     &mut cache,
@@ -700,7 +895,7 @@ fn run_shard(
                 fault = *wsim.fault_stats();
                 report
             } else {
-                simulate_streaming_observed_with_warmup(
+                crate::sim::simulate_streaming_observed_records(
                     warm,
                     meas,
                     &mut cache,
@@ -713,7 +908,7 @@ fn run_shard(
                 )
             }
         }
-        None => simulate_streaming_observed_with_warmup(
+        None => crate::sim::simulate_streaming_observed_records(
             warm,
             meas,
             &mut cache,
@@ -731,6 +926,7 @@ fn run_shard(
         spec,
         fault,
         report,
+        batched: batched && pol.score.is_some(),
     }
 }
 
@@ -755,5 +951,47 @@ mod tests {
             .with_routing(ShardRouting::Streaming);
         assert_eq!(sim.shards(), 3);
         assert_eq!(sim.params().window, 128);
+    }
+
+    #[test]
+    fn gaps_derive_from_index_entries() {
+        // Shard owns global positions 2, 3, 7: gaps 2 (0,1 foreign),
+        // 0 (adjacent), 3 (4,5,6 foreign).
+        let index = [2u32, 3, 7];
+        assert_eq!(shard_gap_before(&index, 0), 2);
+        assert_eq!(shard_gap_before(&index, 1), 0);
+        assert_eq!(shard_gap_before(&index, 2), 3);
+    }
+
+    #[test]
+    fn partition_splits_phases_and_preserves_order() {
+        let cfg = CacheConfig {
+            capacity_bytes: 16 * 4096,
+            block_bytes: 4096,
+            ways: 2,
+        };
+        // 8 sets, pages p map to set p % 8; 2 shards → shard = set % 2.
+        let warm: Vec<TraceRecord> = (0..6u64).map(|p| TraceRecord::read(p << 12)).collect();
+        let meas: Vec<TraceRecord> = (6..16u64).map(|p| TraceRecord::read(p << 12)).collect();
+        let part = ShardPartition::build(2, &cfg, &warm, &meas);
+        for shard in 0..2 {
+            let idx = part.positions(shard);
+            assert!(idx.windows(2).all(|w| w[0] < w[1]), "ascending order");
+            let (wv, mv) = part.views(shard, &warm, &meas);
+            assert_eq!(wv.len() + mv.len(), idx.len());
+            assert_eq!(wv.len(), part.warm_count(shard));
+            for (j, r) in wv.iter().chain(mv.iter()).enumerate() {
+                let pos = idx[j] as usize;
+                let want = if pos < warm.len() {
+                    warm[pos]
+                } else {
+                    meas[pos - warm.len()]
+                };
+                assert_eq!(*r, want);
+                assert_eq!(cfg.set_of(r.page()) % 2, shard, "routing by set");
+            }
+        }
+        let total: usize = (0..2).map(|s| part.positions(s).len()).sum();
+        assert_eq!(total, warm.len() + meas.len());
     }
 }

@@ -48,6 +48,7 @@ use crate::latency::LatencyModel;
 use crate::policy::{AdmissionPolicy, EvictionPolicy};
 use crate::score::ScoreSource;
 use crate::stats::{CacheStats, MissSeries};
+use crate::view::RecordsRef;
 use icgmm_trace::TraceRecord;
 use serde::{Deserialize, Serialize};
 
@@ -275,8 +276,8 @@ pub fn simulate_streaming_with_warmup(
     series_window: Option<u64>,
 ) -> SimReport {
     simulate_streaming_impl(
-        warmup,
-        measured,
+        RecordsRef::from_slice(warmup),
+        RecordsRef::from_slice(measured),
         cache,
         admission,
         eviction,
@@ -304,6 +305,35 @@ pub fn simulate_streaming_observed_with_warmup(
     observer: &mut dyn ReplayObserver,
 ) -> SimReport {
     simulate_streaming_impl(
+        RecordsRef::from_slice(warmup),
+        RecordsRef::from_slice(measured),
+        cache,
+        admission,
+        eviction,
+        score,
+        latency,
+        series_window,
+        Some(observer),
+    )
+}
+
+/// [`simulate_streaming_observed_with_warmup`] over [`RecordsRef`] views —
+/// the zero-copy entry point the sharded engines replay their indexed
+/// subtraces through. The loop itself is representation-agnostic, so an
+/// indexed view replays bit-identically to the equivalent copied slice.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_streaming_observed_records(
+    warmup: RecordsRef<'_>,
+    measured: RecordsRef<'_>,
+    cache: &mut SetAssocCache,
+    admission: &mut dyn AdmissionPolicy,
+    eviction: &mut dyn EvictionPolicy,
+    score: Option<&mut dyn ScoreSource>,
+    latency: &LatencyModel,
+    series_window: Option<u64>,
+    observer: &mut dyn ReplayObserver,
+) -> SimReport {
+    simulate_streaming_impl(
         warmup,
         measured,
         cache,
@@ -318,8 +348,8 @@ pub fn simulate_streaming_observed_with_warmup(
 
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn simulate_streaming_impl(
-    warmup: &[TraceRecord],
-    measured: &[TraceRecord],
+    warmup: RecordsRef<'_>,
+    measured: RecordsRef<'_>,
     cache: &mut SetAssocCache,
     admission: &mut dyn AdmissionPolicy,
     eviction: &mut dyn EvictionPolicy,
@@ -330,7 +360,7 @@ pub(crate) fn simulate_streaming_impl(
 ) -> SimReport {
     let mut acct = Accounting::new(warmup.len(), latency, series_window, observer);
 
-    for (i, r) in warmup.iter().chain(measured).enumerate() {
+    for (i, r) in warmup.iter().chain(measured.iter()).enumerate() {
         let (outcome, score_val) =
             streaming_step(r, i as u64, cache, admission, eviction, &mut score);
         let origin = if score_val.is_some() {

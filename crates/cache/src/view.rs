@@ -1,0 +1,285 @@
+//! Zero-copy record views: the representation behind the sharded
+//! engines' index-based fan-out.
+//!
+//! A [`RecordsRef`] is either a plain contiguous slice (the
+//! single-threaded engines' native shape) or an *indexed* view — a list
+//! of `u32` positions into a backing slice someone else owns. The sharded
+//! replay and the serving front-end partition a trace by handing each
+//! shard worker an indexed view over the caller's original slices: the
+//! routing pass allocates 4 bytes per record (the index entry) instead of
+//! copying every [`TraceRecord`] into per-shard buffers, and the workers
+//! iterate the caller's trace by reference.
+//!
+//! Both replay engines ([`crate::simulate_streaming_with_warmup`]'s loop
+//! and the speculative [`crate::WindowedSimulator`]) run directly on
+//! views, so an indexed subtrace replays in one uninterrupted call — the
+//! property that keeps per-shard speculation telemetry exactly equal to
+//! the single-threaded batcher's at one shard. The only place contiguity
+//! is still required is [`crate::ScoreSource::score_window`] (the batched
+//! scoring kernel's ABI); [`RecordsRef::contiguous`] provides it, free
+//! for slice views and via a reusable `O(window)` gather buffer for
+//! indexed ones — bounded scratch, never a second copy of the trace.
+
+use icgmm_trace::TraceRecord;
+use std::ops::Range;
+
+/// A borrowed, possibly non-contiguous sequence of trace records.
+///
+/// `Copy`, two words + a discriminant: passing one around is as cheap as
+/// passing a slice. Positions are dense `0..len()` regardless of
+/// representation; an indexed view maps position `i` to
+/// `backing[index[i] - base]`.
+#[derive(Clone, Copy, Debug)]
+pub struct RecordsRef<'a> {
+    repr: Repr<'a>,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Repr<'a> {
+    Slice(&'a [TraceRecord]),
+    Indexed {
+        backing: &'a [TraceRecord],
+        index: &'a [u32],
+        /// Subtracted from each index entry before indexing `backing` —
+        /// lets one global index list (positions over warm-up ⧺ measured)
+        /// be split into per-phase views over the per-phase slices.
+        base: u32,
+    },
+}
+
+impl<'a> RecordsRef<'a> {
+    /// A view over a contiguous slice (zero overhead: every accessor
+    /// compiles down to the plain slice operation).
+    #[inline]
+    pub fn from_slice(records: &'a [TraceRecord]) -> Self {
+        RecordsRef {
+            repr: Repr::Slice(records),
+        }
+    }
+
+    /// An indexed view: position `i` resolves to
+    /// `backing[(index[i] - base) as usize]`.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert every `index` entry lands inside `backing`
+    /// after the `base` shift.
+    #[inline]
+    pub fn indexed(backing: &'a [TraceRecord], index: &'a [u32], base: u32) -> Self {
+        debug_assert!(index
+            .iter()
+            .all(|&i| { i >= base && ((i - base) as usize) < backing.len() }));
+        RecordsRef {
+            repr: Repr::Indexed {
+                backing,
+                index,
+                base,
+            },
+        }
+    }
+
+    /// Number of records in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self.repr {
+            Repr::Slice(s) => s.len(),
+            Repr::Indexed { index, .. } => index.len(),
+        }
+    }
+
+    /// Whether the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The record at position `i`. The returned reference borrows the
+    /// *backing* storage, not the view — it outlives any local copy of
+    /// the (`Copy`) view itself.
+    #[inline]
+    pub fn get(&self, i: usize) -> &'a TraceRecord {
+        match self.repr {
+            Repr::Slice(s) => &s[i],
+            Repr::Indexed {
+                backing,
+                index,
+                base,
+            } => &backing[(index[i] - base) as usize],
+        }
+    }
+
+    /// Sub-view over positions `r` (same representation, no copying).
+    #[inline]
+    pub fn slice(&self, r: Range<usize>) -> RecordsRef<'a> {
+        match self.repr {
+            Repr::Slice(s) => RecordsRef::from_slice(&s[r]),
+            Repr::Indexed {
+                backing,
+                index,
+                base,
+            } => RecordsRef {
+                repr: Repr::Indexed {
+                    backing,
+                    index: &index[r],
+                    base,
+                },
+            },
+        }
+    }
+
+    /// Iterates the records in position order.
+    #[inline]
+    pub fn iter(&self) -> RecordsIter<'a> {
+        match self.repr {
+            Repr::Slice(s) => RecordsIter::Slice(s.iter()),
+            Repr::Indexed {
+                backing,
+                index,
+                base,
+            } => RecordsIter::Indexed {
+                backing,
+                index: index.iter(),
+                base,
+            },
+        }
+    }
+
+    /// The records as one contiguous slice, for consumers whose ABI
+    /// requires contiguity ([`crate::ScoreSource::score_window`]).
+    ///
+    /// A slice view returns its own storage (no copy, no allocation); an
+    /// indexed view gathers into `buf`, which the caller reuses across
+    /// calls so the scratch stays `O(max window)` regardless of trace
+    /// length.
+    #[inline]
+    pub fn contiguous<'b>(&self, buf: &'b mut Vec<TraceRecord>) -> &'b [TraceRecord]
+    where
+        'a: 'b,
+    {
+        match self.repr {
+            Repr::Slice(s) => s,
+            Repr::Indexed { .. } => {
+                buf.clear();
+                buf.extend(self.iter().copied());
+                &buf[..]
+            }
+        }
+    }
+}
+
+impl<'a> From<&'a [TraceRecord]> for RecordsRef<'a> {
+    fn from(records: &'a [TraceRecord]) -> Self {
+        RecordsRef::from_slice(records)
+    }
+}
+
+impl<'a> IntoIterator for RecordsRef<'a> {
+    type Item = &'a TraceRecord;
+    type IntoIter = RecordsIter<'a>;
+    fn into_iter(self) -> RecordsIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over a [`RecordsRef`], yielding `&TraceRecord` with the
+/// backing storage's lifetime.
+pub enum RecordsIter<'a> {
+    /// Contiguous view: the plain slice iterator.
+    Slice(std::slice::Iter<'a, TraceRecord>),
+    /// Indexed view: walks the index list.
+    Indexed {
+        /// The backing records.
+        backing: &'a [TraceRecord],
+        /// Remaining index entries.
+        index: std::slice::Iter<'a, u32>,
+        /// Shift applied to each index entry (see [`RecordsRef::indexed`]).
+        base: u32,
+    },
+}
+
+impl<'a> Iterator for RecordsIter<'a> {
+    type Item = &'a TraceRecord;
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a TraceRecord> {
+        match self {
+            RecordsIter::Slice(it) => it.next(),
+            RecordsIter::Indexed {
+                backing,
+                index,
+                base,
+            } => index.next().map(|&i| &backing[(i - *base) as usize]),
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            RecordsIter::Slice(it) => it.size_hint(),
+            RecordsIter::Indexed { index, .. } => index.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for RecordsIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records(n: u64) -> Vec<TraceRecord> {
+        (0..n).map(|p| TraceRecord::read(p << 12)).collect()
+    }
+
+    #[test]
+    fn slice_view_roundtrips() {
+        let recs = records(10);
+        let v = RecordsRef::from_slice(&recs);
+        assert_eq!(v.len(), 10);
+        assert!(!v.is_empty());
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(v.get(i), r);
+        }
+        let collected: Vec<_> = v.iter().copied().collect();
+        assert_eq!(collected, recs);
+        let sub = v.slice(2..7);
+        assert_eq!(sub.len(), 5);
+        assert_eq!(sub.get(0), &recs[2]);
+        let mut buf = Vec::new();
+        // Contiguity is free for slices: the original storage comes back.
+        assert_eq!(sub.contiguous(&mut buf).as_ptr(), recs[2..].as_ptr());
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn indexed_view_resolves_through_the_index() {
+        let recs = records(10);
+        let index: Vec<u32> = vec![1, 3, 4, 8];
+        let v = RecordsRef::indexed(&recs, &index, 0);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.get(2), &recs[4]);
+        let collected: Vec<_> = v.iter().copied().collect();
+        assert_eq!(collected, vec![recs[1], recs[3], recs[4], recs[8]]);
+        let sub = v.slice(1..3);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.get(0), &recs[3]);
+        let mut buf = Vec::new();
+        assert_eq!(sub.contiguous(&mut buf), &[recs[3], recs[4]][..]);
+    }
+
+    #[test]
+    fn base_shift_splits_one_global_index_across_phases() {
+        // Global positions 0..10 over warm-up (0..4) ⧺ measured (4..10).
+        let warm = records(4);
+        let meas: Vec<TraceRecord> = (4..10u64).map(|p| TraceRecord::read(p << 12)).collect();
+        let shard_index: Vec<u32> = vec![0, 2, 5, 6, 9]; // ascending global
+        let wc = shard_index.partition_point(|&i| (i as usize) < warm.len());
+        let wv = RecordsRef::indexed(&warm, &shard_index[..wc], 0);
+        let mv = RecordsRef::indexed(&meas, &shard_index[wc..], warm.len() as u32);
+        assert_eq!(wv.len(), 2);
+        assert_eq!(mv.len(), 3);
+        assert_eq!(wv.get(1), &warm[2]);
+        assert_eq!(mv.get(0), &meas[1]); // global 5 = measured[1]
+        assert_eq!(mv.get(2), &meas[5]); // global 9 = measured[5]
+    }
+}

@@ -44,10 +44,13 @@ fn run_sharded(
         warm,
         meas,
         cfg,
-        &mut |ctx| {
-            let mut recs = Vec::with_capacity(ctx.warmup.len() + ctx.measured.len());
-            recs.extend_from_slice(ctx.warmup);
-            recs.extend_from_slice(ctx.measured);
+        &|ctx| {
+            let recs: Vec<TraceRecord> = ctx
+                .warmup
+                .iter()
+                .chain(ctx.measured.iter())
+                .copied()
+                .collect();
             ShardPolicies {
                 admission: admission_for(admission),
                 eviction: eviction_for(eviction, cfg, &recs),

@@ -123,10 +123,13 @@ fn sharded_run(plan: FaultPlan, shards: usize, trace: &[TraceRecord]) -> Sharded
             warm,
             meas,
             cfg,
-            &mut |ctx| {
-                let mut recs = Vec::with_capacity(ctx.warmup.len() + ctx.measured.len());
-                recs.extend_from_slice(ctx.warmup);
-                recs.extend_from_slice(ctx.measured);
+            &|ctx| {
+                let recs: Vec<TraceRecord> = ctx
+                    .warmup
+                    .iter()
+                    .chain(ctx.measured.iter())
+                    .copied()
+                    .collect();
                 ShardPolicies {
                     admission: admission_for("threshold"),
                     eviction: eviction_for("gmm-score", cfg, &recs),
@@ -223,7 +226,7 @@ fn unrecoverable_worker_panics_surface_as_typed_errors() {
             warm,
             meas,
             cfg,
-            &mut |_ctx| ShardPolicies {
+            &|_ctx| ShardPolicies {
                 admission: admission_for("always"),
                 eviction: Box::new(PoisonPolicy(LruPolicy::new(cfg.num_sets(), cfg.ways))),
                 score: None,

@@ -1,0 +1,99 @@
+//! Allocation accounting for the sharded fan-out (the zero-copy claim,
+//! measured).
+//!
+//! Historically `ShardedSimulator::run` materialized per-shard
+//! `Vec<TraceRecord>` copies of the warmup and measured phases plus a
+//! per-record `Vec<u64>` gap list — ~`size_of::<TraceRecord>() + 8`
+//! bytes of routing state per trace record. [`ShardPartition::build`]
+//! replaces all of that with per-shard `u32` index lists over the
+//! caller's slices: ~4 bytes per record, independent of the record
+//! size, with gaps derived from consecutive index entries at replay
+//! time. This test pins the fan-out's allocation footprint with a
+//! counting global allocator so a regression back to record copying
+//! fails loudly rather than silently doubling the serving path's
+//! memory traffic.
+//!
+//! One `#[test]` per binary: the byte counter is process-global, and a
+//! sibling test running concurrently would perturb the delta.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use icgmm_cache::{CacheConfig, ShardPartition};
+use icgmm_trace::TraceRecord;
+
+/// Counts cumulative allocated bytes; frees are ignored so the delta
+/// over a call is "bytes requested", not peak or net.
+struct CountingAlloc;
+
+static ALLOCATED: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: delegates verbatim to `System`; the only addition is a relaxed
+// counter bump, which cannot violate the `GlobalAlloc` contract.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(layout.size(), Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns its result plus the bytes allocated inside it.
+fn allocated_by<R>(f: impl FnOnce() -> R) -> (R, usize) {
+    let before = ALLOCATED.load(Ordering::Relaxed);
+    let r = f();
+    (r, ALLOCATED.load(Ordering::Relaxed) - before)
+}
+
+#[test]
+fn fanout_routing_state_is_four_bytes_per_record() {
+    const N: usize = 200_000;
+    const SHARDS: usize = 8;
+    let cfg = CacheConfig {
+        capacity_bytes: 256 * 4096,
+        block_bytes: 4096,
+        ways: 4,
+    };
+    // Page stride > 1 so every shard owns a non-trivial slice.
+    let trace: Vec<TraceRecord> = (0..N as u64)
+        .map(|i| TraceRecord::read((i.wrapping_mul(2654435761) % 4096) << 12))
+        .collect();
+    let (warmup, measured) = trace.split_at(N / 4);
+
+    let (part, bytes) = allocated_by(|| ShardPartition::build(SHARDS, &cfg, warmup, measured));
+
+    // Every record is routed exactly once.
+    let routed: usize = (0..SHARDS).map(|s| part.positions(s).len()).sum();
+    assert_eq!(routed, N);
+
+    // The floor: each routed record costs one u32 index entry, and the
+    // two-pass build sizes the per-shard lists exactly.
+    let index_bytes = N * std::mem::size_of::<u32>();
+    assert!(
+        bytes >= index_bytes,
+        "partition under-counts: {bytes} B for {index_bytes} B of index entries"
+    );
+    // The ceiling: index entries plus small per-shard bookkeeping (the
+    // counts pass and the Vec spine) — nowhere near a record copy. Slack
+    // of 1 B/record covers allocator rounding of the 2×SHARDS vectors.
+    assert!(
+        bytes <= index_bytes + N,
+        "fan-out allocated {bytes} B; index lists alone need {index_bytes} B — \
+         routing state is no longer ~4 B/record"
+    );
+    // And the claim that names the test: far below one record copy per
+    // routed record (the pre-index fan-out paid size_of::<TraceRecord>()
+    // + 8 gap bytes for each).
+    let record_copy_bytes = N * std::mem::size_of::<TraceRecord>();
+    assert!(
+        bytes < record_copy_bytes / 2,
+        "fan-out allocated {bytes} B, within 2x of full record copies \
+         ({record_copy_bytes} B) — the zero-copy representation regressed"
+    );
+}

@@ -43,11 +43,16 @@ fn run_sharded(
             warm,
             meas,
             cfg,
-            &mut |ctx| {
-                // Belady's oracle must see this shard's subsequence.
-                let mut recs = Vec::with_capacity(ctx.warmup.len() + ctx.measured.len());
-                recs.extend_from_slice(ctx.warmup);
-                recs.extend_from_slice(ctx.measured);
+            &|ctx| {
+                // Belady's oracle must see this shard's subsequence. The
+                // fixture API takes a slice, so gather the indexed views
+                // (test-only copy; the engine itself never materializes).
+                let recs: Vec<TraceRecord> = ctx
+                    .warmup
+                    .iter()
+                    .chain(ctx.measured.iter())
+                    .copied()
+                    .collect();
                 ShardPolicies {
                     admission: admission_for(admission),
                     eviction: eviction_for(eviction, cfg, &recs),
@@ -228,14 +233,7 @@ fn auto_routed_sharded_report_is_bit_identical_to_streaming_reference() {
     for shards in [1usize, 2, 3, 4, 8] {
         let sim = ShardedSimulator::new(shards);
         let rep = sim
-            .run(
-                warm,
-                meas,
-                cfg,
-                &mut |_ctx| lru_policies(cfg),
-                &lat,
-                Some(128),
-            )
+            .run(warm, meas, cfg, &|_ctx| lru_policies(cfg), &lat, Some(128))
             .unwrap();
         assert_eq!(reference, rep.sim, "{shards} shards");
         assert_eq!(rep.per_shard.len(), shards);
@@ -252,7 +250,7 @@ fn scores_consumed_counts_scored_misses() {
             &[],
             &trace,
             cfg,
-            &mut |_ctx| lru_policies(cfg),
+            &|_ctx| lru_policies(cfg),
             &LatencyModel::paper_tlc(),
             None,
         )
@@ -279,7 +277,7 @@ fn empty_shards_are_tolerated() {
             &[],
             &trace,
             cfg,
-            &mut |_ctx| ShardPolicies {
+            &|_ctx| ShardPolicies {
                 admission: Box::new(AlwaysAdmit),
                 eviction: Box::new(LruPolicy::new(cfg.num_sets(), cfg.ways)),
                 score: None,
@@ -301,7 +299,7 @@ fn random_eviction_is_refused_above_one_shard() {
         &[],
         &trace,
         cfg,
-        &mut |_ctx| ShardPolicies {
+        &|_ctx| ShardPolicies {
             admission: Box::new(AlwaysAdmit),
             eviction: Box::new(RandomPolicy::new(7)),
             score: None,
@@ -320,7 +318,7 @@ fn random_eviction_is_fine_at_one_shard() {
             &[],
             &trace,
             cfg,
-            &mut |_ctx| ShardPolicies {
+            &|_ctx| ShardPolicies {
                 admission: Box::new(AlwaysAdmit),
                 eviction: Box::new(RandomPolicy::new(7)),
                 score: None,
@@ -341,6 +339,101 @@ fn random_eviction_is_fine_at_one_shard() {
         None,
     );
     assert_eq!(reference, rep.sim);
+}
+
+/// Policy construction runs on the shard workers, not the calling
+/// thread — the parallel-setup half of the zero-copy fan-out. (The
+/// bit-identity of the resulting reports is what the whole grid above
+/// checks; this pins down *where* the construction happened.)
+#[test]
+fn make_shard_runs_on_worker_threads() {
+    let cfg = small_cfg();
+    let trace = mixed_trace(400);
+    let caller = std::thread::current().id();
+    let seen = std::sync::Mutex::new(Vec::new());
+    let rep = ShardedSimulator::new(4)
+        .run(
+            &[],
+            &trace,
+            cfg,
+            &|ctx| {
+                seen.lock()
+                    .unwrap()
+                    .push((ctx.shard, std::thread::current().id()));
+                ShardPolicies {
+                    admission: Box::new(AlwaysAdmit),
+                    eviction: Box::new(LruPolicy::new(cfg.num_sets(), cfg.ways)),
+                    score: None,
+                }
+            },
+            &LatencyModel::paper_tlc(),
+            None,
+        )
+        .unwrap();
+    assert_eq!(rep.sim.stats.accesses(), 400);
+    let seen = seen.into_inner().unwrap();
+    assert_eq!(seen.len(), 4, "one construction per shard");
+    assert!(
+        seen.iter().all(|&(_, id)| id != caller),
+        "make_shard must run on the worker threads"
+    );
+}
+
+/// Chunked-parallel Belady oracle build == serial build, proven through
+/// the replay: a sharded run whose per-shard oracles are built with
+/// [`BeladyPolicy::from_records_chunked`] is bit-identical to one whose
+/// oracles use the serial [`BeladyPolicy::from_pages`] sweep, at every
+/// shard count (shard subtrace lengths land on arbitrary chunk
+/// boundaries, including chunks > records for near-empty shards).
+#[test]
+fn chunked_belady_oracle_matches_serial_through_the_replay() {
+    use icgmm_cache::BeladyPolicy;
+    let cfg = small_cfg();
+    let trace = mixed_trace(4_000);
+    let (warm, meas) = trace.split_at(800);
+    let lat = LatencyModel::paper_tlc();
+    let run = |chunks: Option<usize>| {
+        ShardedSimulator::new(4)
+            .run(
+                warm,
+                meas,
+                cfg,
+                &|ctx| {
+                    let recs: Vec<TraceRecord> = ctx
+                        .warmup
+                        .iter()
+                        .chain(ctx.measured.iter())
+                        .copied()
+                        .collect();
+                    let eviction: Box<dyn icgmm_cache::EvictionPolicy + Send> = match chunks {
+                        Some(c) => Box::new(BeladyPolicy::from_records_chunked(
+                            &recs,
+                            cfg.num_sets(),
+                            cfg.ways,
+                            c,
+                        )),
+                        None => Box::new(BeladyPolicy::from_pages(
+                            recs.iter().map(|r| r.page().raw()),
+                            cfg.num_sets(),
+                            cfg.ways,
+                        )),
+                    };
+                    ShardPolicies {
+                        admission: Box::new(AlwaysAdmit),
+                        eviction,
+                        score: None,
+                    }
+                },
+                &lat,
+                Some(64),
+            )
+            .unwrap()
+    };
+    let serial = run(None);
+    for chunks in [2usize, 3, 8, 10_000] {
+        let chunked = run(Some(chunks));
+        assert_eq!(serial.sim, chunked.sim, "{chunks} chunks");
+    }
 }
 
 /// Deterministic spot check on the adversarial bypass-storm fixture of

@@ -417,16 +417,18 @@ impl Icgmm {
         // transitions stay deterministic per shard (and a supervisor
         // re-replay after a worker panic replaces the aborted attempt's
         // sink wholesale, keeping merged stats equal to an undisturbed
-        // run). Sinks merge into the report in shard order.
+        // run). Sinks merge into the report in shard order. The sink
+        // table sits behind a mutex because `make_shard` now runs on the
+        // shard workers themselves (parallel policy construction).
         let plan = self.cfg.fault;
         let scorer_armed = plan.scorer_armed() || plan.monitor_armed();
-        let shard_sinks = std::cell::RefCell::new(vec![FaultSink::new(); shards]);
+        let shard_sinks = std::sync::Mutex::new(vec![FaultSink::new(); shards]);
         let ssim = ShardedSimulator::with_params(shards, self.cfg.spec_params()).with_faults(plan);
         let rep = ssim.run(
             warmup,
             measured,
             self.cfg.cache,
-            &mut |ctx| {
+            &|ctx| {
                 self.shard_policies(ctx, mode, engine.as_ref(), threshold, plan, scorer_armed, {
                     &shard_sinks
                 })
@@ -435,7 +437,10 @@ impl Icgmm {
             None,
         )?;
         let mut rep = rep;
-        for sink in shard_sinks.into_inner() {
+        for sink in shard_sinks
+            .into_inner()
+            .expect("no worker holds the sink lock")
+        {
             rep.sim.fault.merge(&sink.snapshot());
         }
         let gmm_inferences = if engine.is_none() {
@@ -466,7 +471,7 @@ impl Icgmm {
         threshold: f64,
         plan: FaultPlan,
         scorer_armed: bool,
-        shard_sinks: &std::cell::RefCell<Vec<FaultSink>>,
+        shard_sinks: &std::sync::Mutex<Vec<FaultSink>>,
     ) -> ShardPolicies {
         let sets = self.cfg.cache.num_sets();
         let ways = self.cfg.cache.ways;
@@ -478,11 +483,16 @@ impl Icgmm {
                 // The oracle sees exactly this shard's subsequence:
                 // its positions are the shard-local sequence
                 // numbers the replay will present, order-isomorphic
-                // to the global ones.
-                let mut recs = Vec::with_capacity(ctx.warmup.len() + ctx.measured.len());
-                recs.extend_from_slice(ctx.warmup);
-                recs.extend_from_slice(ctx.measured);
-                Box::new(BeladyPolicy::from_records(&recs, sets, ways))
+                // to the global ones. Built straight off the shard's
+                // indexed views — no subtrace materialization.
+                Box::new(BeladyPolicy::from_pages(
+                    ctx.warmup
+                        .iter()
+                        .chain(ctx.measured.iter())
+                        .map(|r| r.page().raw()),
+                    sets,
+                    ways,
+                ))
             }
             PolicyMode::GmmEvictionOnly | PolicyMode::GmmCachingEviction => {
                 Box::new(self.score_eviction(sets, ways))
@@ -524,7 +534,7 @@ impl Icgmm {
                         Box::new(FailoverAdmission::new(admission, h.clone(), sink.clone()));
                 }
             }
-            shard_sinks.borrow_mut()[ctx.shard] = sink;
+            shard_sinks.lock().expect("sink lock never poisoned")[ctx.shard] = sink;
         }
         ShardPolicies {
             admission,
@@ -592,7 +602,7 @@ impl Icgmm {
         let threshold = self.model.as_ref().map(|m| m.threshold).unwrap_or(0.0);
         let plan = self.cfg.fault;
         let scorer_armed = plan.scorer_armed() || plan.monitor_armed();
-        let shard_sinks = std::cell::RefCell::new(vec![FaultSink::new(); shards]);
+        let shard_sinks = std::sync::Mutex::new(vec![FaultSink::new(); shards]);
         let server = CacheServer::new(ServeConfig {
             shards,
             clients: self.cfg.serve_clients,
@@ -606,7 +616,7 @@ impl Icgmm {
             warmup,
             measured,
             self.cfg.cache,
-            &mut |ctx| {
+            &|ctx| {
                 self.shard_policies(ctx, mode, engine.as_ref(), threshold, plan, scorer_armed, {
                     &shard_sinks
                 })
@@ -615,7 +625,10 @@ impl Icgmm {
             None,
         )?;
         // Scorer-fault telemetry travels by sink, exactly as offline.
-        for sink in shard_sinks.into_inner() {
+        for sink in shard_sinks
+            .into_inner()
+            .expect("no worker holds the sink lock")
+        {
             rep.sim.fault.merge(&sink.snapshot());
         }
         Ok(rep)

@@ -250,36 +250,20 @@ impl EmTrainer {
             let scorer = GmmScorer::from_params(&weights, &means, &covs)?;
             let stats = e_step(&scorer, xs, ws, k, threads);
 
-            // M-step.
+            // M-step: per-component updates, parallel at high K.
             let global = crate::init::global_cov(xs, ws);
-            for j in 0..k {
-                if stats.nk[j] > 1e-10 {
-                    let nk = stats.nk[j];
-                    weights[j] = nk / total_w;
-                    means[j] = [stats.sx[j][0] / nk, stats.sx[j][1] / nk];
-                    let m = means[j];
-                    let cov = Mat2::new(
-                        (stats.sq[j][0] / nk - m[0] * m[0]).max(0.0) + self.cfg.reg_covar.max(1e-9),
-                        stats.sq[j][1] / nk - m[0] * m[1],
-                        (stats.sq[j][2] / nk - m[1] * m[1]).max(0.0) + self.cfg.reg_covar.max(1e-9),
-                    );
-                    covs[j] = if cov.is_spd() {
-                        cov
-                    } else {
-                        Mat2::new(cov.xx, 0.0, cov.yy)
-                    };
-                } else {
-                    // Re-seed a starved component on a random data point.
-                    let idx = rng.gen_range(0..xs.len());
-                    means[j] = xs[idx];
-                    covs[j] = global;
-                    weights[j] = 1.0 / total_w;
-                }
-            }
-            let wsum: f64 = weights.iter().sum();
-            for w in &mut weights {
-                *w /= wsum;
-            }
+            m_step(
+                &stats,
+                xs,
+                total_w,
+                self.cfg.reg_covar.max(1e-9),
+                global,
+                &mut rng,
+                &mut weights,
+                &mut means,
+                &mut covs,
+                threads,
+            );
 
             let mll = stats.loglik / total_w;
             history.push(mll);
@@ -311,6 +295,101 @@ impl EmTrainer {
 }
 
 use rand::Rng;
+
+/// Minimum component count for which spawning M-step workers pays off —
+/// below this the per-component update is cheaper than a thread handoff.
+const PARALLEL_MSTEP_MIN: usize = 64;
+
+/// M-step: recomputes `weights`/`means`/`covs` from the sufficient
+/// statistics and renormalizes the weights.
+///
+/// The only order-sensitive part is the starved-component re-seeding,
+/// which consumes the RNG stream: those draws happen in a serial
+/// pre-scan in ascending component order, exactly as the historical
+/// serial loop consumed them. After that every component's update is a
+/// pure function of `stats` (or its pre-drawn re-seed index), so the
+/// parallel path splits the components across scoped workers and is
+/// **bit-identical** to the serial path for any thread count — the
+/// property suite drives this directly.
+#[allow(clippy::too_many_arguments)]
+fn m_step(
+    stats: &SuffStats,
+    xs: &[Vec2],
+    total_w: f64,
+    reg_covar: f64,
+    global: Mat2,
+    rng: &mut StdRng,
+    weights: &mut [f64],
+    means: &mut [Vec2],
+    covs: &mut [Mat2],
+    threads: usize,
+) {
+    let k = weights.len();
+    // Serial RNG pre-scan: re-seed indices for starved components, drawn
+    // in ascending j so the seed stream matches the serial loop.
+    let reseed: Vec<Option<usize>> = (0..k)
+        .map(|j| {
+            let live = stats.nk[j] > 1e-10;
+            (!live).then(|| rng.gen_range(0..xs.len()))
+        })
+        .collect();
+    let update = |j: usize, w: &mut f64, m: &mut Vec2, c: &mut Mat2| {
+        if let Some(idx) = reseed[j] {
+            // Re-seed a starved component on a random data point.
+            *m = xs[idx];
+            *c = global;
+            *w = 1.0 / total_w;
+        } else {
+            let nk = stats.nk[j];
+            *w = nk / total_w;
+            *m = [stats.sx[j][0] / nk, stats.sx[j][1] / nk];
+            let mv = *m;
+            let cov = Mat2::new(
+                (stats.sq[j][0] / nk - mv[0] * mv[0]).max(0.0) + reg_covar,
+                stats.sq[j][1] / nk - mv[0] * mv[1],
+                (stats.sq[j][2] / nk - mv[1] * mv[1]).max(0.0) + reg_covar,
+            );
+            *c = if cov.is_spd() {
+                cov
+            } else {
+                Mat2::new(cov.xx, 0.0, cov.yy)
+            };
+        }
+    };
+    if threads <= 1 || k < PARALLEL_MSTEP_MIN {
+        for j in 0..k {
+            let (w, m, c) = (&mut weights[j], &mut means[j], &mut covs[j]);
+            update(j, w, m, c);
+        }
+    } else {
+        let chunk = k.div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (t, ((wc, mc), cc)) in weights
+                .chunks_mut(chunk)
+                .zip(means.chunks_mut(chunk))
+                .zip(covs.chunks_mut(chunk))
+                .enumerate()
+            {
+                let update = &update;
+                scope.spawn(move |_| {
+                    for (i, ((w, m), c)) in wc
+                        .iter_mut()
+                        .zip(mc.iter_mut())
+                        .zip(cc.iter_mut())
+                        .enumerate()
+                    {
+                        update(t * chunk + i, w, m, c);
+                    }
+                });
+            }
+        })
+        .expect("M-step worker panicked");
+    }
+    let wsum: f64 = weights.iter().sum();
+    for w in weights.iter_mut() {
+        *w /= wsum;
+    }
+}
 
 /// Runs the E-step, splitting samples across `threads` workers.
 fn e_step(scorer: &GmmScorer, xs: &[Vec2], ws: &[f64], k: usize, threads: usize) -> SuffStats {
@@ -520,6 +599,92 @@ mod tests {
         let (_, r4) = mk(4);
         for (a, b) in r1.log_likelihood.iter().zip(&r4.log_likelihood) {
             assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    /// Synthetic sufficient statistics with a controllable set of starved
+    /// components, exercising both M-step branches (including the SPD
+    /// fallback, via near-singular cross moments at every 7th component).
+    fn synth_stats(k: usize, starve_every: usize, salt: u64) -> SuffStats {
+        let mut stats = SuffStats::zeros(k);
+        for j in 0..k {
+            if starve_every != 0 && j % starve_every == 0 {
+                continue; // nk stays 0.0 → starved branch
+            }
+            let h = (j as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(salt);
+            let nk = 1.0 + (h % 1_000) as f64 / 7.0;
+            let mx = ((h >> 10) % 100) as f64 / 10.0 - 5.0;
+            let my = ((h >> 20) % 100) as f64 / 10.0 - 5.0;
+            let (vx, vy) = (0.1 + (j % 5) as f64 * 0.3, 0.2 + (j % 3) as f64 * 0.4);
+            // Every 7th live component gets a cross moment so large the
+            // covariance goes indefinite, forcing the SPD fallback.
+            let cxy = if j % 7 == 0 {
+                10.0 * (vx * vy).sqrt()
+            } else {
+                0.05
+            };
+            stats.nk[j] = nk;
+            stats.sx[j] = [nk * mx, nk * my];
+            stats.sq[j] = [
+                nk * (vx + mx * mx),
+                nk * (cxy + mx * my),
+                nk * (vy + my * my),
+            ];
+        }
+        stats
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The parallel M-step must be bit-identical to the serial one
+        /// for any thread count: the RNG pre-scan keeps the re-seed
+        /// draws in serial ascending order, and each component update is
+        /// pure. (The mirror of `parallel_and_serial_estep_agree`, but
+        /// exact — the E-step's chunked f64 sums carry a tolerance, the
+        /// M-step's per-component updates must not.)
+        #[test]
+        fn parallel_mstep_is_bit_identical_to_serial(
+            k in 1usize..301,
+            starve_every in 0usize..10,
+            salt in any::<u64>(),
+            threads in 2usize..17,
+        ) {
+            let xs: Vec<Vec2> = (0..64)
+                .map(|i| [i as f64 * 0.3 - 9.0, (i as f64 * 1.7).sin()])
+                .collect();
+            let stats = synth_stats(k, starve_every, salt);
+            let global = crate::init::global_cov(&xs, &[]);
+            let total_w = xs.len() as f64;
+
+            let run = |threads: usize| {
+                let mut rng = StdRng::seed_from_u64(salt);
+                let mut weights = vec![0.5; k];
+                let mut means = vec![[1.0, -1.0]; k];
+                let mut covs = vec![Mat2::scaled_identity(1.0); k];
+                m_step(
+                    &stats,
+                    &xs,
+                    total_w,
+                    1e-6,
+                    global,
+                    &mut rng,
+                    &mut weights,
+                    &mut means,
+                    &mut covs,
+                    threads,
+                );
+                (weights, means, covs)
+            };
+            let serial = run(1);
+            let parallel = run(threads);
+            // PartialEq on f64 vectors: bit-identity up to 0.0 sign and
+            // NaN, neither of which the M-step produces here.
+            prop_assert_eq!(&serial.0, &parallel.0);
+            prop_assert_eq!(&serial.1, &parallel.1);
+            prop_assert_eq!(&serial.2, &parallel.2);
         }
     }
 

@@ -46,6 +46,13 @@
 //! [`GmmScorer::score_batch_parallel`] splits a batch across scoped worker
 //! threads (the same crossbeam pattern as the EM E-step) for offline bulk
 //! scoring such as admission-threshold calibration.
+//!
+//! The tables live behind an [`Arc`](std::sync::Arc): the mixture is
+//! immutable once flattened, so every consumer — shard workers, serving
+//! threads, the per-iteration E-step — shares one weight buffer, and
+//! `scorer.clone()` is an atomic refcount bump rather than six `Vec`
+//! copies (the hardware analogue: all scoring pipelines read the same
+//! BRAM weight buffer; nobody duplicates it per lane).
 
 use crate::error::GmmError;
 use crate::gaussian::{Gaussian2, Mat2, Vec2, LN_2PI};
@@ -142,6 +149,20 @@ const PARALLEL_MIN: usize = 4_096;
 /// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct GmmScorer {
+    /// The flattened tables, shared by reference: every scorer handed to a
+    /// shard worker or serving thread reads the *same* weight buffer, so
+    /// cloning a scorer is one atomic refcount bump — zero table bytes
+    /// copied (the allocator test in `tests/` pins this to 0 heap bytes).
+    /// The tables are immutable after construction, which is what makes
+    /// the sharing sound.
+    tables: std::sync::Arc<ScorerTables>,
+}
+
+/// The six K-length SoA columns of a flattened mixture — the software
+/// weight buffer. Built mutably by the constructors, then frozen behind
+/// the [`GmmScorer`]'s `Arc`.
+#[derive(Debug, PartialEq)]
+struct ScorerTables {
     /// `ln π_k + log_norm_k`; `−∞` for zero-weight components.
     coef: Vec<f64>,
     mx: Vec<f64>,
@@ -155,56 +176,9 @@ pub struct GmmScorer {
     hyy: Vec<f64>,
 }
 
-/// The shared per-component term `coef + hxx·dx² + hxy·dx·dy + hyy·dy²`,
-/// used by the scalar, batched and E-step paths alike (bit-agreement).
-#[inline(always)]
-fn log_term_raw(coef: f64, hxx: f64, hxy: f64, hyy: f64, dx: f64, dy: f64) -> f64 {
-    fmadd(hxx, dx * dx, fmadd(hxy, dx * dy, fmadd(hyy, dy * dy, coef)))
-}
-
-impl GmmScorer {
-    /// Flattens a trained mixture into SoA form.
-    pub fn from_gmm(gmm: &Gmm) -> Self {
-        Self::from_components(gmm.weights(), gmm.components())
-    }
-
-    /// Flattens weights + components (inverses already cached).
-    pub(crate) fn from_components(weights: &[f64], components: &[Gaussian2]) -> Self {
-        let k = weights.len();
-        let mut s = Self::with_capacity(k);
-        for (w, c) in weights.iter().zip(components) {
-            let inv = c.inv_cov();
-            s.push_component(*w, c.log_norm(), c.mean(), inv);
-        }
-        s
-    }
-
-    /// Flattens raw EM parameters, computing the inverses and
-    /// log-normalizers the E-step needs.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`GmmError::SingularCovariance`] naming the first component
-    /// whose covariance is not positive definite.
-    pub(crate) fn from_params(
-        weights: &[f64],
-        means: &[Vec2],
-        covs: &[Mat2],
-    ) -> Result<Self, GmmError> {
-        let k = weights.len();
-        let mut s = Self::with_capacity(k);
-        for i in 0..k {
-            let inv = covs[i]
-                .inverse()
-                .ok_or(GmmError::SingularCovariance { component: i })?;
-            let log_norm = -LN_2PI - 0.5 * covs[i].det().ln();
-            s.push_component(weights[i], log_norm, means[i], inv);
-        }
-        Ok(s)
-    }
-
+impl ScorerTables {
     fn with_capacity(k: usize) -> Self {
-        GmmScorer {
+        ScorerTables {
             coef: Vec::with_capacity(k),
             mx: Vec::with_capacity(k),
             my: Vec::with_capacity(k),
@@ -227,18 +201,72 @@ impl GmmScorer {
         self.hxy.push(-inv.xy);
         self.hyy.push(-0.5 * inv.yy);
     }
+}
+
+/// The shared per-component term `coef + hxx·dx² + hxy·dx·dy + hyy·dy²`,
+/// used by the scalar, batched and E-step paths alike (bit-agreement).
+#[inline(always)]
+fn log_term_raw(coef: f64, hxx: f64, hxy: f64, hyy: f64, dx: f64, dy: f64) -> f64 {
+    fmadd(hxx, dx * dx, fmadd(hxy, dx * dy, fmadd(hyy, dy * dy, coef)))
+}
+
+impl GmmScorer {
+    /// Flattens a trained mixture into SoA form.
+    pub fn from_gmm(gmm: &Gmm) -> Self {
+        Self::from_components(gmm.weights(), gmm.components())
+    }
+
+    /// Flattens weights + components (inverses already cached).
+    pub(crate) fn from_components(weights: &[f64], components: &[Gaussian2]) -> Self {
+        let k = weights.len();
+        let mut t = ScorerTables::with_capacity(k);
+        for (w, c) in weights.iter().zip(components) {
+            let inv = c.inv_cov();
+            t.push_component(*w, c.log_norm(), c.mean(), inv);
+        }
+        GmmScorer {
+            tables: std::sync::Arc::new(t),
+        }
+    }
+
+    /// Flattens raw EM parameters, computing the inverses and
+    /// log-normalizers the E-step needs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GmmError::SingularCovariance`] naming the first component
+    /// whose covariance is not positive definite.
+    pub(crate) fn from_params(
+        weights: &[f64],
+        means: &[Vec2],
+        covs: &[Mat2],
+    ) -> Result<Self, GmmError> {
+        let k = weights.len();
+        let mut t = ScorerTables::with_capacity(k);
+        for i in 0..k {
+            let inv = covs[i]
+                .inverse()
+                .ok_or(GmmError::SingularCovariance { component: i })?;
+            let log_norm = -LN_2PI - 0.5 * covs[i].det().ln();
+            t.push_component(weights[i], log_norm, means[i], inv);
+        }
+        Ok(GmmScorer {
+            tables: std::sync::Arc::new(t),
+        })
+    }
 
     /// Number of mixture components `K`.
     pub fn k(&self) -> usize {
-        self.coef.len()
+        self.tables.coef.len()
     }
 
     /// The per-component joint log-density `l_j = ln π_j + ln N_j(x)`.
     #[inline(always)]
     fn log_term(&self, j: usize, x: Vec2) -> f64 {
-        let dx = x[0] - self.mx[j];
-        let dy = x[1] - self.my[j];
-        log_term_raw(self.coef[j], self.hxx[j], self.hxy[j], self.hyy[j], dx, dy)
+        let t = &*self.tables;
+        let dx = x[0] - t.mx[j];
+        let dy = x[1] - t.my[j];
+        log_term_raw(t.coef[j], t.hxx[j], t.hxy[j], t.hyy[j], dx, dy)
     }
 
     /// Log mixture density `ln G(x)` — allocation-free scalar path.
@@ -343,10 +371,11 @@ impl GmmScorer {
             py[b] = x[1];
         }
         let (px, py) = (&px[..n], &py[..n]);
+        let t = &*self.tables;
         let mut m = [f64::NEG_INFINITY; CHUNK];
         for j in 0..self.k() {
-            let (cj, mxj, myj) = (self.coef[j], self.mx[j], self.my[j]);
-            let (hxxj, hxyj, hyyj) = (self.hxx[j], self.hxy[j], self.hyy[j]);
+            let (cj, mxj, myj) = (t.coef[j], t.mx[j], t.my[j]);
+            let (hxxj, hxyj, hyyj) = (t.hxx[j], t.hxy[j], t.hyy[j]);
             let row = &mut lbuf[j * stride..j * stride + n];
             for b in 0..n {
                 let dx = px[b] - mxj;
@@ -580,6 +609,22 @@ mod tests {
             assert!((out[j] - want).abs() < 1e-12 * want.abs().max(1.0));
         }
         assert_eq!(m, out.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    #[test]
+    fn clone_shares_tables_and_scores_identically() {
+        let scorer = GmmScorer::from_gmm(&spread_gmm(256));
+        let copy = scorer.clone();
+        // The clone aliases the same flattened tables — no table bytes
+        // were copied (the integration allocator test pins the byte count
+        // to zero; this asserts the sharing itself).
+        assert!(std::sync::Arc::ptr_eq(&scorer.tables, &copy.tables));
+        assert_eq!(scorer, copy);
+        let x = [0.7, -0.3];
+        assert_eq!(
+            scorer.log_density(x).to_bits(),
+            copy.log_density(x).to_bits()
+        );
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Allocation accounting for scorer hand-off: cloning a [`GmmScorer`]
+//! must allocate **zero** heap bytes.
+//!
+//! The flattened SoA tables (six K-length `f64` columns — 12 KiB at the
+//! paper's K = 256) live behind an `Arc`, so handing a scorer to each
+//! shard worker or serving thread is an atomic refcount bump that shares
+//! one weight buffer, exactly like the paper's scoring pipelines all
+//! reading one BRAM weight buffer. This test pins that with a counting
+//! global allocator: a regression back to deep-copied tables (six `Vec`
+//! clones per worker per model swap) fails on the exact byte count.
+//!
+//! One `#[test]` per binary: the byte counter is process-global, and a
+//! sibling test running concurrently would perturb the delta.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use icgmm_gmm::{Gaussian2, Gmm, GmmScorer, Mat2};
+
+/// Counts cumulative allocated bytes; frees are ignored so the delta
+/// over a call is "bytes requested", not peak or net.
+struct CountingAlloc;
+
+static ALLOCATED: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: delegates verbatim to `System`; the only addition is a relaxed
+// counter bump, which cannot violate the `GlobalAlloc` contract.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(layout.size(), Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns its result plus the bytes allocated inside it.
+fn allocated_by<R>(f: impl FnOnce() -> R) -> (R, usize) {
+    let before = ALLOCATED.load(Ordering::Relaxed);
+    let r = f();
+    (r, ALLOCATED.load(Ordering::Relaxed) - before)
+}
+
+#[test]
+fn scorer_clone_allocates_zero_table_bytes() {
+    const K: usize = 256; // the paper's component count
+    let comps: Vec<Gaussian2> = (0..K)
+        .map(|i| {
+            let t = i as f64 / K as f64;
+            Gaussian2::new(
+                [t * 10.0 - 5.0, (t * std::f64::consts::TAU).sin()],
+                Mat2::new(0.05 + t * 0.1, 0.01, 0.08),
+            )
+            .unwrap()
+        })
+        .collect();
+    let gmm = Gmm::new(vec![1.0 / K as f64; K], comps).unwrap();
+
+    // Flattening is where the table bytes are paid — once.
+    let (scorer, build_bytes) = allocated_by(|| GmmScorer::from_gmm(&gmm));
+    let table_bytes = 6 * K * std::mem::size_of::<f64>();
+    assert!(
+        build_bytes >= table_bytes,
+        "flattening allocated {build_bytes} B, below the {table_bytes} B \
+         the six K-length tables require — the tables went missing"
+    );
+
+    // Hand-off is free: one refcount bump, zero heap bytes.
+    let (copy, clone_bytes) = allocated_by(|| scorer.clone());
+    assert_eq!(
+        clone_bytes, 0,
+        "scorer.clone() allocated {clone_bytes} B; per-worker hand-off \
+         must share the tables, not copy them"
+    );
+
+    // The shared clone scores bit-identically to the original.
+    let x = [0.7, -0.3];
+    assert_eq!(
+        copy.log_density(x).to_bits(),
+        scorer.log_density(x).to_bits()
+    );
+    assert_eq!(copy, scorer);
+}

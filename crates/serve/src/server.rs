@@ -117,10 +117,10 @@ const CHANNEL_SPIN: usize = 16;
 /// invariance), so this is a pure throughput knob.
 const DRAIN_CHUNK: usize = 256;
 use icgmm_cache::{
-    simulate_streaming_observed_with_warmup, streaming_step, CacheConfig, FaultStats, GapScore,
-    LatencyModel, ReplayEvent, ReplayObserver, ScoreSource, SeqOutcome, SetAssocCache, ShardCtx,
-    ShardPolicies, ShardRouting, SimReport, SpecParams, SpecStats, StreamingMerge,
-    WindowedSimulator,
+    resolve_shard_routing, shard_contract, shard_gap_before, simulate_streaming_observed_records,
+    streaming_step, CacheConfig, FaultStats, GapScore, LatencyModel, RecordsRef, ReplayEvent,
+    ReplayObserver, ScoreSource, SeqOutcome, SetAssocCache, ShardCtx, ShardPartition,
+    ShardPolicies, SimReport, SpecParams, SpecStats, StreamingMerge, WindowedSimulator,
 };
 use icgmm_trace::TraceRecord;
 use serde::{Deserialize, Serialize};
@@ -146,14 +146,6 @@ struct IngestMsg {
     t_submit: Instant,
 }
 
-/// A client's pre-routed submission.
-struct ClientItem {
-    shard: usize,
-    seq: u64,
-    record: TraceRecord,
-    gap: u64,
-}
-
 /// What a shard worker hands back at join time.
 struct WorkerDone {
     hist: LatencyHistogram,
@@ -161,6 +153,13 @@ struct WorkerDone {
     fault: FaultStats,
     scored: u64,
     overlap: OverlapStats,
+    /// Whether this worker rode the speculative batcher (resolved on the
+    /// worker from its own policies, mirroring the offline engine).
+    batched: bool,
+    /// Policy names for the merged report (policies are built worker-side
+    /// now, so the names travel back with the results).
+    ev_name: String,
+    adm_name: String,
 }
 
 /// The serving front-end. Construction validates the configuration;
@@ -242,9 +241,10 @@ impl CacheServer {
     }
 
     /// Serves `warmup` + `measured` to completion and returns the merged
-    /// report. `make_shard` is called once per shard on the calling
-    /// thread, exactly as in [`icgmm_cache::ShardedSimulator::run`]; the same
-    /// shard-determinism contracts are asserted above one shard.
+    /// report. `make_shard` is called once per shard *on that shard's
+    /// worker thread* (hence `Fn + Sync`), exactly as in
+    /// [`icgmm_cache::ShardedSimulator::run`]; the same shard-determinism
+    /// contracts are asserted above one shard.
     ///
     /// # Errors
     ///
@@ -263,7 +263,7 @@ impl CacheServer {
         warmup: &[TraceRecord],
         measured: &[TraceRecord],
         cache_cfg: CacheConfig,
-        make_shard: &mut dyn FnMut(&ShardCtx<'_>) -> ShardPolicies,
+        make_shard: &(dyn Fn(&ShardCtx<'_>) -> ShardPolicies + Sync),
         latency: &LatencyModel,
         series_window: Option<u64>,
     ) -> Result<ServeReport, ServeError> {
@@ -287,85 +287,26 @@ impl CacheServer {
         let measured = &measured[..cut - warmup.len()];
         let n = warmup.len() + measured.len();
 
-        // Fan out by owning shard — the identical partition (and gap
-        // prefix sums) the offline sharded replay computes — plus each
-        // record's routing for its owning client's submission list.
-        let mut shard_warm: Vec<Vec<TraceRecord>> = vec![Vec::new(); s];
-        let mut shard_meas: Vec<Vec<TraceRecord>> = vec![Vec::new(); s];
-        let mut gaps: Vec<Vec<u64>> = vec![Vec::new(); s];
-        let mut seqs: Vec<Vec<u64>> = vec![Vec::new(); s];
-        let mut shard_of: Vec<usize> = Vec::with_capacity(n);
-        let mut client_items: Vec<Vec<ClientItem>> = (0..clients).map(|_| Vec::new()).collect();
-        let mut last_seen: Vec<u64> = vec![0; s];
-        for (i, r) in warmup.iter().chain(measured).enumerate() {
-            let shard = cache_cfg.set_of(r.page()) % s;
-            if i < warmup.len() {
-                shard_warm[shard].push(*r);
-            } else {
-                shard_meas[shard].push(*r);
-            }
-            let gap = i as u64 - last_seen[shard];
-            gaps[shard].push(gap);
-            seqs[shard].push(i as u64);
-            last_seen[shard] = i as u64 + 1;
-            shard_of.push(shard);
-            client_items[shard % clients].push(ClientItem {
-                shard,
-                seq: i as u64,
-                record: *r,
-                gap,
-            });
-        }
+        // Zero-copy fan-out — the identical [`ShardPartition`] the
+        // offline sharded replay builds: per-shard ascending `u32`
+        // position lists (~4 B/record of routing), no per-shard record
+        // copies, no stored gap or seq vectors. Clients walk the
+        // partition directly (k-way merge over their owned shards'
+        // lists), workers replay indexed views over the caller's slices,
+        // and the merger recomputes each record's owner on the fly.
+        let part = ShardPartition::build(s, &cache_cfg, warmup, measured);
 
-        // Per-shard policies, built serially with the sharding contracts
-        // asserted — shared verbatim with the offline engine.
-        let mut policies: Vec<ShardPolicies> = Vec::with_capacity(s);
-        for shard in 0..s {
-            let ctx = ShardCtx {
-                shard,
-                shards: s,
-                warmup: &shard_warm[shard],
-                measured: &shard_meas[shard],
-            };
-            let p = make_shard(&ctx);
-            if s > 1 {
-                assert!(
-                    p.eviction.shard_deterministic(),
-                    "eviction policy {:?} is not shard-deterministic: set-partitioned serving \
-                     cannot reproduce the single-threaded run above one shard",
-                    p.eviction.name()
-                );
-                if let Some(score) = &p.score {
-                    assert!(
-                        score.shardable(),
-                        "score source cannot keep its clock exact across foreign-shard records \
-                         (ScoreSource::shardable is false); sharded serving would change scores"
-                    );
-                }
-            }
-            policies.push(p);
-        }
-        let ev_name = policies[0].eviction.name().to_string();
-        let adm_name = policies[0].admission.name().to_string();
-
-        // Routing, resolved as offline — then forced to streaming under
-        // scorer/monitor faults: those decisions depend on window
-        // boundaries, and serving windows cut at ingestion boundaries.
-        let mut batched = match self.cfg.routing {
-            ShardRouting::Auto => policies
-                .iter()
-                .any(|p| p.score.as_ref().is_some_and(|sc| sc.prefers_batching())),
-            ShardRouting::Batched => policies.iter().any(|p| p.score.is_some()),
-            ShardRouting::Streaming => false,
-        };
-        if plan.scorer_armed() || plan.monitor_armed() {
-            batched = false;
-        }
+        // Per-shard policies are built *inside* each worker (parallel
+        // construction, shared verbatim with the offline engine — same
+        // `shard_contract` refusals, same `resolve_shard_routing`).
+        // Routing is forced to streaming under scorer/monitor faults:
+        // those decisions depend on window boundaries, and serving
+        // windows cut at ingestion boundaries.
+        let routing = self.cfg.routing;
+        let force_streaming = plan.scorer_armed() || plan.monitor_armed();
 
         let panic_at: Vec<Option<u64>> = (0..s)
-            .map(|shard| {
-                plan.shard_panic_point(shard, shard_warm[shard].len() + shard_meas[shard].len())
-            })
+            .map(|shard| plan.shard_panic_point(shard, part.positions(shard).len()))
             .collect();
         let breaker = plan
             .breaker_armed()
@@ -420,16 +361,33 @@ impl CacheServer {
         let mut pending: Vec<VecDeque<SeqOutcome>> = (0..s).map(|_| VecDeque::new()).collect();
 
         let start = Instant::now();
+        let part_ref = &part;
         let served = crossbeam::thread::scope(|scope| {
-            let worker_handles: Vec<_> = policies
-                .into_iter()
-                .enumerate()
-                .map(|(shard, pol)| {
+            let worker_handles: Vec<_> = (0..s)
+                .map(|shard| {
                     let rx = ingest_rx[shard].take().expect("one worker per shard");
                     let tx = out_tx[shard].take().expect("one worker per shard");
                     let at = panic_at[shard];
                     let infl = &inflight[shard];
                     scope.spawn(move |_| {
+                        // Worker-side policy construction: Belady oracle
+                        // builds and scorer clones run in parallel across
+                        // shards, off the calling thread.
+                        let (warm, meas) = part_ref.views(shard, warmup, measured);
+                        let ctx = ShardCtx {
+                            shard,
+                            shards: s,
+                            warmup: warm,
+                            measured: meas,
+                        };
+                        let pol = make_shard(&ctx);
+                        if let Err(msg) = shard_contract(s, &pol) {
+                            // resume_unwind skips the panic hook: the
+                            // refusal is re-asserted plainly on the
+                            // calling thread by the supervisor.
+                            resume_unwind(Box::new(msg));
+                        }
+                        let batched = resolve_shard_routing(routing, &pol) && !force_streaming;
                         run_worker(
                             rx, tx, pol, cache_cfg, params, batched, lat, at, breaker, warmup_len,
                             batch, dry_budget, infl, comp_depth,
@@ -438,11 +396,16 @@ impl CacheServer {
                 })
                 .collect();
             let infl_all: &[AtomicI64] = &inflight;
-            let client_handles: Vec<_> = client_items
+            let client_handles: Vec<_> = client_senders
                 .into_iter()
-                .zip(client_senders)
-                .map(|(items, senders)| {
-                    scope.spawn(move |_| run_client(items, senders, shed, batch, infl_all, depth))
+                .enumerate()
+                .map(|(client, senders)| {
+                    scope.spawn(move |_| {
+                        run_client(
+                            part_ref, client, clients, warmup, measured, senders, shed, batch,
+                            infl_all, depth,
+                        )
+                    })
                 })
                 .collect();
 
@@ -451,8 +414,9 @@ impl CacheServer {
             // re-account it immediately — O(shards) live outcomes.
             let mut merge = StreamingMerge::new(warmup.len(), &lat, series_window);
             let mut merge_err: Option<ServeError> = None;
-            'merge: for (i, r) in warmup.iter().chain(measured).enumerate() {
-                let shard = shard_of[i];
+            let mut recovered_names: Option<(String, String)> = None;
+            'merge: for r in warmup.iter().chain(measured) {
+                let shard = cache_cfg.set_of(r.page()) % s;
                 let out = loop {
                     if let Some(o) = replacement[shard].pop_front() {
                         break o;
@@ -471,19 +435,30 @@ impl CacheServer {
                             // replayed outcomes past the delivered
                             // prefix.
                             fault.shard_panics += 1;
+                            let (warm, meas) = part_ref.views(shard, warmup, measured);
                             let ctx = ShardCtx {
                                 shard,
                                 shards: s,
-                                warmup: &shard_warm[shard],
-                                measured: &shard_meas[shard],
+                                warmup: warm,
+                                measured: meas,
                             };
                             let pol = make_shard(&ctx);
+                            // A contract refusal reproduces here as the
+                            // deterministic plain panic callers observe.
+                            if let Err(msg) = shard_contract(s, &pol) {
+                                panic!("{msg}");
+                            }
+                            recovered_names.get_or_insert_with(|| {
+                                (
+                                    pol.eviction.name().to_string(),
+                                    pol.admission.name().to_string(),
+                                )
+                            });
                             let replay = catch_unwind(AssertUnwindSafe(|| {
                                 replay_shard_offline(
-                                    &shard_warm[shard],
-                                    &shard_meas[shard],
-                                    &gaps[shard],
-                                    &seqs[shard],
+                                    warm,
+                                    meas,
+                                    part_ref.positions(shard),
                                     cache_cfg,
                                     &lat,
                                     pol,
@@ -513,7 +488,6 @@ impl CacheServer {
                         }
                     }
                 };
-                let _ = r;
                 delivered[shard] += 1;
                 merge.push(&out);
             }
@@ -531,6 +505,8 @@ impl CacheServer {
             let mut spec = SpecStats::default();
             let mut overlap = OverlapStats::default();
             let mut scores_consumed = 0u64;
+            let mut batched = false;
+            let mut names = recovered_names;
             for (shard, h) in worker_handles.into_iter().enumerate() {
                 match h.join() {
                     Ok(done) => {
@@ -539,6 +515,8 @@ impl CacheServer {
                         fault.merge(&done.fault);
                         overlap.merge(&done.overlap);
                         scores_consumed += done.scored;
+                        batched |= done.batched;
+                        names.get_or_insert((done.ev_name, done.adm_name));
                     }
                     Err(payload) => match recovered_scored[shard] {
                         // Recovered: the offline re-replay's scored count
@@ -559,11 +537,22 @@ impl CacheServer {
             if let Some(e) = merge_err {
                 return Err(e);
             }
+            let (ev_name, adm_name) = names
+                .expect("every served run joins a live worker or recovers one supervisor-side");
             let sim = merge.finish(measured.len(), &ev_name, &adm_name);
-            Ok((sim, spec, scores_consumed, sheds, hist, wall, overlap))
+            Ok((
+                sim,
+                spec,
+                scores_consumed,
+                sheds,
+                hist,
+                wall,
+                overlap,
+                batched,
+            ))
         })
         .expect("serve scope joins every handle");
-        let (mut sim, spec, scores_consumed, sheds, hist, wall, overlap) = served?;
+        let (mut sim, spec, scores_consumed, sheds, hist, wall, overlap, batched) = served?;
         sim.fault = fault;
 
         let wall_us = wall.as_secs_f64() * 1e6;
@@ -593,20 +582,35 @@ impl CacheServer {
 /// One client thread: submit the owned shards' requests in ascending
 /// global order, with one open transport batch *per owned shard* — on
 /// interleaved traffic every shard still fills ≤[`SUBMIT_BATCH`]-record
-/// batches instead of degenerating to run-length-1 sends. Deadlock
-/// freedom rests on the ordered-flush protocol in [`flush_shard`] (see
-/// the module docs); the tail drains the remaining open batches in
-/// ascending watermark order for the same reason. Returns the shed
-/// count. Sends to a dead shard error out and are ignored — the
-/// supervisor's re-replay covers those records.
+/// batches instead of degenerating to run-length-1 sends.
+///
+/// The client owns no routed copy of the trace: it walks its owned
+/// shards' [`ShardPartition`] index lists directly (a k-way merge over
+/// ascending position lists reproduces ascending global order), reads
+/// each record out of the caller's original slices, and derives the
+/// per-record scorer-clock gap from consecutive index entries
+/// ([`shard_gap_before`] — exact, because the client owns *every* record
+/// of its shards). Deadlock freedom rests on the ordered-flush protocol
+/// in [`flush_shard`] (see the module docs); the tail drains the
+/// remaining open batches in ascending watermark order for the same
+/// reason. Returns the shed count. Sends to a dead shard error out and
+/// are ignored — the supervisor's re-replay covers those records.
+#[allow(clippy::too_many_arguments)]
 fn run_client(
-    items: Vec<ClientItem>,
+    part: &ShardPartition,
+    client: usize,
+    clients: usize,
+    warmup: &[TraceRecord],
+    measured: &[TraceRecord],
     senders: Vec<Option<Sender<Vec<IngestMsg>>>>,
     shed: bool,
     batch: usize,
     inflight: &[AtomicI64],
     depth: usize,
 ) -> u64 {
+    let s = part.shards();
+    let owned: Vec<usize> = (client..s).step_by(clients.max(1)).collect();
+    let mut cursors = vec![0usize; owned.len()];
     let mut sheds = 0u64;
     // One open batch per shard (unowned shards simply stay empty).
     // Records append in ascending global order, so a buffer's head seq is
@@ -614,16 +618,37 @@ fn run_client(
     let mut bufs: Vec<Vec<IngestMsg>> = (0..senders.len()).map(|_| Vec::new()).collect();
     // Placeholder stamp, overwritten for the whole batch at flush time.
     let epoch = Instant::now();
-    for it in items {
-        bufs[it.shard].push(IngestMsg {
-            seq: it.seq,
-            record: it.record,
-            gap: it.gap,
+    loop {
+        // Pick the owned shard whose next index entry is the smallest
+        // global position — the k-way merge step (k = owned shards,
+        // typically shards / clients).
+        let mut next: Option<(usize, u32)> = None;
+        for (slot, &shard) in owned.iter().enumerate() {
+            if let Some(&pos) = part.positions(shard).get(cursors[slot]) {
+                if next.is_none_or(|(_, best)| pos < best) {
+                    next = Some((slot, pos));
+                }
+            }
+        }
+        let Some((slot, pos)) = next else { break };
+        let shard = owned[slot];
+        let j = cursors[slot];
+        cursors[slot] += 1;
+        let p = pos as usize;
+        let record = if p < warmup.len() {
+            warmup[p]
+        } else {
+            measured[p - warmup.len()]
+        };
+        bufs[shard].push(IngestMsg {
+            seq: pos as u64,
+            record,
+            gap: shard_gap_before(part.positions(shard), j),
             t_submit: epoch,
         });
-        if bufs[it.shard].len() >= batch {
+        if bufs[shard].len() >= batch {
             flush_shard(
-                it.shard, &mut bufs, &senders, shed, &mut sheds, batch, inflight, depth,
+                shard, &mut bufs, &senders, shed, &mut sheds, batch, inflight, depth,
             );
         }
     }
@@ -884,6 +909,8 @@ fn run_worker(
     comp_depth: usize,
 ) -> WorkerDone {
     let mut cache = SetAssocCache::new(cache_cfg).expect("geometry validated by serve()");
+    let ev_name = pol.eviction.name().to_string();
+    let adm_name = pol.admission.name().to_string();
     let mut state = RecState {
         seen: 0,
         scored: 0,
@@ -1004,6 +1031,9 @@ fn run_worker(
         fault,
         scored: state.scored,
         overlap: state.comp.finish(),
+        batched,
+        ev_name,
+        adm_name,
     }
 }
 
@@ -1011,25 +1041,27 @@ fn run_worker(
 /// subtrace on the calling thread (streaming engine, panic disarmed) and
 /// return every outcome stamped with its global position, plus the full
 /// scored count. Score consumption is engine-invariant, so the streaming
-/// replay stands in for a batched worker exactly.
+/// replay stands in for a batched worker exactly. Runs over the same
+/// zero-copy indexed views the worker used: each outcome's global
+/// position is its index entry, and the scorer clock's gaps derive from
+/// consecutive entries.
 fn replay_shard_offline(
-    warm: &[TraceRecord],
-    meas: &[TraceRecord],
-    gaps: &[u64],
-    seqs: &[u64],
+    warm: RecordsRef<'_>,
+    meas: RecordsRef<'_>,
+    index: &[u32],
     cache_cfg: CacheConfig,
     latency: &LatencyModel,
     mut pol: ShardPolicies,
 ) -> (Vec<SeqOutcome>, u64) {
     struct Collect<'a> {
-        seqs: &'a [u64],
+        index: &'a [u32],
         outs: Vec<SeqOutcome>,
         scored: u64,
     }
     impl ReplayObserver for Collect<'_> {
         fn on_record(&mut self, ev: &ReplayEvent<'_>) {
             self.outs.push(SeqOutcome {
-                seq: self.seqs[self.outs.len()],
+                seq: self.index[self.outs.len()] as u64,
                 record: *ev.record,
                 outcome: *ev.outcome,
             });
@@ -1038,14 +1070,14 @@ fn replay_shard_offline(
     }
     let mut cache = SetAssocCache::new(cache_cfg).expect("geometry validated by serve()");
     let mut collect = Collect {
-        seqs,
-        outs: Vec::with_capacity(seqs.len()),
+        index,
+        outs: Vec::with_capacity(index.len()),
         scored: 0,
     };
     match pol.score.as_mut() {
         Some(score) => {
-            let mut gap_score = GapScore::new(score.as_mut(), gaps);
-            simulate_streaming_observed_with_warmup(
+            let mut gap_score = GapScore::from_index(score.as_mut(), index);
+            simulate_streaming_observed_records(
                 warm,
                 meas,
                 &mut cache,
@@ -1058,7 +1090,7 @@ fn replay_shard_offline(
             );
         }
         None => {
-            simulate_streaming_observed_with_warmup(
+            simulate_streaming_observed_records(
                 warm,
                 meas,
                 &mut cache,

@@ -32,11 +32,14 @@ fn serve(
         warm,
         meas,
         cache_cfg,
-        &mut |ctx| {
+        &|ctx| {
             // Belady's oracle must see this shard's subsequence.
-            let mut recs = Vec::with_capacity(ctx.warmup.len() + ctx.measured.len());
-            recs.extend_from_slice(ctx.warmup);
-            recs.extend_from_slice(ctx.measured);
+            let recs: Vec<TraceRecord> = ctx
+                .warmup
+                .iter()
+                .chain(ctx.measured.iter())
+                .copied()
+                .collect();
             ShardPolicies {
                 admission: admission_for(admission),
                 eviction: eviction_for(eviction, cache_cfg, &recs),
@@ -70,10 +73,13 @@ fn offline(
             warm,
             meas,
             cache_cfg,
-            &mut |ctx| {
-                let mut recs = Vec::with_capacity(ctx.warmup.len() + ctx.measured.len());
-                recs.extend_from_slice(ctx.warmup);
-                recs.extend_from_slice(ctx.measured);
+            &|ctx| {
+                let recs: Vec<TraceRecord> = ctx
+                    .warmup
+                    .iter()
+                    .chain(ctx.measured.iter())
+                    .copied()
+                    .collect();
                 ShardPolicies {
                     admission: admission_for(admission),
                     eviction: eviction_for(eviction, cache_cfg, &recs),
@@ -282,7 +288,7 @@ fn backpressure_sheds_are_counted_and_harmless() {
                 warm,
                 meas,
                 cache_cfg,
-                &mut |_ctx| ShardPolicies {
+                &|_ctx| ShardPolicies {
                     admission: admission_for("threshold"),
                     eviction: eviction_for("lru", cache_cfg, &trace),
                     score: slow_score(),
@@ -306,7 +312,7 @@ fn backpressure_sheds_are_counted_and_harmless() {
         warm,
         meas,
         cache_cfg,
-        &mut |_ctx| ShardPolicies {
+        &|_ctx| ShardPolicies {
             admission: admission_for("threshold"),
             eviction: eviction_for("lru", cache_cfg, &trace),
             score: slow_score(),
