@@ -193,7 +193,7 @@ fn bench_sharded(c: &mut Criterion) {
     // (offline replay, serving clients, supervisor recovery) now walks.
     // The pre-index fan-out paid per-shard record + gap copies here.
     group.bench_function("fanout_partition8_tenants", |b| {
-        b.iter(|| black_box(ShardPartition::build(8, &cfg, &[], black_box(&tenants))))
+        b.iter(|| black_box(ShardPartition::build(8, &cfg, &[], black_box(&tenants)).unwrap()))
     });
 
     // Oracle setup cost, serial vs chunked build: the Belady occurrence

@@ -1,0 +1,173 @@
+//! CI's static-vs-adaptive miss-rate scenario: runs the online-refit
+//! experiment axis on the phase-rotating multi-tenant workload and
+//! appends the four miss rates to `BENCH_adapt.json` in the criterion
+//! shim's JSON-lines schema, so the existing `perf_gate` binary can gate
+//! them as same-run relative pairs:
+//!
+//! * **drift** — tenants rotate their hot windows and the offline model
+//!   is fit on the first third of the trace only, so it goes stale;
+//!   `adapt/static_drift` vs `adapt/adaptive_drift` must show the refit
+//!   loop repairing the damage (gated ≥ 1.05×);
+//! * **stable** — rotation disabled, same prefix fit; adaptation has
+//!   nothing to repair and must stay within noise of the static scorer
+//!   (`adapt/static_stable` vs `adapt/adaptive_stable`, gated ≥ 0.90×).
+//!
+//! `median_ns` carries the **miss rate** (percent, scaled ×10⁶) rather
+//! than a wall-clock time: `perf_gate` only ever forms the
+//! baseline/candidate ratio, and the miss-rate ratio is exactly the
+//! relative improvement the gate is after. Both runs share the trace,
+//! the offline model and the runner, so the pair is as
+//! heterogeneity-immune as the wall-clock gates.
+//!
+//! Usage: `adapt_gate [BENCH_adapt.json]` (default `BENCH_adapt.json`).
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use icgmm::experiment::{run_static_vs_adaptive, AdaptComparison};
+use icgmm::{AdaptPlan, IcgmmConfig, PolicyMode};
+use icgmm_cache::CacheConfig;
+use icgmm_gmm::EmConfig;
+use icgmm_trace::synth::{MultiTenantWorkload, Workload};
+use icgmm_trace::PreprocessConfig;
+
+const REQUESTS: usize = 60_000;
+
+/// Serving-scale config: K = 64 rides the batched replay path, and the
+/// 2048-block cache covers ~6 % of one pool's footprint — large enough
+/// that decision quality (not raw capacity pressure) sets the miss rate.
+fn cfg() -> IcgmmConfig {
+    IcgmmConfig {
+        cache: CacheConfig {
+            capacity_bytes: 2_048 * 4096,
+            block_bytes: 4096,
+            ways: 8,
+        },
+        em: EmConfig {
+            k: 64,
+            max_iters: 15,
+            ..Default::default()
+        },
+        preprocess: PreprocessConfig {
+            len_window: 32,
+            len_access_shot: 1_000,
+            ..Default::default()
+        },
+        max_train_cells: 20_000,
+        adapt: AdaptPlan::drifty(7),
+        ..Default::default()
+    }
+}
+
+/// The pooled multi-tenant workload rooted at `base_page`, popularity
+/// rankings frozen (`phase_len = 0`): within one pool the distribution
+/// is stationary, so all drift comes from *which* pool is live.
+fn pool(base_page: u64, seed: u64) -> icgmm_trace::Trace {
+    MultiTenantWorkload {
+        tenants: 12,
+        pages_per_tenant: 3_000,
+        base_page,
+        phase_len: 0,
+        ..Default::default()
+    }
+    .generate(REQUESTS / 2, seed)
+}
+
+/// The drift scenario: halfway through, the served footprint migrates to
+/// a disjoint page region (tenants churn on a shared device — the pool
+/// the offline model was fit on drains away). The model is fit on the
+/// first half only, so the static arm scores every post-migration page
+/// as noise while the refit loop re-learns the new region.
+fn drift_trace() -> icgmm_trace::Trace {
+    let mut records = pool(1 << 20, 4242).into_records();
+    records.extend(pool((1 << 20) + 50_000, 977).into_records());
+    icgmm_trace::Trace::from_records(records)
+}
+
+/// The drift-free control: the same page region for the whole trace
+/// (the second half re-seeds the generators, so the request *sequence*
+/// is fresh but the feature distribution is not), fit on the same
+/// first-half prefix. Anything adaptation loses here is pure
+/// false-positive damage.
+fn stable_trace() -> icgmm_trace::Trace {
+    let mut records = pool(1 << 20, 4242).into_records();
+    records.extend(pool(1 << 20, 977).into_records());
+    icgmm_trace::Trace::from_records(records)
+}
+
+fn run_scenario(name: &str) -> Result<AdaptComparison, icgmm::IcgmmError> {
+    let t = if name == "drift" {
+        drift_trace()
+    } else {
+        stable_trace()
+    };
+    run_static_vs_adaptive(name, &t, cfg(), PolicyMode::GmmCachingEviction, t.len() / 2)
+}
+
+/// One criterion-shim JSON line carrying a miss rate as the gated
+/// metric (see the module docs), plus human-facing context fields.
+fn json_line(out: &mut String, id: &str, miss_pct: f64, swaps: u64) {
+    writeln!(
+        out,
+        "{{\"id\":\"adapt/{id}\",\"median_ns\":{:.1},\"miss_pct\":{miss_pct:.4},\
+         \"swaps\":{swaps},\"samples\":1,\"iters_per_sample\":1}}",
+        miss_pct * 1e6,
+    )
+    .expect("writing to a String cannot fail");
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_adapt.json".into());
+
+    let mut lines = String::new();
+    for scenario in ["drift", "stable"] {
+        let cmp = match run_scenario(scenario) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("adapt_gate: {scenario} scenario failed: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        json_line(
+            &mut lines,
+            &format!("static_{scenario}"),
+            cmp.static_run.miss_pct,
+            cmp.static_run.adapt.swaps,
+        );
+        json_line(
+            &mut lines,
+            &format!("adaptive_{scenario}"),
+            cmp.adaptive_run.miss_pct,
+            cmp.adaptive_run.adapt.swaps,
+        );
+        println!(
+            "adapt_gate: {scenario:<6} static {:.2}% -> adaptive {:.2}% miss \
+             ({:+.2} pts, {} refits / {} checks / {} drifts)",
+            cmp.static_run.miss_pct,
+            cmp.adaptive_run.miss_pct,
+            cmp.miss_improvement_pts(),
+            cmp.adaptive_run.adapt.refits,
+            cmp.adaptive_run.adapt.checks,
+            cmp.adaptive_run.adapt.drifts,
+        );
+    }
+
+    use std::io::Write as _;
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(lines.as_bytes()))
+    {
+        Ok(()) => {
+            println!("adapt_gate: appended 4 records to {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("adapt_gate: cannot write {path}: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -87,6 +87,14 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 pub enum ShardRunError {
     /// Invalid cache geometry.
     Config(CacheConfigError),
+    /// The trace does not fit the `u32` index-based fan-out: a record's
+    /// global position would truncate. Raised by
+    /// [`ShardPartition::build`] *before* any routing happens — a trace
+    /// this long must fail loudly, not route records to the wrong shard.
+    TraceTooLong {
+        /// Total records (warm-up + measured) the caller presented.
+        records: usize,
+    },
     /// A shard worker panicked *and* the supervisor's re-replay of that
     /// shard's subtrace panicked too. A lone worker panic (e.g. a
     /// [`FaultPlan`]-armed panic point) is recovered transparently; this
@@ -104,6 +112,11 @@ impl fmt::Display for ShardRunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ShardRunError::Config(e) => e.fmt(f),
+            ShardRunError::TraceTooLong { records } => write!(
+                f,
+                "trace too long for u32 index-based fan-out ({records} records, max {})",
+                u32::MAX as u64 + 1
+            ),
             ShardRunError::ShardFailed { shard, message } => {
                 write!(f, "shard {shard} failed: {message}")
             }
@@ -147,26 +160,46 @@ pub struct ShardPartition {
 }
 
 impl ShardPartition {
+    /// Whether a trace of `records` total records (warm-up + measured)
+    /// fits the `u32` position index: every global position `0..records`
+    /// must be representable, so the limit is `u32::MAX as usize + 1`
+    /// records. Pure guard arithmetic — no allocation — so the boundary is
+    /// unit-testable without materializing 4 Gi records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardRunError::TraceTooLong`] past the limit.
+    pub fn check_capacity(records: usize) -> Result<(), ShardRunError> {
+        // The largest stored position is `records - 1`; it must fit u32.
+        if records > 0 && u32::try_from(records - 1).is_err() {
+            return Err(ShardRunError::TraceTooLong { records });
+        }
+        Ok(())
+    }
+
     /// Routes every record of `warmup` ⧺ `measured` to its owning shard
     /// (`set mod shards`) and records only its global position.
     ///
+    /// # Errors
+    ///
+    /// Returns [`ShardRunError::TraceTooLong`] when the trace does not fit
+    /// `u32` positions (4 billion records would mean a >64 GiB trace —
+    /// far beyond any in-memory replay this engine targets). The check
+    /// runs before any routing: silent `as u32` truncation would route
+    /// late records to wrong shards and corrupt the merge.
+    ///
     /// # Panics
     ///
-    /// Panics when the trace does not fit `u32` positions (4 billion
-    /// records would mean a >64 GiB trace — far beyond any in-memory
-    /// replay this engine targets).
+    /// Panics when `shards == 0`.
     pub fn build(
         shards: usize,
         cache_cfg: &CacheConfig,
         warmup: &[TraceRecord],
         measured: &[TraceRecord],
-    ) -> Self {
+    ) -> Result<Self, ShardRunError> {
         assert!(shards > 0, "shard count must be >= 1");
         let n = warmup.len() + measured.len();
-        assert!(
-            u32::try_from(n).is_ok(),
-            "trace too long for u32 index-based fan-out ({n} records)"
-        );
+        Self::check_capacity(n)?;
         // Two passes: count, then fill exact-capacity lists — the routing
         // allocation is precisely Σ len(shard) × 4 bytes, which the
         // tracking-allocator test asserts.
@@ -176,12 +209,13 @@ impl ShardPartition {
         }
         let mut index: Vec<Vec<u32>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
         for (i, r) in warmup.iter().chain(measured).enumerate() {
-            index[cache_cfg.set_of(r.page()) % shards].push(i as u32);
+            let pos = u32::try_from(i).expect("checked by check_capacity");
+            index[cache_cfg.set_of(r.page()) % shards].push(pos);
         }
-        ShardPartition {
+        Ok(ShardPartition {
             index,
             warmup_len: warmup.len(),
-        }
+        })
     }
 
     /// The shard count.
@@ -652,7 +686,7 @@ impl ShardedSimulator {
 
         // Zero-copy fan-out: 4 bytes of routing per record, gaps and
         // global merge positions derived from the index entries.
-        let part = ShardPartition::build(s, &cache_cfg, warmup, measured);
+        let part = ShardPartition::build(s, &cache_cfg, warmup, measured)?;
 
         // Fault arming: a per-shard panic point (the shard-worker fault
         // class) and the per-shard speculation circuit breaker.
@@ -973,7 +1007,7 @@ mod tests {
         // 8 sets, pages p map to set p % 8; 2 shards → shard = set % 2.
         let warm: Vec<TraceRecord> = (0..6u64).map(|p| TraceRecord::read(p << 12)).collect();
         let meas: Vec<TraceRecord> = (6..16u64).map(|p| TraceRecord::read(p << 12)).collect();
-        let part = ShardPartition::build(2, &cfg, &warm, &meas);
+        let part = ShardPartition::build(2, &cfg, &warm, &meas).unwrap();
         for shard in 0..2 {
             let idx = part.positions(shard);
             assert!(idx.windows(2).all(|w| w[0] < w[1]), "ascending order");
@@ -993,5 +1027,28 @@ mod tests {
         }
         let total: usize = (0..2).map(|s| part.positions(s).len()).sum();
         assert_eq!(total, warm.len() + meas.len());
+    }
+
+    #[test]
+    fn capacity_guard_boundaries() {
+        // Pure arithmetic — the limit is checked without allocating the
+        // 4 Gi records it describes. Positions are 0-based, so exactly
+        // u32::MAX + 1 records (last position u32::MAX) still fit.
+        let max = u32::MAX as usize + 1;
+        assert_eq!(ShardPartition::check_capacity(0), Ok(()));
+        assert_eq!(ShardPartition::check_capacity(1), Ok(()));
+        assert_eq!(ShardPartition::check_capacity(max), Ok(()));
+        assert_eq!(
+            ShardPartition::check_capacity(max + 1),
+            Err(ShardRunError::TraceTooLong { records: max + 1 })
+        );
+        assert_eq!(
+            ShardPartition::check_capacity(usize::MAX),
+            Err(ShardRunError::TraceTooLong {
+                records: usize::MAX
+            })
+        );
+        let msg = ShardRunError::TraceTooLong { records: max + 1 }.to_string();
+        assert!(msg.contains("trace too long"), "{msg}");
     }
 }

@@ -147,6 +147,9 @@ pub struct SimReport {
     /// Fault-injection and degradation counters (all-zero on fault-free
     /// runs; filled in by fault-armed callers).
     pub fault: crate::fault::FaultStats,
+    /// Online-adaptation counters (all-zero on static runs; filled in by
+    /// adapt-armed callers).
+    pub adapt: crate::adapt::AdaptStats,
 }
 
 impl SimReport {
@@ -510,6 +513,7 @@ impl<'a, 'o> Accounting<'a, 'o> {
             eviction: eviction.to_string(),
             admission: admission.to_string(),
             fault: crate::fault::FaultStats::default(),
+            adapt: crate::adapt::AdaptStats::default(),
         }
     }
 }

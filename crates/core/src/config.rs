@@ -1,7 +1,7 @@
 //! End-to-end system configuration and the four policy modes of Fig. 6.
 
 use crate::error::IcgmmError;
-use icgmm_cache::{CacheConfig, FaultPlan, LatencyModel};
+use icgmm_cache::{AdaptPlan, CacheConfig, FaultPlan, LatencyModel};
 use icgmm_gmm::{EmConfig, ThresholdConfig};
 use icgmm_trace::PreprocessConfig;
 use serde::{Deserialize, Serialize};
@@ -155,6 +155,14 @@ pub struct IcgmmConfig {
     /// default arms nothing and leaves every run bit-identical to a
     /// fault-free build.
     pub fault: FaultPlan,
+    /// Online-adaptation plan: per-shard reservoir sampling of the replay
+    /// stream, a drift detector over windowed mean log-likelihood, and
+    /// incremental EM refits published by an atomic scorer swap. The
+    /// empty default (`check_interval == 0`) arms nothing — disabled runs
+    /// are bit-identical to a build without the adaptation code — and an
+    /// armed plan keeps every run deterministic from
+    /// `(trace seed, adapt.seed)` at any shard count.
+    pub adapt: AdaptPlan,
 }
 
 impl Default for IcgmmConfig {
@@ -177,6 +185,7 @@ impl Default for IcgmmConfig {
             serve_queue_depth: 256,
             serve_completion_depth: 8,
             fault: FaultPlan::empty(),
+            adapt: AdaptPlan::empty(),
         }
     }
 }
@@ -239,6 +248,25 @@ impl IcgmmConfig {
             ));
         }
         self.fault.validate().map_err(IcgmmError::Config)?;
+        self.adapt.validate().map_err(IcgmmError::Config)?;
+        if !self.adapt.is_empty() {
+            if self.fixed_point_inference {
+                // Refits retrain the f64 mixture; the quantized FPGA tables
+                // are frozen at fit time and cannot follow a swap.
+                return Err(IcgmmError::Config(
+                    "online adaptation requires the f64 datapath \
+                     (disable fixed_point_inference)"
+                        .into(),
+                ));
+            }
+            if self.em.reg_covar <= 0.0 {
+                // The incremental trainer refuses reg_covar == 0 (a single
+                // E/M pass over a small reservoir degenerates without it).
+                return Err(IcgmmError::Config(
+                    "online adaptation requires em.reg_covar > 0".into(),
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -306,6 +334,10 @@ mod tests {
         c = IcgmmConfig::default();
         c.fault.scorer_nan_per_mille = 1001;
         assert!(c.validate().is_err());
+        c = IcgmmConfig::default();
+        c.adapt.check_interval = 1_000;
+        c.adapt.decay = 0.0;
+        assert!(c.validate().is_err());
     }
 
     #[test]
@@ -326,6 +358,34 @@ mod tests {
             ..Default::default()
         };
         assert!(chaotic.validate().is_ok());
+    }
+
+    #[test]
+    fn adapt_plans_validate_and_defaults_are_empty() {
+        let c = IcgmmConfig::default();
+        assert!(c.adapt.is_empty());
+        let adaptive = IcgmmConfig {
+            adapt: AdaptPlan::drifty(42),
+            ..Default::default()
+        };
+        assert!(adaptive.validate().is_ok());
+        // The refit loop retrains the f64 mixture only.
+        let fixed = IcgmmConfig {
+            adapt: AdaptPlan::drifty(42),
+            fixed_point_inference: true,
+            ..Default::default()
+        };
+        assert!(matches!(fixed.validate(), Err(IcgmmError::Config(_))));
+        // Incremental refits need a strictly positive covariance floor.
+        let mut degenerate = IcgmmConfig {
+            adapt: AdaptPlan::drifty(42),
+            ..Default::default()
+        };
+        degenerate.em.reg_covar = 0.0;
+        assert!(degenerate.validate().is_err());
+        // The same reg_covar is fine while adaptation stays off.
+        degenerate.adapt = AdaptPlan::empty();
+        assert!(degenerate.validate().is_ok());
     }
 
     #[test]

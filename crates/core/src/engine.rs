@@ -107,6 +107,34 @@ impl GmmPolicyEngine {
         self.transformer = other.transformer.clone();
         self.current = other.current;
     }
+
+    /// Publishes a new scorer generation: replaces the mixture tables
+    /// behind every subsequent score. The tables live in an
+    /// `Arc<ScorerTables>` inside [`GmmScorer`], so this is a pointer
+    /// swap — the clock, the scaler, the inference counter and any other
+    /// engine clone are untouched, and in-flight replay never blocks on
+    /// the training that produced the new tables.
+    ///
+    /// Only the f64 datapath swaps; the online refit loop refuses
+    /// fixed-point engines at configuration time
+    /// ([`crate::IcgmmConfig::validate`]), so `fixed` is `None` here.
+    pub fn swap_scorer(&mut self, scorer: GmmScorer) {
+        debug_assert!(
+            self.fixed.is_none(),
+            "online adaptation is validated out for fixed-point engines"
+        );
+        self.scorer = scorer;
+    }
+
+    /// The live scorer (current generation's mixture tables).
+    pub fn scorer(&self) -> &GmmScorer {
+        &self.scorer
+    }
+
+    /// The affine feature map the engine standardizes observations with.
+    pub fn scaler(&self) -> &StandardScaler {
+        &self.scaler
+    }
 }
 
 impl ScoreSource for GmmPolicyEngine {

@@ -47,6 +47,7 @@
 mod config;
 mod engine;
 mod error;
+mod online;
 mod system;
 
 pub mod adaptive;
@@ -58,7 +59,9 @@ pub mod report;
 pub use config::{IcgmmConfig, PolicyMode};
 pub use engine::{GmmPolicyEngine, TrainedModel};
 pub use error::IcgmmError;
+pub use icgmm_cache::{AdaptPlan, AdaptStats};
 pub use icgmm_serve::ServeReport;
+pub use online::AdaptiveEngine;
 pub use system::{FitSummary, Icgmm, RunReport};
 
 // Re-export the substrate crates so downstream users need one dependency.

@@ -4,11 +4,12 @@
 use crate::config::{IcgmmConfig, PolicyMode};
 use crate::engine::{GmmPolicyEngine, TrainedModel};
 use crate::error::IcgmmError;
+use crate::online::AdaptiveEngine;
 use icgmm_cache::{
-    AlwaysAdmit, BeladyPolicy, FailoverAdmission, FailoverEviction, FaultPlan, FaultSink,
-    FaultyScore, FifoPolicy, GmmScorePolicy, LatencyModel, LfuPolicy, LruPolicy, RandomPolicy,
-    ScorerHealth, SetAssocCache, ShardCtx, ShardPolicies, ShardedSimulator, SimReport, SpecStats,
-    ThresholdAdmit, WindowedSimulator,
+    AdaptSink, AdaptStats, AlwaysAdmit, BeladyPolicy, FailoverAdmission, FailoverEviction,
+    FaultPlan, FaultSink, FaultyScore, FifoPolicy, GmmScorePolicy, LatencyModel, LfuPolicy,
+    LruPolicy, RandomPolicy, ScorerHealth, SetAssocCache, ShardCtx, ShardPolicies,
+    ShardedSimulator, SimReport, SpecStats, ThresholdAdmit, WindowedSimulator,
 };
 use icgmm_gmm::{calibrate_threshold, EmReport, EmTrainer, StandardScaler};
 use icgmm_hw::{DataflowConfig, DataflowReport};
@@ -62,6 +63,48 @@ impl RunReport {
     /// Average access latency in µs.
     pub fn avg_us(&self) -> f64 {
         self.sim.avg_us
+    }
+}
+
+/// The single-threaded replay's score stack: the plain engine, the
+/// adaptive wrapper, and either of them behind the fault injector. Built
+/// once per run from the configuration's plans; empty plans contribute no
+/// layer, so disabled features stay bit-identical by construction.
+enum ScoreStack {
+    None,
+    Plain(GmmPolicyEngine),
+    Adaptive(Box<AdaptiveEngine>),
+    Faulty(FaultyScore<GmmPolicyEngine>),
+    FaultyAdaptive(Box<FaultyScore<AdaptiveEngine>>),
+}
+
+impl ScoreStack {
+    fn as_score(&mut self) -> Option<&mut dyn icgmm_cache::ScoreSource> {
+        match self {
+            ScoreStack::None => None,
+            ScoreStack::Plain(e) => Some(e),
+            ScoreStack::Adaptive(a) => Some(a.as_mut()),
+            ScoreStack::Faulty(f) => Some(f),
+            ScoreStack::FaultyAdaptive(f) => Some(f.as_mut()),
+        }
+    }
+
+    fn scores_computed(&self) -> u64 {
+        match self {
+            ScoreStack::None => 0,
+            ScoreStack::Plain(e) => e.scores_computed(),
+            ScoreStack::Adaptive(a) => a.scores_computed(),
+            ScoreStack::Faulty(f) => f.inner().scores_computed(),
+            ScoreStack::FaultyAdaptive(f) => f.inner().scores_computed(),
+        }
+    }
+
+    fn adapt_stats(&self) -> AdaptStats {
+        match self {
+            ScoreStack::Adaptive(a) => a.stats(),
+            ScoreStack::FaultyAdaptive(f) => f.inner().stats(),
+            _ => AdaptStats::default(),
+        }
     }
 }
 
@@ -233,7 +276,7 @@ impl Icgmm {
         let sets = self.cfg.cache.num_sets();
         let ways = self.cfg.cache.ways;
 
-        let mut engine = if mode.uses_gmm() {
+        let engine = if mode.uses_gmm() {
             Some(self.policy_engine()?)
         } else {
             None
@@ -249,20 +292,35 @@ impl Icgmm {
             .as_ref()
             .is_some_and(icgmm_cache::ScoreSource::prefers_batching);
 
-        // Fault plumbing: with an armed plan the engine's scores pass
-        // through the plan's injector (feeding the health monitor), and the
-        // GMM-driven policies gain their degradation fallbacks. The empty
-        // default wraps nothing, so fault-free runs take exactly the
-        // original code paths.
+        // Score-stack plumbing: an armed adaptation plan wraps the engine
+        // in the online refit loop, and an armed fault plan passes its
+        // scores through the injector (feeding the health monitor) while
+        // the GMM-driven policies gain their degradation fallbacks. Empty
+        // plans wrap nothing, so plain runs take exactly the original code
+        // paths.
         let plan = self.cfg.fault;
         let sink = FaultSink::new();
         let health = (engine.is_some() && plan.monitor_armed()).then(|| ScorerHealth::new(&plan));
-        let mut faulty = if engine.is_some() && (plan.scorer_armed() || health.is_some()) {
-            engine
-                .take()
-                .map(|e| FaultyScore::new(e, plan, health.clone(), sink.clone()))
-        } else {
-            None
+        let scorer_faulted = engine.is_some() && (plan.scorer_armed() || health.is_some());
+        let mut stack = match engine {
+            None => ScoreStack::None,
+            Some(e) => {
+                let adaptive = (!self.cfg.adapt.is_empty())
+                    .then(|| self.adaptive_engine(e.clone(), 0, AdaptSink::new()));
+                match (adaptive, scorer_faulted) {
+                    (None, false) => ScoreStack::Plain(e),
+                    (None, true) => {
+                        ScoreStack::Faulty(FaultyScore::new(e, plan, health.clone(), sink.clone()))
+                    }
+                    (Some(a), false) => ScoreStack::Adaptive(Box::new(a)),
+                    (Some(a), true) => ScoreStack::FaultyAdaptive(Box::new(FaultyScore::new(
+                        a,
+                        plan,
+                        health.clone(),
+                        sink.clone(),
+                    ))),
+                }
+            }
         };
 
         let mut wsim = WindowedSimulator::with_params(self.cfg.spec_params());
@@ -271,12 +329,7 @@ impl Icgmm {
         }
         let mut sim = {
             let wsim = &mut wsim;
-            let score: Option<&mut dyn icgmm_cache::ScoreSource> = match faulty.as_mut() {
-                Some(f) => Some(f),
-                None => engine
-                    .as_mut()
-                    .map(|e| e as &mut dyn icgmm_cache::ScoreSource),
-            };
+            let score: Option<&mut dyn icgmm_cache::ScoreSource> = stack.as_score();
             let wrap_ev = |primary: GmmScorePolicy| -> Box<dyn icgmm_cache::EvictionPolicy + Send> {
                 match &health {
                     Some(h) => Box::new(FailoverEviction::new(
@@ -346,11 +399,8 @@ impl Icgmm {
             sim.fault.merge(wsim.fault_stats());
         }
         sim.fault.merge(&sink.snapshot());
-        let gmm_inferences = match (&engine, &faulty) {
-            (Some(e), _) => e.scores_computed(),
-            (None, Some(f)) => f.inner().scores_computed(),
-            (None, None) => 0,
-        };
+        sim.adapt.merge(&stack.adapt_stats());
+        let gmm_inferences = stack.scores_computed();
         Ok(RunReport {
             mode,
             sim,
@@ -423,6 +473,7 @@ impl Icgmm {
         let plan = self.cfg.fault;
         let scorer_armed = plan.scorer_armed() || plan.monitor_armed();
         let shard_sinks = std::sync::Mutex::new(vec![FaultSink::new(); shards]);
+        let adapt_sinks = std::sync::Mutex::new(vec![AdaptSink::new(); shards]);
         let ssim = ShardedSimulator::with_params(shards, self.cfg.spec_params()).with_faults(plan);
         let rep = ssim.run(
             warmup,
@@ -430,7 +481,7 @@ impl Icgmm {
             self.cfg.cache,
             &|ctx| {
                 self.shard_policies(ctx, mode, engine.as_ref(), threshold, plan, scorer_armed, {
-                    &shard_sinks
+                    (&shard_sinks, &adapt_sinks)
                 })
             },
             latency,
@@ -442,6 +493,12 @@ impl Icgmm {
             .expect("no worker holds the sink lock")
         {
             rep.sim.fault.merge(&sink.snapshot());
+        }
+        for sink in adapt_sinks
+            .into_inner()
+            .expect("no worker holds the adapt sink lock")
+        {
+            rep.sim.adapt.merge(&sink.snapshot());
         }
         let gmm_inferences = if engine.is_none() {
             0
@@ -471,8 +528,12 @@ impl Icgmm {
         threshold: f64,
         plan: FaultPlan,
         scorer_armed: bool,
-        shard_sinks: &std::sync::Mutex<Vec<FaultSink>>,
+        sinks: (
+            &std::sync::Mutex<Vec<FaultSink>>,
+            &std::sync::Mutex<Vec<AdaptSink>>,
+        ),
     ) -> ShardPolicies {
+        let (shard_sinks, adapt_sinks) = sinks;
         let sets = self.cfg.cache.num_sets();
         let ways = self.cfg.cache.ways;
         let eviction: Box<dyn icgmm_cache::EvictionPolicy + Send> = match mode {
@@ -505,7 +566,20 @@ impl Icgmm {
             }
             _ => Box::new(AlwaysAdmit),
         };
-        let score = engine.map(|e| Box::new(e.clone()) as Box<dyn icgmm_cache::ScoreSource + Send>);
+        // Each shard's engine clone optionally gains the online refit loop
+        // (per-shard buffers, per-shard salted seeds, per-shard sink —
+        // replaced wholesale on a supervisor re-replay, exactly like the
+        // fault sink). Empty plans wrap nothing.
+        let score = engine.map(|e| {
+            if self.cfg.adapt.is_empty() {
+                Box::new(e.clone()) as Box<dyn icgmm_cache::ScoreSource + Send>
+            } else {
+                let sink = AdaptSink::new();
+                let adaptive = self.adaptive_engine(e.clone(), ctx.shard as u64, sink.clone());
+                adapt_sinks.lock().expect("adapt sink lock never poisoned")[ctx.shard] = sink;
+                Box::new(adaptive) as Box<dyn icgmm_cache::ScoreSource + Send>
+            }
+        });
         let (mut admission, mut eviction, mut score) = (admission, eviction, score);
         if score.is_some() && scorer_armed {
             let sink = FaultSink::new();
@@ -603,6 +677,7 @@ impl Icgmm {
         let plan = self.cfg.fault;
         let scorer_armed = plan.scorer_armed() || plan.monitor_armed();
         let shard_sinks = std::sync::Mutex::new(vec![FaultSink::new(); shards]);
+        let adapt_sinks = std::sync::Mutex::new(vec![AdaptSink::new(); shards]);
         let server = CacheServer::new(ServeConfig {
             shards,
             clients: self.cfg.serve_clients,
@@ -618,18 +693,25 @@ impl Icgmm {
             self.cfg.cache,
             &|ctx| {
                 self.shard_policies(ctx, mode, engine.as_ref(), threshold, plan, scorer_armed, {
-                    &shard_sinks
+                    (&shard_sinks, &adapt_sinks)
                 })
             },
             latency,
             None,
         )?;
-        // Scorer-fault telemetry travels by sink, exactly as offline.
+        // Scorer-fault and adaptation telemetry travel by sink, exactly as
+        // offline — merged in shard order for determinism.
         for sink in shard_sinks
             .into_inner()
             .expect("no worker holds the sink lock")
         {
             rep.sim.fault.merge(&sink.snapshot());
+        }
+        for sink in adapt_sinks
+            .into_inner()
+            .expect("no worker holds the adapt sink lock")
+        {
+            rep.sim.adapt.merge(&sink.snapshot());
         }
         Ok(rep)
     }
@@ -765,6 +847,27 @@ impl Icgmm {
         }?;
         report.fault.merge(&sink.snapshot());
         Ok(report)
+    }
+
+    /// Wraps one engine clone in the online refit loop described by
+    /// `self.cfg.adapt` (callers check [`icgmm_cache::AdaptPlan::is_empty`]
+    /// first). `shard` salts the plan seed so each shard draws independent
+    /// reservoir and re-seed streams.
+    fn adaptive_engine(&self, engine: GmmPolicyEngine, shard: u64, sink: AdaptSink) -> AdaptiveEngine {
+        let model = self
+            .model
+            .as_ref()
+            .expect("a GMM engine implies a trained model");
+        AdaptiveEngine::new(
+            engine,
+            &model.gmm,
+            self.cfg.em,
+            &self.cfg.preprocess,
+            self.cfg.adapt,
+            shard,
+            sink,
+        )
+        .expect("adapt plan is validated at configuration time")
     }
 
     fn score_eviction(&self, sets: usize, ways: usize) -> GmmScorePolicy {

@@ -108,16 +108,20 @@ pub struct EmTrainer {
 }
 
 /// Per-component sufficient statistics gathered by the E-step.
+///
+/// Crate-visible so the incremental trainer
+/// ([`crate::incremental::IncrementalEm`]) can persist and decay them
+/// between refits; the batch trainer treats them as E-step scratch.
 #[derive(Clone, Debug, Default)]
-struct SuffStats {
-    nk: Vec<f64>,
-    sx: Vec<[f64; 2]>,
-    sq: Vec<[f64; 3]>, // xx, xy, yy
-    loglik: f64,
+pub(crate) struct SuffStats {
+    pub(crate) nk: Vec<f64>,
+    pub(crate) sx: Vec<[f64; 2]>,
+    pub(crate) sq: Vec<[f64; 3]>, // xx, xy, yy
+    pub(crate) loglik: f64,
 }
 
 impl SuffStats {
-    fn zeros(k: usize) -> Self {
+    pub(crate) fn zeros(k: usize) -> Self {
         SuffStats {
             nk: vec![0.0; k],
             sx: vec![[0.0; 2]; k],
@@ -126,7 +130,7 @@ impl SuffStats {
         }
     }
 
-    fn merge(&mut self, other: &SuffStats) {
+    pub(crate) fn merge(&mut self, other: &SuffStats) {
         for k in 0..self.nk.len() {
             self.nk[k] += other.nk[k];
             self.sx[k][0] += other.sx[k][0];
@@ -136,6 +140,21 @@ impl SuffStats {
             self.sq[k][2] += other.sq[k][2];
         }
         self.loglik += other.loglik;
+    }
+
+    /// Exponentially decays the accumulated statistics: the incremental
+    /// trainer ages out stale evidence before merging a new batch, so
+    /// the effective sample window is geometric with factor `decay`.
+    pub(crate) fn scale(&mut self, decay: f64) {
+        for k in 0..self.nk.len() {
+            self.nk[k] *= decay;
+            self.sx[k][0] *= decay;
+            self.sx[k][1] *= decay;
+            self.sq[k][0] *= decay;
+            self.sq[k][1] *= decay;
+            self.sq[k][2] *= decay;
+        }
+        self.loglik *= decay;
     }
 }
 
@@ -312,7 +331,7 @@ const PARALLEL_MSTEP_MIN: usize = 64;
 /// **bit-identical** to the serial path for any thread count — the
 /// property suite drives this directly.
 #[allow(clippy::too_many_arguments)]
-fn m_step(
+pub(crate) fn m_step(
     stats: &SuffStats,
     xs: &[Vec2],
     total_w: f64,
@@ -392,7 +411,13 @@ fn m_step(
 }
 
 /// Runs the E-step, splitting samples across `threads` workers.
-fn e_step(scorer: &GmmScorer, xs: &[Vec2], ws: &[f64], k: usize, threads: usize) -> SuffStats {
+pub(crate) fn e_step(
+    scorer: &GmmScorer,
+    xs: &[Vec2],
+    ws: &[f64],
+    k: usize,
+    threads: usize,
+) -> SuffStats {
     let threads = threads.max(1);
     if threads == 1 || xs.len() < 4_096 {
         let mut stats = SuffStats::zeros(k);

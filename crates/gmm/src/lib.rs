@@ -13,6 +13,8 @@
 //!   kernel behind every hot path (scalar, batched and parallel);
 //! * [`EmTrainer`]/[`EmConfig`] — weighted EM with k-means++ init and a
 //!   crossbeam-parallel E-step (responsibilities via the SoA kernel);
+//! * [`IncrementalEm`] — online refits over decayed sufficient
+//!   statistics: one E/M pass per refit instead of a cold `fit`;
 //! * [`StandardScaler`] — the affine feature map stored with the model;
 //! * [`calibrate_threshold`] — quantile-based admission threshold;
 //! * [`fixed`] — the fixed-point (FPGA-style) inference datapath.
@@ -47,6 +49,7 @@
 mod em;
 mod error;
 mod gaussian;
+mod incremental;
 mod init;
 mod model;
 mod scaler;
@@ -56,6 +59,7 @@ pub mod fixed;
 pub mod scorer;
 
 pub use em::{EmConfig, EmReport, EmTrainer};
+pub use incremental::IncrementalEm;
 pub use error::GmmError;
 pub use gaussian::{Gaussian2, Mat2, Vec2};
 pub use init::InitMethod;

@@ -110,6 +110,12 @@ impl ServeConfig {
 pub enum ServeError {
     /// Invalid [`ServeConfig`] or cache geometry.
     Config(String),
+    /// The trace does not fit the shard fan-out's `u32` position index
+    /// (mirrors [`icgmm_cache::ShardRunError::TraceTooLong`]).
+    TraceTooLong {
+        /// Total records (warm-up + measured) the caller presented.
+        records: usize,
+    },
     /// A shard worker died *and* the supervisor's offline re-replay of
     /// its subtrace died too — the one non-recoverable fault class (a
     /// lone worker panic is recovered transparently).
@@ -125,6 +131,10 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::Config(msg) => write!(f, "invalid serve configuration: {msg}"),
+            ServeError::TraceTooLong { records } => write!(
+                f,
+                "trace too long for u32 index-based fan-out ({records} records)"
+            ),
             ServeError::ShardFailed { shard, message } => {
                 write!(f, "shard {shard} failed beyond recovery: {message}")
             }

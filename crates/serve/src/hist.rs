@@ -103,10 +103,18 @@ impl LatencyHistogram {
 
     /// The `q`-quantile (`0.0 ..= 1.0`) in nanoseconds — the upper bound
     /// of the bucket holding the rank-`⌈q·n⌉` sample (0 when empty).
+    ///
+    /// Out-of-range arguments are clamped rather than left
+    /// implementation-defined: `q < 0.0` reports the minimum (rank-1)
+    /// sample, `q > 1.0` the maximum, and `NaN` is treated as `0.0` — a
+    /// NaN quantile request carries no ordering information, so the
+    /// conservative minimum is reported instead of whatever the cast
+    /// would produce.
     pub fn quantile_ns(&self, q: f64) -> u64 {
         if self.total == 0 {
             return 0;
         }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
         let mut seen = 0u64;
         for (b, &c) in self.counts.iter().enumerate() {
@@ -118,7 +126,8 @@ impl LatencyHistogram {
         bucket_upper(BUCKETS - 1)
     }
 
-    /// [`LatencyHistogram::quantile_ns`] converted to microseconds.
+    /// [`LatencyHistogram::quantile_ns`] converted to microseconds (same
+    /// clamping of out-of-range and NaN `q`).
     pub fn quantile_us(&self, q: f64) -> f64 {
         self.quantile_ns(q) as f64 / 1_000.0
     }
@@ -194,6 +203,31 @@ mod tests {
         let h = LatencyHistogram::new();
         assert_eq!(h.quantile_ns(0.5), 0);
         assert_eq!(h.quantile_us(0.99), 0.0);
+    }
+
+    /// Out-of-range and NaN quantile arguments are clamped to the
+    /// documented behavior instead of being implementation-defined.
+    #[test]
+    fn out_of_range_quantiles_are_clamped() {
+        let mut h = LatencyHistogram::new();
+        for v in [3u64, 7, 11, 15] {
+            h.record_ns(v);
+        }
+        let min = h.quantile_ns(0.0);
+        let max = h.quantile_ns(1.0);
+        assert_eq!(min, 3);
+        assert_eq!(max, 15);
+        assert_eq!(h.quantile_ns(-0.5), min, "q < 0 clamps to the minimum");
+        assert_eq!(h.quantile_ns(f64::NEG_INFINITY), min);
+        assert_eq!(h.quantile_ns(1.5), max, "q > 1 clamps to the maximum");
+        assert_eq!(h.quantile_ns(f64::INFINITY), max);
+        assert_eq!(h.quantile_ns(f64::NAN), min, "NaN reports the minimum");
+        assert_eq!(h.quantile_us(f64::NAN), min as f64 / 1_000.0);
+        // An empty histogram still reports zero for every argument.
+        let empty = LatencyHistogram::new();
+        for q in [-1.0, 0.5, 2.0, f64::NAN] {
+            assert_eq!(empty.quantile_ns(q), 0);
+        }
     }
 
     /// Boundary values round-trip `bucket_of`/`bucket_upper`: the exact

@@ -294,7 +294,12 @@ impl CacheServer {
         // partition directly (k-way merge over their owned shards'
         // lists), workers replay indexed views over the caller's slices,
         // and the merger recomputes each record's owner on the fly.
-        let part = ShardPartition::build(s, &cache_cfg, warmup, measured);
+        let part = ShardPartition::build(s, &cache_cfg, warmup, measured).map_err(|e| match e {
+            icgmm_cache::ShardRunError::TraceTooLong { records } => {
+                ServeError::TraceTooLong { records }
+            }
+            other => ServeError::Config(other.to_string()),
+        })?;
 
         // Per-shard policies are built *inside* each worker (parallel
         // construction, shared verbatim with the offline engine — same

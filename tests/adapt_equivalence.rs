@@ -1,0 +1,226 @@
+//! End-to-end equivalence and determinism properties for online
+//! adaptation: an armed plan whose drift trigger is held off
+//! (`drift_drop = +inf`) replays bit-identically to the static scorer at
+//! every shard count and GMM policy mode; adaptive runs are a pure
+//! function of `(trace seed, adapt seed)` per shard count; and the
+//! serving front-end re-accounts adaptive replay exactly like the
+//! offline sharded engine.
+
+use std::sync::OnceLock;
+
+use icgmm::experiment::run_static_vs_adaptive;
+use icgmm::{AdaptPlan, Icgmm, IcgmmConfig, PolicyMode, TrainedModel};
+use icgmm_cache::CacheConfig;
+use icgmm_gmm::EmConfig;
+use icgmm_trace::synth::{MultiTenantWorkload, Workload};
+use icgmm_trace::{PreprocessConfig, Trace};
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+const GMM_MODES: [PolicyMode; 3] = [
+    PolicyMode::GmmCachingOnly,
+    PolicyMode::GmmEvictionOnly,
+    PolicyMode::GmmCachingEviction,
+];
+
+/// The pooled-deployment scenario with *fast* phase rotation: each
+/// tenant's hot window advances every ~1.5k of its own requests, so a
+/// 30k-record trace crosses many popularity phases and a sensitive
+/// detector has real drift to find.
+fn rotating_trace(n: usize, seed: u64) -> Trace {
+    MultiTenantWorkload {
+        tenants: 12,
+        pages_per_tenant: 3_000,
+        phase_len: 1_500,
+        ..Default::default()
+    }
+    .generate(n, seed)
+}
+
+/// A config that trains in milliseconds, at K = 64 so the engine prefers
+/// the batched replay path (the segmented-window logic is exercised, not
+/// just the per-record one).
+fn adapt_cfg() -> IcgmmConfig {
+    IcgmmConfig {
+        cache: CacheConfig {
+            capacity_bytes: 512 * 4096,
+            block_bytes: 4096,
+            ways: 8,
+        },
+        em: EmConfig {
+            k: 64,
+            max_iters: 15,
+            ..Default::default()
+        },
+        preprocess: PreprocessConfig {
+            len_window: 32,
+            len_access_shot: 1_000,
+            ..Default::default()
+        },
+        max_train_cells: 20_000,
+        ..Default::default()
+    }
+}
+
+/// Trace + model trained once and shared across every test and proptest
+/// case — replays are cheap, EM is not.
+fn fixture() -> &'static (Trace, TrainedModel) {
+    static FIXTURE: OnceLock<(Trace, TrainedModel)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let trace = rotating_trace(30_000, 42);
+        let mut sys = Icgmm::new(adapt_cfg()).unwrap();
+        sys.fit(&trace).unwrap();
+        let model = sys.model().expect("fitted").clone();
+        (trace, model)
+    })
+}
+
+fn system_with(plan: AdaptPlan, shards: usize) -> Icgmm {
+    let (_, model) = fixture();
+    let mut cfg = adapt_cfg();
+    cfg.adapt = plan;
+    cfg.sim_shards = shards;
+    let mut sys = Icgmm::new(cfg).unwrap();
+    sys.set_model(model.clone());
+    sys
+}
+
+/// An armed plan whose detector can never fire: checks run, buffers
+/// fill, the scorer never swaps.
+fn held_off(seed: u64) -> AdaptPlan {
+    AdaptPlan {
+        drift_drop: f64::INFINITY,
+        check_interval: 2_048,
+        ..AdaptPlan::drifty(seed)
+    }
+}
+
+#[test]
+fn empty_plan_runs_leave_adapt_telemetry_clean() {
+    let (trace, _) = fixture();
+    let sys = system_with(AdaptPlan::empty(), 2);
+    let rep = sys.run_sharded(trace, PolicyMode::GmmCachingEviction).unwrap();
+    assert!(
+        rep.sim.adapt.is_clean(),
+        "an empty plan must never touch the adaptation loop: {:?}",
+        rep.sim.adapt
+    );
+}
+
+#[test]
+fn held_off_trigger_is_bit_identical_to_static_across_shards_and_modes() {
+    let (trace, _) = fixture();
+    for mode in GMM_MODES {
+        let reference_sys = system_with(AdaptPlan::empty(), 1);
+        let reference = reference_sys.run(trace, mode).unwrap();
+        assert!(reference.sim.adapt.is_clean());
+
+        for shards in SHARD_COUNTS {
+            let sys = system_with(held_off(9), shards);
+            let adaptive = if shards == 1 {
+                sys.run(trace, mode).unwrap()
+            } else {
+                sys.run_sharded(trace, mode).unwrap()
+            };
+            assert!(
+                adaptive.sim.adapt.checks > 0,
+                "{mode} at {shards} shards: the armed plan must actually check"
+            );
+            assert_eq!(
+                adaptive.sim.adapt.swaps, 0,
+                "{mode} at {shards} shards: +inf drift_drop must hold refits off"
+            );
+            assert_eq!(adaptive.sim.adapt.refits, 0);
+
+            // Modulo its own telemetry the adaptive run is the static run.
+            let mut scrubbed = adaptive.sim.clone();
+            scrubbed.adapt = Default::default();
+            assert_eq!(
+                scrubbed, reference.sim,
+                "{mode} at {shards} shards: held-off adaptation changed decisions"
+            );
+            if shards == 1 {
+                assert_eq!(
+                    adaptive.gmm_inferences, reference.gmm_inferences,
+                    "{mode}: drift checks must not inflate the inference count"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn adaptive_serving_matches_offline_sharded_replay() {
+    let (trace, _) = fixture();
+    let plan = AdaptPlan::drifty(7);
+    for (shards, clients, depth) in [(1, 1, 64), (2, 3, 8), (4, 2, 1)] {
+        let mut cfg = adapt_cfg();
+        cfg.adapt = plan;
+        cfg.sim_shards = shards;
+        cfg.serve_clients = clients;
+        cfg.serve_queue_depth = depth;
+        let mut sys = Icgmm::new(cfg).unwrap();
+        sys.set_model(fixture().1.clone());
+
+        let served = sys.serve(trace, PolicyMode::GmmCachingEviction).unwrap();
+        let sharded = sys
+            .run_sharded(trace, PolicyMode::GmmCachingEviction)
+            .unwrap();
+        assert_eq!(
+            served.sim, sharded.sim,
+            "adaptive serve diverged from offline replay at {shards} shards / \
+             {clients} clients / depth {depth}"
+        );
+        assert_eq!(served.sim.adapt, sharded.sim.adapt);
+    }
+}
+
+#[test]
+fn static_vs_adaptive_repairs_drift_on_the_rotating_workload() {
+    let (trace, _) = fixture();
+    let mut cfg = adapt_cfg();
+    cfg.adapt = AdaptPlan::drifty(3);
+    let cmp = run_static_vs_adaptive(
+        "adapt-it",
+        trace,
+        cfg,
+        PolicyMode::GmmCachingEviction,
+        trace.len() / 3,
+    )
+    .unwrap();
+    assert!(cmp.static_run.adapt.is_clean(), "the static arm never adapts");
+    assert!(
+        cmp.adaptive_run.adapt.swaps > 0,
+        "the rotating workload must trip the detector: {:?}",
+        cmp.adaptive_run.adapt
+    );
+    assert_eq!(cmp.adaptive_run.adapt.swaps, cmp.adaptive_run.adapt.refits);
+    assert!(cmp.miss_improvement_pts().is_finite());
+}
+
+proptest! {
+    /// An adaptive run is a pure function of `(trace seed, adapt seed)`
+    /// at every shard count: repeat runs are identical down to the
+    /// adaptation counters, and the serving path agrees with offline
+    /// sharded replay under live refits.
+    #[test]
+    fn adaptive_runs_are_deterministic_from_seeds(
+        adapt_seed in any::<u64>(),
+        shard_ix in 0usize..SHARD_COUNTS.len(),
+        mode_ix in 0usize..GMM_MODES.len(),
+    ) {
+        let (trace, _) = fixture();
+        let shards = SHARD_COUNTS[shard_ix];
+        let mode = GMM_MODES[mode_ix];
+        let sys = system_with(AdaptPlan::drifty(adapt_seed), shards);
+        let a = sys.run_sharded(trace, mode).unwrap();
+        let b = sys.run_sharded(trace, mode).unwrap();
+        prop_assert_eq!(
+            &a, &b,
+            "adaptive replay must be deterministic at {} shards ({:?})",
+            shards, mode
+        );
+        prop_assert!(a.sim.adapt.checks > 0);
+    }
+}
